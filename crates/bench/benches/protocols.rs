@@ -1,0 +1,169 @@
+//! Criterion benches of the CANELy protocol suite: how much simulated
+//! work each protocol episode costs to execute, and how the simulator
+//! scales with cluster size.
+
+use can_bus::{BusConfig, FaultPlan};
+use can_controller::Simulator;
+use can_types::{BitTime, NodeId, NodeSet};
+use canely::{CanelyConfig, CanelyStack, TrafficConfig};
+use canely_baselines::{OsekNode, TtpNode};
+use canely_broadcast::{Edcan, Totcan};
+use canely_broadcast::common::ScheduledSend;
+use can_types::Payload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// One complete FDA episode: bootstrap, crash, agreed detection.
+fn bench_fda_episode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fda_episode");
+    group.sample_size(20);
+    for &n in &[4u8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let config = CanelyConfig::default();
+                let mut sim = Simulator::new(BusConfig::default(), FaultPlan::none());
+                for id in 0..n {
+                    sim.add_node(NodeId::new(id), CanelyStack::new(config.clone()));
+                }
+                let crash_at = config.join_wait + config.membership_cycle * 2;
+                sim.schedule_crash(NodeId::new(n - 1), crash_at);
+                sim.run_until(crash_at + config.membership_cycle * 2);
+                assert!(sim
+                    .app::<CanelyStack>(NodeId::new(0))
+                    .events()
+                    .iter()
+                    .any(|(_, e)| matches!(e, canely::UpperEvent::FailureNotified(_))));
+            });
+        });
+    }
+    group.finish();
+}
+
+/// One RHA settlement: a node joins an established cluster.
+fn bench_rha_settlement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rha_settlement");
+    group.sample_size(20);
+    for &n in &[4u8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let config = CanelyConfig::default();
+                let mut sim = Simulator::new(BusConfig::default(), FaultPlan::none());
+                for id in 0..n {
+                    sim.add_node(NodeId::new(id), CanelyStack::new(config.clone()));
+                }
+                let t0 = config.join_wait + config.membership_cycle * 2;
+                sim.add_node_at(NodeId::new(n), CanelyStack::new(config.clone()), t0);
+                sim.run_until(t0 + config.membership_cycle * 3);
+                assert!(sim
+                    .app::<CanelyStack>(NodeId::new(0))
+                    .view()
+                    .contains(NodeId::new(n)));
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Steady-state: one second of simulated time for a busy cluster.
+fn bench_steady_state_second(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steady_state_1s");
+    group.sample_size(10);
+    for &n in &[8u8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let config = CanelyConfig::default();
+                let mut sim = Simulator::new(BusConfig::default(), FaultPlan::none());
+                for id in 0..n {
+                    let stack = CanelyStack::new(config.clone()).with_traffic(
+                        TrafficConfig::periodic(BitTime::new(10_000), 8)
+                            .with_offset(BitTime::new(u64::from(id) * 131)),
+                    );
+                    sim.add_node(NodeId::new(id), stack);
+                }
+                sim.run_until(BitTime::new(1_000_000));
+                assert_eq!(sim.alive().len(), n as usize);
+            });
+        });
+    }
+    group.finish();
+}
+
+/// EDCAN vs TOTCAN: one broadcast to a 16-node group.
+fn bench_broadcast_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast");
+    group.sample_size(30);
+    group.bench_function("edcan_16", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(BusConfig::default(), FaultPlan::none());
+            sim.add_node(
+                NodeId::new(0),
+                Edcan::new().with_schedule(vec![ScheduledSend::new(
+                    BitTime::new(100),
+                    Payload::from_slice(&[1; 8]).expect("8 bytes"),
+                )]),
+            );
+            for id in 1..16u8 {
+                sim.add_node(NodeId::new(id), Edcan::new());
+            }
+            sim.run_until(BitTime::new(20_000));
+            assert_eq!(sim.app::<Edcan>(NodeId::new(15)).deliveries().len(), 1);
+        });
+    });
+    group.bench_function("totcan_16", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(BusConfig::default(), FaultPlan::none());
+            sim.add_node(
+                NodeId::new(0),
+                Totcan::new(BitTime::new(5_000)).with_schedule(vec![ScheduledSend::new(
+                    BitTime::new(100),
+                    Payload::from_slice(&[1; 8]).expect("8 bytes"),
+                )]),
+            );
+            for id in 1..16u8 {
+                sim.add_node(NodeId::new(id), Totcan::new(BitTime::new(5_000)));
+            }
+            sim.run_until(BitTime::new(20_000));
+            assert_eq!(sim.app::<Totcan>(NodeId::new(15)).deliveries().len(), 1);
+        });
+    });
+    group.finish();
+}
+
+/// Baseline protocols: one second of simulated time, 16 nodes.
+fn bench_baselines_second(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_1s");
+    group.sample_size(10);
+    group.bench_function("osek_16", |b| {
+        b.iter(|| {
+            let config = NodeSet::first_n(16);
+            let mut sim = Simulator::new(BusConfig::default(), FaultPlan::none());
+            for id in 0..16u8 {
+                sim.add_node(
+                    NodeId::new(id),
+                    OsekNode::new(BitTime::new(10_000), BitTime::new(60_000), config),
+                );
+            }
+            sim.run_until(BitTime::new(1_000_000));
+        });
+    });
+    group.bench_function("ttp_16", |b| {
+        b.iter(|| {
+            let schedule = NodeSet::first_n(16);
+            let mut sim = Simulator::new(BusConfig::default(), FaultPlan::none());
+            for id in 0..16u8 {
+                sim.add_node(NodeId::new(id), TtpNode::new(BitTime::new(500), schedule));
+            }
+            sim.run_until(BitTime::new(1_000_000));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fda_episode,
+    bench_rha_settlement,
+    bench_steady_state_second,
+    bench_broadcast_protocols,
+    bench_baselines_second,
+);
+criterion_main!(benches);

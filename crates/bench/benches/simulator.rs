@@ -1,0 +1,111 @@
+//! Criterion benches of the substrate itself: wire encoding, fault
+//! injection and raw bus transaction throughput.
+
+use can_bus::{BusConfig, FaultPlan, Medium};
+use can_types::wire::exact_frame_bits;
+use can_types::{BitTime, CanId, Frame, Mid, MsgType, NodeId, NodeSet, Payload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Exact bit-stream construction (CRC-15 + stuffing) per payload size.
+fn bench_wire_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_exact_bits");
+    for &len in &[0usize, 4, 8] {
+        let data = vec![0xA5u8; len];
+        let frame = Frame::data(
+            Mid::new(MsgType::AppData, 0x55, NodeId::new(3)),
+            Payload::from_slice(&data).expect("bounded"),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(len), &frame, |b, frame| {
+            b.iter(|| exact_frame_bits(black_box(frame)));
+        });
+    }
+    group.finish();
+}
+
+/// Raw medium throughput: resolve transactions back to back.
+fn bench_medium_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("medium_resolve");
+    group.sample_size(30);
+    for &contenders in &[1u8, 8, 32] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(contenders),
+            &contenders,
+            |b, &contenders| {
+                b.iter(|| {
+                    let mut medium = Medium::new(BusConfig::default());
+                    let mut faults = FaultPlan::none();
+                    let alive = NodeSet::first_n(64);
+                    let mut now = BitTime::ZERO;
+                    for round in 0..100u16 {
+                        for node in 0..contenders {
+                            medium.offer(
+                                NodeId::new(node),
+                                Frame::data(
+                                    Mid::new(MsgType::AppData, round, NodeId::new(node)),
+                                    Payload::EMPTY,
+                                ),
+                            );
+                        }
+                        while let Some(tx) = medium.resolve(now, alive, &mut faults) {
+                            now = tx.bus_free;
+                        }
+                    }
+                    black_box(now)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Fault-plan decision throughput with stochastic rates armed.
+fn bench_fault_decisions(c: &mut Criterion) {
+    c.bench_function("fault_decide_1k", |b| {
+        let frame = Frame::remote(Mid::new(MsgType::Els, 0, NodeId::new(1)));
+        b.iter(|| {
+            let mut plan = can_bus::FaultPlan::seeded(7)
+                .with_consistent_rate(0.05)
+                .with_inconsistent_rate(0.01);
+            let mut delivered = 0u32;
+            for i in 0..1_000u64 {
+                let attempt = can_bus::fault::TxAttempt {
+                    now: BitTime::new(i * 100),
+                    frame: &frame,
+                    transmitters: NodeSet::singleton(NodeId::new(1)),
+                    listeners: NodeSet::first_n(16) - NodeSet::singleton(NodeId::new(1)),
+                    attempt: 0,
+                };
+                if plan.decide(&attempt) == can_bus::fault::Disposition::Deliver {
+                    delivered += 1;
+                }
+            }
+            black_box(delivered)
+        });
+    });
+}
+
+/// CAN identifier arbitration (min-scan) cost.
+fn bench_arbitration(c: &mut Criterion) {
+    c.bench_function("arbitration_64", |b| {
+        let ids: Vec<CanId> = (0..64u32).rev().map(|i| CanId::new(i * 1_000)).collect();
+        b.iter(|| {
+            let mut winner = ids[0];
+            for &id in &ids {
+                if id.beats(winner) {
+                    winner = id;
+                }
+            }
+            black_box(winner)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_wire_encoding,
+    bench_medium_throughput,
+    bench_fault_decisions,
+    bench_arbitration,
+);
+criterion_main!(benches);

@@ -1,0 +1,571 @@
+//! The shared bus: arbitration, clustering and transaction resolution.
+//!
+//! The medium resolves one *transaction* at a time: at a bus-idle
+//! instant it arbitrates among the pending transmit offers (lowest
+//! identifier wins — property of the dominant/recessive signalling),
+//! merges wire-identical offers into a single physical transmission
+//! (the wired-AND clustering of Sec. 6.2), asks the fault plan for a
+//! verdict and produces a [`Transaction`] describing who transmitted,
+//! for how long, and which nodes received the frame.
+//!
+//! MCAN1 (all correct nodes receiving an uncorrupted frame receive the
+//! *same* frame) holds by construction: a transaction carries exactly
+//! one frame value. MCAN2 (corruption is detected) is modelled by the
+//! omission dispositions — a corrupted frame never surfaces as a
+//! different frame, it surfaces as a (possibly inconsistent) omission.
+
+use crate::config::BusConfig;
+use crate::fault::{Disposition, FaultPlan, TxAttempt};
+use crate::trace::{BusTrace, TxRecord};
+use can_types::{BitTime, Frame, NodeId, NodeSet};
+use std::collections::BTreeMap;
+
+/// Outcome of a bus transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxOutcome {
+    /// Delivered to every alive node (own transmissions included, as
+    /// required of the exposed controller interface).
+    Delivered {
+        /// All nodes that received the frame (transmitters included).
+        receivers: NodeSet,
+    },
+    /// All receivers rejected the frame; transmitters retransmit
+    /// automatically (offer stays pending).
+    ConsistentError,
+    /// Only a subset accepted (last-two-bits scenario). Transmitters
+    /// saw the error flag and will retransmit — unless they crash.
+    InconsistentError {
+        /// Listeners that accepted the frame.
+        accepters: NodeSet,
+        /// Transmitters that crash before retransmission (the
+        /// inconsistent-message-omission scenario of LCAN2).
+        sender_crashes: NodeSet,
+    },
+    /// Two alive nodes offered *different* frames with the same
+    /// identifier — a protocol-design violation that real CAN turns
+    /// into a bit error. Both transmitters back off and retransmit.
+    IdCollision,
+    /// No reachable node acknowledged the frame (the transmitter is
+    /// alone on its side of a media partition). The transmitter
+    /// retransmits; per the ISO 11898 exception its TEC stops
+    /// escalating once error-passive, so it never goes bus-off from
+    /// missing ACKs alone.
+    AckError,
+}
+
+/// A resolved bus transaction.
+#[derive(Debug, Clone)]
+pub struct Transaction {
+    /// Instant transmission began.
+    pub start: BitTime,
+    /// Instant the bus becomes free again (frame, plus error
+    /// signalling on omissions, plus intermission).
+    pub bus_free: BitTime,
+    /// Instant receivers deliver the frame (end of frame proper).
+    pub deliver_at: BitTime,
+    /// The frame on the wire.
+    pub frame: Frame,
+    /// Nodes that transmitted (clustered transmissions have several).
+    pub transmitters: NodeSet,
+    /// What happened.
+    pub outcome: TxOutcome,
+}
+
+#[derive(Debug, Clone)]
+struct Offer {
+    frame: Frame,
+    attempts: u32,
+    /// Earliest instant this offer may compete again (ACK-error
+    /// suspension with exponential backoff; zero otherwise).
+    not_before: BitTime,
+}
+
+/// Suspension applied after the `attempts`-th consecutive ACK error:
+/// exponential backoff capped at 8192 bit-times. Models the suspend-
+/// transmission rule plus driver-level retry management of a frame
+/// nobody acknowledges — without it, an unacknowledgeable frame would
+/// monopolize the (globally serialized) simulated bus, which a real
+/// electrically-partitioned bus would not experience.
+fn ack_backoff(attempts: u32) -> BitTime {
+    BitTime::new(128u64 << attempts.min(6))
+}
+
+/// The simulated bus medium.
+///
+/// Holds the set of pending transmit offers (one per node — a CAN
+/// controller transmits from one buffer at a time; queueing above that
+/// is the controller's business) and the transaction trace.
+///
+/// # Examples
+///
+/// ```
+/// use can_bus::{BusConfig, FaultPlan, Medium, TxOutcome};
+/// use can_types::{Frame, Mid, MsgType, NodeId, NodeSet, BitTime};
+///
+/// let mut bus = Medium::new(BusConfig::default());
+/// let mut faults = FaultPlan::none();
+/// let els = Frame::remote(Mid::new(MsgType::Els, 0, NodeId::new(1)));
+///
+/// // Nodes 1 and 2 offer the *same* life-sign: they cluster.
+/// bus.offer(NodeId::new(1), els);
+/// bus.offer(NodeId::new(2), els);
+/// let alive = NodeSet::first_n(4);
+/// let tx = bus.resolve(BitTime::ZERO, alive, &mut faults).unwrap();
+/// assert_eq!(tx.transmitters.len(), 2);
+/// assert!(matches!(tx.outcome, TxOutcome::Delivered { .. }));
+/// assert!(!bus.has_offers(alive)); // both offers consumed by one frame
+/// ```
+#[derive(Debug)]
+pub struct Medium {
+    config: BusConfig,
+    offers: BTreeMap<NodeId, Offer>,
+    trace: BusTrace,
+}
+
+impl Medium {
+    /// Creates an idle bus with no pending offers.
+    pub fn new(config: BusConfig) -> Self {
+        Medium {
+            config,
+            offers: BTreeMap::new(),
+            trace: BusTrace::new(),
+        }
+    }
+
+    /// The bus configuration.
+    pub fn config(&self) -> &BusConfig {
+        &self.config
+    }
+
+    /// Registers (or replaces) `node`'s pending transmission.
+    pub fn offer(&mut self, node: NodeId, frame: Frame) {
+        self.offers.insert(
+            node,
+            Offer {
+                frame,
+                attempts: 0,
+                not_before: BitTime::ZERO,
+            },
+        );
+    }
+
+    /// Earliest instant at which some alive offer is allowed to
+    /// compete (ACK-error suspensions considered), or `None` if no
+    /// alive node has a pending offer.
+    pub fn next_ready(&self, alive: NodeSet) -> Option<BitTime> {
+        self.offers
+            .iter()
+            .filter(|(n, _)| alive.contains(**n))
+            .map(|(_, o)| o.not_before)
+            .min()
+    }
+
+    /// Withdraws `node`'s pending transmission (the `can-abort.req`
+    /// primitive acts here). Returns the aborted frame, if any.
+    pub fn withdraw(&mut self, node: NodeId) -> Option<Frame> {
+        self.offers.remove(&node).map(|o| o.frame)
+    }
+
+    /// The frame `node` is currently offering, if any.
+    pub fn current_offer(&self, node: NodeId) -> Option<&Frame> {
+        self.offers.get(&node).map(|o| &o.frame)
+    }
+
+    /// Whether any *alive* node has a pending offer.
+    pub fn has_offers(&self, alive: NodeSet) -> bool {
+        self.offers.keys().any(|&n| alive.contains(n))
+    }
+
+    /// Drops all offers of nodes outside `alive` (crashed nodes stop
+    /// driving the bus).
+    pub fn purge_dead(&mut self, alive: NodeSet) {
+        self.offers.retain(|&n, _| alive.contains(n));
+    }
+
+    /// The completed-transaction trace.
+    pub fn trace(&self) -> &BusTrace {
+        &self.trace
+    }
+
+    /// Consumes the medium and returns its trace.
+    pub fn into_trace(self) -> BusTrace {
+        self.trace
+    }
+
+    /// Resolves one transaction starting at `now`, or `None` if no
+    /// alive node has a pending offer.
+    ///
+    /// On success the winning offers are consumed; on an omission they
+    /// stay pending with their retry count bumped (automatic
+    /// retransmission, LCAN-level behaviour); transmitters named in
+    /// `sender_crashes` have their offers dropped.
+    pub fn resolve(
+        &mut self,
+        now: BitTime,
+        alive: NodeSet,
+        faults: &mut FaultPlan,
+    ) -> Option<Transaction> {
+        self.purge_dead(alive);
+        // Arbitration: lowest identifier among alive, non-suspended
+        // offers wins.
+        let winner_node = *self
+            .offers
+            .iter()
+            .filter(|(_, offer)| offer.not_before <= now)
+            .min_by_key(|(node, offer)| (offer.frame.id(), **node))
+            .map(|(node, _)| node)?;
+        let winner_frame = self.offers[&winner_node].frame;
+
+        // Cluster wire-identical offers; detect id collisions.
+        let mut transmitters = NodeSet::EMPTY;
+        let mut collision = false;
+        for (&node, offer) in &self.offers {
+            if offer.not_before > now {
+                continue;
+            }
+            if offer.frame.clusters_with(&winner_frame) {
+                transmitters.insert(node);
+            } else if offer.frame.id() == winner_frame.id() {
+                collision = true;
+                transmitters.insert(node);
+            }
+        }
+
+        let listeners = alive - transmitters;
+        let duration = self.config.frame_duration(&winner_frame);
+        let attempt_no = transmitters
+            .iter()
+            .filter_map(|n| self.offers.get(&n))
+            .map(|o| o.attempts)
+            .min()
+            .unwrap_or(0);
+
+        let (outcome, deliver_at, bus_free) = if collision {
+            // Bit error surfaces quickly; conservatively charge the
+            // full frame plus error signalling.
+            let free = now + duration + self.config.error_signalling() + self.config.intermission();
+            for node in transmitters.iter() {
+                if let Some(o) = self.offers.get_mut(&node) {
+                    o.attempts += 1;
+                }
+            }
+            (TxOutcome::IdCollision, now + duration, free)
+        } else {
+            let attempt = TxAttempt {
+                now,
+                frame: &winner_frame,
+                transmitters,
+                listeners,
+                attempt: attempt_no,
+            };
+            match faults.decide(&attempt) {
+                Disposition::Deliver => {
+                    // Physical reachability: with media faults active,
+                    // only nodes connected to the transmitter on some
+                    // medium receive the frame ([17], [22]).
+                    let representative = transmitters
+                        .iter()
+                        .next()
+                        .expect("at least one transmitter");
+                    let reachable = faults.reachable_from(now, representative, listeners);
+                    if reachable.is_empty() && !listeners.is_empty() {
+                        // No receiver at all: the transmitter sees an
+                        // ACK error and retransmits.
+                        let free = now
+                            + duration
+                            + self.config.error_signalling()
+                            + self.config.intermission();
+                        for node in transmitters.iter() {
+                            if let Some(o) = self.offers.get_mut(&node) {
+                                o.attempts += 1;
+                                o.not_before = free + ack_backoff(o.attempts);
+                            }
+                        }
+                        (TxOutcome::AckError, now + duration, free)
+                    } else {
+                        for node in transmitters.iter() {
+                            self.offers.remove(&node);
+                        }
+                        let deliver = now + duration;
+                        (
+                            TxOutcome::Delivered {
+                                receivers: transmitters | reachable,
+                            },
+                            deliver,
+                            deliver + self.config.intermission(),
+                        )
+                    }
+                }
+                Disposition::ConsistentOmission => {
+                    for node in transmitters.iter() {
+                        if let Some(o) = self.offers.get_mut(&node) {
+                            o.attempts += 1;
+                        }
+                    }
+                    let free = now
+                        + duration
+                        + self.config.error_signalling()
+                        + self.config.intermission();
+                    (TxOutcome::ConsistentError, now + duration, free)
+                }
+                Disposition::InconsistentOmission {
+                    accepters,
+                    crash_sender,
+                } => {
+                    let sender_crashes = if crash_sender {
+                        // Crashed senders never retransmit: drop offers.
+                        for node in transmitters.iter() {
+                            self.offers.remove(&node);
+                        }
+                        transmitters
+                    } else {
+                        for node in transmitters.iter() {
+                            if let Some(o) = self.offers.get_mut(&node) {
+                                o.attempts += 1;
+                            }
+                        }
+                        NodeSet::EMPTY
+                    };
+                    let free = now
+                        + duration
+                        + self.config.error_signalling()
+                        + self.config.intermission();
+                    (
+                        TxOutcome::InconsistentError {
+                            accepters,
+                            sender_crashes,
+                        },
+                        now + duration,
+                        free,
+                    )
+                }
+            }
+        };
+
+        let tx = Transaction {
+            start: now,
+            bus_free,
+            deliver_at,
+            frame: winner_frame,
+            transmitters,
+            outcome,
+        };
+        self.trace.push(TxRecord::from_transaction(&tx));
+        Some(tx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{AccepterSpec, FaultEffect, FaultMatcher, ScriptedFault};
+    use can_types::{Mid, MsgType, Payload};
+
+    fn els(node: u8) -> Frame {
+        Frame::remote(Mid::new(MsgType::Els, 0, NodeId::new(node)))
+    }
+
+    fn data(node: u8, payload: &[u8]) -> Frame {
+        Frame::data(
+            Mid::new(MsgType::AppData, 0, NodeId::new(node)),
+            Payload::from_slice(payload).unwrap(),
+        )
+    }
+
+    fn n(id: u8) -> NodeId {
+        NodeId::new(id)
+    }
+
+    #[test]
+    fn empty_bus_resolves_nothing() {
+        let mut bus = Medium::new(BusConfig::default());
+        let mut faults = FaultPlan::none();
+        assert!(bus
+            .resolve(BitTime::ZERO, NodeSet::first_n(4), &mut faults)
+            .is_none());
+    }
+
+    #[test]
+    fn lowest_id_wins_arbitration() {
+        let mut bus = Medium::new(BusConfig::default());
+        let mut faults = FaultPlan::none();
+        bus.offer(n(0), data(0, &[1]));
+        bus.offer(n(1), els(1)); // ELS type outranks AppData
+        let tx = bus
+            .resolve(BitTime::ZERO, NodeSet::first_n(4), &mut faults)
+            .unwrap();
+        assert_eq!(tx.frame, els(1));
+        assert_eq!(tx.transmitters, NodeSet::singleton(n(1)));
+        // The loser's offer is still pending.
+        assert_eq!(bus.current_offer(n(0)), Some(&data(0, &[1])));
+    }
+
+    #[test]
+    fn delivery_includes_own_transmission() {
+        let mut bus = Medium::new(BusConfig::default());
+        let mut faults = FaultPlan::none();
+        bus.offer(n(2), els(2));
+        let alive = NodeSet::first_n(5);
+        let tx = bus.resolve(BitTime::ZERO, alive, &mut faults).unwrap();
+        match tx.outcome {
+            TxOutcome::Delivered { receivers } => assert_eq!(receivers, alive),
+            ref other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn identical_remote_frames_cluster() {
+        let mut bus = Medium::new(BusConfig::default());
+        let mut faults = FaultPlan::none();
+        let fda = Frame::remote(Mid::new(MsgType::Fda, 0, n(7)));
+        bus.offer(n(0), fda);
+        bus.offer(n(1), fda);
+        bus.offer(n(2), fda);
+        let tx = bus
+            .resolve(BitTime::ZERO, NodeSet::first_n(8), &mut faults)
+            .unwrap();
+        assert_eq!(tx.transmitters.len(), 3);
+        assert!(!bus.has_offers(NodeSet::first_n(8)));
+    }
+
+    #[test]
+    fn different_frames_same_id_is_collision() {
+        let mut bus = Medium::new(BusConfig::default());
+        let mut faults = FaultPlan::none();
+        bus.offer(n(0), data(3, &[1]));
+        bus.offer(n(1), data(3, &[2])); // same mid, different payload
+        let tx = bus
+            .resolve(BitTime::ZERO, NodeSet::first_n(4), &mut faults)
+            .unwrap();
+        assert_eq!(tx.outcome, TxOutcome::IdCollision);
+        // Both stay pending for retransmission.
+        assert!(bus.current_offer(n(0)).is_some());
+        assert!(bus.current_offer(n(1)).is_some());
+    }
+
+    #[test]
+    fn consistent_error_keeps_offer_and_bumps_attempts() {
+        let mut bus = Medium::new(BusConfig::default());
+        let mut faults = FaultPlan::none();
+        faults.push_scripted(ScriptedFault {
+            matcher: FaultMatcher::any(),
+            effect: FaultEffect::ConsistentOmission,
+            count: 1,
+        });
+        bus.offer(n(0), els(0));
+        let alive = NodeSet::first_n(3);
+        let tx1 = bus.resolve(BitTime::ZERO, alive, &mut faults).unwrap();
+        assert_eq!(tx1.outcome, TxOutcome::ConsistentError);
+        assert!(bus.current_offer(n(0)).is_some(), "auto retransmission");
+        // Error signalling lengthens bus occupancy.
+        let good = bus.resolve(tx1.bus_free, alive, &mut faults).unwrap();
+        assert!(matches!(good.outcome, TxOutcome::Delivered { .. }));
+        assert!(
+            tx1.bus_free - tx1.start > good.bus_free - good.start,
+            "errored transaction must occupy the bus longer"
+        );
+    }
+
+    #[test]
+    fn inconsistent_error_with_sender_crash_drops_offer() {
+        let mut bus = Medium::new(BusConfig::default());
+        let mut faults = FaultPlan::none();
+        faults.push_scripted(ScriptedFault {
+            matcher: FaultMatcher::any(),
+            effect: FaultEffect::InconsistentOmission {
+                accepters: AccepterSpec::Exactly(NodeSet::singleton(n(2))),
+                crash_sender: true,
+            },
+            count: 1,
+        });
+        bus.offer(n(0), els(0));
+        let tx = bus
+            .resolve(BitTime::ZERO, NodeSet::first_n(4), &mut faults)
+            .unwrap();
+        match tx.outcome {
+            TxOutcome::InconsistentError {
+                accepters,
+                sender_crashes,
+            } => {
+                assert_eq!(accepters, NodeSet::singleton(n(2)));
+                assert_eq!(sender_crashes, NodeSet::singleton(n(0)));
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+        assert!(
+            bus.current_offer(n(0)).is_none(),
+            "crashed sender never retransmits"
+        );
+    }
+
+    #[test]
+    fn inconsistent_error_without_crash_retransmits() {
+        let mut bus = Medium::new(BusConfig::default());
+        let mut faults = FaultPlan::none();
+        faults.push_scripted(ScriptedFault {
+            matcher: FaultMatcher::any(),
+            effect: FaultEffect::InconsistentOmission {
+                accepters: AccepterSpec::Exactly(NodeSet::singleton(n(2))),
+                crash_sender: false,
+            },
+            count: 1,
+        });
+        bus.offer(n(0), els(0));
+        let alive = NodeSet::first_n(4);
+        let tx = bus.resolve(BitTime::ZERO, alive, &mut faults).unwrap();
+        assert!(matches!(tx.outcome, TxOutcome::InconsistentError { .. }));
+        // Retransmission delivers to everyone: node 2 sees a duplicate
+        // (LCAN3 at-least-once).
+        let tx2 = bus.resolve(tx.bus_free, alive, &mut faults).unwrap();
+        assert!(matches!(tx2.outcome, TxOutcome::Delivered { .. }));
+        assert_eq!(tx2.frame, els(0));
+    }
+
+    #[test]
+    fn withdraw_implements_abort() {
+        let mut bus = Medium::new(BusConfig::default());
+        bus.offer(n(0), els(0));
+        assert_eq!(bus.withdraw(n(0)), Some(els(0)));
+        assert_eq!(bus.withdraw(n(0)), None);
+    }
+
+    #[test]
+    fn dead_nodes_do_not_transmit() {
+        let mut bus = Medium::new(BusConfig::default());
+        let mut faults = FaultPlan::none();
+        bus.offer(n(0), els(0));
+        bus.offer(n(1), els(1));
+        // Node 0 is dead.
+        let alive = NodeSet::from_bits(0b1110);
+        let tx = bus.resolve(BitTime::ZERO, alive, &mut faults).unwrap();
+        assert_eq!(tx.frame, els(1));
+        assert!(bus.current_offer(n(0)).is_none(), "dead offers purged");
+    }
+
+    #[test]
+    fn trace_records_every_transaction() {
+        let mut bus = Medium::new(BusConfig::default());
+        let mut faults = FaultPlan::none();
+        bus.offer(n(0), els(0));
+        let t1 = bus
+            .resolve(BitTime::ZERO, NodeSet::first_n(2), &mut faults)
+            .unwrap();
+        bus.offer(n(1), els(1));
+        let _t2 = bus.resolve(t1.bus_free, NodeSet::first_n(2), &mut faults);
+        assert_eq!(bus.trace().len(), 2);
+    }
+
+    #[test]
+    fn node_id_breaks_priority_ties_deterministically() {
+        // Two *different* remote frames with different ids: lower mid
+        // node gives lower id, wins.
+        let mut bus = Medium::new(BusConfig::default());
+        let mut faults = FaultPlan::none();
+        bus.offer(n(5), els(5));
+        bus.offer(n(3), els(3));
+        let tx = bus
+            .resolve(BitTime::ZERO, NodeSet::first_n(8), &mut faults)
+            .unwrap();
+        assert_eq!(tx.frame, els(3));
+    }
+}

@@ -1,0 +1,385 @@
+//! Bus transaction tracing and bandwidth accounting.
+//!
+//! Every resolved transaction is recorded; the trace is the ground
+//! truth from which the measured curves of the evaluation are
+//! computed — most importantly the *CAN bandwidth utilization by the
+//! site membership protocols* (Fig. 10), obtained by classifying bus
+//! occupancy per message type over a membership cycle.
+
+use crate::medium::{Transaction, TxOutcome};
+use can_types::{BitTime, Frame, Mid, MsgType, NodeSet};
+
+/// A recorded bus transaction.
+#[derive(Debug, Clone)]
+pub struct TxRecord {
+    /// Transmission start.
+    pub start: BitTime,
+    /// Instant the bus became free again (error signalling and
+    /// intermission included).
+    pub bus_free: BitTime,
+    /// The frame on the wire.
+    pub frame: Frame,
+    /// Who transmitted.
+    pub transmitters: NodeSet,
+    /// Whether the frame was delivered (to at least every correct
+    /// listener).
+    pub delivered: bool,
+    /// Whether the transaction ended in an omission (consistent or
+    /// inconsistent) or collision.
+    pub errored: bool,
+}
+
+impl TxRecord {
+    /// Builds a record from a resolved transaction.
+    pub fn from_transaction(tx: &Transaction) -> Self {
+        let (delivered, errored) = match &tx.outcome {
+            TxOutcome::Delivered { .. } => (true, false),
+            TxOutcome::ConsistentError => (false, true),
+            TxOutcome::InconsistentError { .. } => (false, true),
+            TxOutcome::IdCollision => (false, true),
+            TxOutcome::AckError => (false, true),
+        };
+        TxRecord {
+            start: tx.start,
+            bus_free: tx.bus_free,
+            frame: tx.frame,
+            transmitters: tx.transmitters,
+            delivered,
+            errored,
+        }
+    }
+
+    /// Bus occupancy of this transaction in bit-times.
+    pub fn occupancy(&self) -> BitTime {
+        self.bus_free - self.start
+    }
+
+    /// The decoded message control field, if the identifier carries one.
+    pub fn mid(&self) -> Option<Mid> {
+        Mid::from_can_id(self.frame.id())
+    }
+}
+
+/// The complete, ordered record of bus activity.
+#[derive(Debug, Clone, Default)]
+pub struct BusTrace {
+    records: Vec<TxRecord>,
+}
+
+impl BusTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        BusTrace::default()
+    }
+
+    /// Appends a record (transactions arrive in time order).
+    pub fn push(&mut self, record: TxRecord) {
+        debug_assert!(
+            self.records
+                .last()
+                .is_none_or(|last| record.start >= last.start),
+            "trace must stay time-ordered"
+        );
+        self.records.push(record);
+    }
+
+    /// Number of recorded transactions.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over the records in time order.
+    pub fn iter(&self) -> std::slice::Iter<'_, TxRecord> {
+        self.records.iter()
+    }
+
+    /// Computes aggregate statistics over the window `[from, to)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to <= from`.
+    pub fn stats(&self, from: BitTime, to: BitTime) -> BusStats {
+        assert!(from < to, "stats window must be non-empty");
+        let mut stats = BusStats::new(from, to);
+        for rec in &self.records {
+            // Clip occupancy to the window.
+            let begin = rec.start.max(from);
+            let end = rec.bus_free.min(to);
+            if begin >= end {
+                continue;
+            }
+            let occupancy = end - begin;
+            stats.busy += occupancy;
+            stats.transactions += 1;
+            if rec.errored {
+                stats.errors += 1;
+            }
+            if let Some(mid) = rec.mid() {
+                let slot = &mut stats.per_type[mid.msg_type().code() as usize];
+                slot.frames += 1;
+                slot.busy += occupancy;
+            }
+        }
+        stats
+    }
+}
+
+/// A measured inaccessibility episode: a maximal run of consecutive
+/// errored transactions (the bus was operational but provided no
+/// service — the definition of \[22\]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InaccessibilityEpisode {
+    /// Start of the first errored transaction.
+    pub from: BitTime,
+    /// Instant the bus returned to service.
+    pub until: BitTime,
+    /// Number of consecutive errored transactions.
+    pub omissions: usize,
+}
+
+impl InaccessibilityEpisode {
+    /// Duration of the episode.
+    pub fn duration(&self) -> BitTime {
+        self.until - self.from
+    }
+}
+
+impl BusTrace {
+    /// Extracts the inaccessibility episodes: maximal runs of
+    /// consecutive errored transactions. The longest episode is the
+    /// measured counterpart of the analytic `Tina` upper bound
+    /// (Fig. 11: 14–2880 bit-times for CAN, 14–2160 for CANELy).
+    pub fn inaccessibility_episodes(&self) -> Vec<InaccessibilityEpisode> {
+        let mut episodes = Vec::new();
+        let mut current: Option<InaccessibilityEpisode> = None;
+        for rec in &self.records {
+            if rec.errored {
+                match &mut current {
+                    Some(ep) => {
+                        ep.until = rec.bus_free;
+                        ep.omissions += 1;
+                    }
+                    None => {
+                        current = Some(InaccessibilityEpisode {
+                            from: rec.start,
+                            until: rec.bus_free,
+                            omissions: 1,
+                        });
+                    }
+                }
+            } else if let Some(ep) = current.take() {
+                episodes.push(ep);
+            }
+        }
+        if let Some(ep) = current {
+            episodes.push(ep);
+        }
+        episodes
+    }
+
+    /// The longest measured inaccessibility, if any omission occurred.
+    pub fn worst_inaccessibility(&self) -> Option<BitTime> {
+        self.inaccessibility_episodes()
+            .iter()
+            .map(InaccessibilityEpisode::duration)
+            .max()
+    }
+}
+
+impl<'a> IntoIterator for &'a BusTrace {
+    type Item = &'a TxRecord;
+    type IntoIter = std::slice::Iter<'a, TxRecord>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Per-message-type occupancy bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TypeStats {
+    /// Number of transactions carrying this type.
+    pub frames: usize,
+    /// Bus occupancy attributable to this type.
+    pub busy: BitTime,
+}
+
+/// Aggregate bus statistics over a window.
+#[derive(Debug, Clone)]
+pub struct BusStats {
+    /// Window start.
+    pub from: BitTime,
+    /// Window end.
+    pub to: BitTime,
+    /// Total bus-busy time inside the window.
+    pub busy: BitTime,
+    /// Number of transactions overlapping the window.
+    pub transactions: usize,
+    /// Number of errored transactions.
+    pub errors: usize,
+    /// Occupancy bucketed by message-type wire code.
+    per_type: [TypeStats; 32],
+}
+
+impl BusStats {
+    fn new(from: BitTime, to: BitTime) -> Self {
+        BusStats {
+            from,
+            to,
+            busy: BitTime::ZERO,
+            transactions: 0,
+            errors: 0,
+            per_type: [TypeStats::default(); 32],
+        }
+    }
+
+    /// The window length.
+    pub fn window(&self) -> BitTime {
+        self.to - self.from
+    }
+
+    /// Overall bus utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        self.busy.as_u64() as f64 / self.window().as_u64() as f64
+    }
+
+    /// Occupancy bucket for one message type.
+    pub fn of_type(&self, msg_type: MsgType) -> TypeStats {
+        self.per_type[msg_type.code() as usize]
+    }
+
+    /// Utilization attributable to the given message types — e.g. the
+    /// membership suite's share of the bus (ELS + FDA + RHA + JOIN +
+    /// LEAVE), the quantity plotted in Fig. 10.
+    pub fn utilization_of(&self, types: &[MsgType]) -> f64 {
+        let busy: u64 = types
+            .iter()
+            .map(|&t| self.of_type(t).busy.as_u64())
+            .sum();
+        busy as f64 / self.window().as_u64() as f64
+    }
+
+    /// The message types that make up the CANELy membership suite
+    /// (the numerator of the Fig. 10 utilization curves).
+    pub const MEMBERSHIP_SUITE: [MsgType; 5] = [
+        MsgType::Els,
+        MsgType::Fda,
+        MsgType::Rha,
+        MsgType::Join,
+        MsgType::Leave,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use can_types::{Frame, Mid, MsgType, NodeId};
+
+    fn record(start: u64, free: u64, t: MsgType, errored: bool) -> TxRecord {
+        TxRecord {
+            start: BitTime::new(start),
+            bus_free: BitTime::new(free),
+            frame: Frame::remote(Mid::new(t, 0, NodeId::new(1))),
+            transmitters: NodeSet::singleton(NodeId::new(1)),
+            delivered: !errored,
+            errored,
+        }
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let trace = BusTrace::new();
+        let stats = trace.stats(BitTime::ZERO, BitTime::new(1_000));
+        assert_eq!(stats.busy, BitTime::ZERO);
+        assert_eq!(stats.transactions, 0);
+        assert_eq!(stats.utilization(), 0.0);
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let mut trace = BusTrace::new();
+        trace.push(record(0, 80, MsgType::Els, false));
+        trace.push(record(100, 180, MsgType::Els, false));
+        let stats = trace.stats(BitTime::ZERO, BitTime::new(1_000));
+        assert_eq!(stats.busy, BitTime::new(160));
+        assert_eq!(stats.transactions, 2);
+        assert!((stats.utilization() - 0.16).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_clipped_to_window() {
+        let mut trace = BusTrace::new();
+        trace.push(record(0, 100, MsgType::Els, false));
+        // Window covers only the second half of the transaction.
+        let stats = trace.stats(BitTime::new(50), BitTime::new(150));
+        assert_eq!(stats.busy, BitTime::new(50));
+    }
+
+    #[test]
+    fn out_of_window_records_ignored() {
+        let mut trace = BusTrace::new();
+        trace.push(record(0, 100, MsgType::Els, false));
+        let stats = trace.stats(BitTime::new(200), BitTime::new(300));
+        assert_eq!(stats.transactions, 0);
+        assert_eq!(stats.busy, BitTime::ZERO);
+    }
+
+    #[test]
+    fn per_type_classification() {
+        let mut trace = BusTrace::new();
+        trace.push(record(0, 80, MsgType::Els, false));
+        trace.push(record(100, 250, MsgType::Rha, false));
+        trace.push(record(300, 400, MsgType::AppData, false));
+        let stats = trace.stats(BitTime::ZERO, BitTime::new(1_000));
+        assert_eq!(stats.of_type(MsgType::Els).frames, 1);
+        assert_eq!(stats.of_type(MsgType::Els).busy, BitTime::new(80));
+        assert_eq!(stats.of_type(MsgType::Rha).busy, BitTime::new(150));
+        // Membership suite excludes application data.
+        let suite = stats.utilization_of(&BusStats::MEMBERSHIP_SUITE);
+        assert!((suite - 0.23).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_counted() {
+        let mut trace = BusTrace::new();
+        trace.push(record(0, 80, MsgType::Els, true));
+        trace.push(record(100, 180, MsgType::Els, false));
+        let stats = trace.stats(BitTime::ZERO, BitTime::new(1_000));
+        assert_eq!(stats.errors, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_rejected() {
+        BusTrace::new().stats(BitTime::new(5), BitTime::new(5));
+    }
+
+    #[test]
+    fn inaccessibility_episodes_are_maximal_error_runs() {
+        let mut trace = BusTrace::new();
+        trace.push(record(0, 80, MsgType::Els, false));
+        trace.push(record(100, 200, MsgType::Els, true));
+        trace.push(record(200, 300, MsgType::Els, true));
+        trace.push(record(320, 400, MsgType::Els, false));
+        trace.push(record(500, 600, MsgType::Els, true));
+        let episodes = trace.inaccessibility_episodes();
+        assert_eq!(episodes.len(), 2);
+        assert_eq!(episodes[0].from, BitTime::new(100));
+        assert_eq!(episodes[0].until, BitTime::new(300));
+        assert_eq!(episodes[0].omissions, 2);
+        assert_eq!(episodes[1].omissions, 1);
+        assert_eq!(trace.worst_inaccessibility(), Some(BitTime::new(200)));
+    }
+
+    #[test]
+    fn error_free_trace_has_no_episodes() {
+        let mut trace = BusTrace::new();
+        trace.push(record(0, 80, MsgType::Els, false));
+        assert!(trace.inaccessibility_episodes().is_empty());
+        assert_eq!(trace.worst_inaccessibility(), None);
+    }
+}

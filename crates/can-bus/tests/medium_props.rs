@@ -1,0 +1,153 @@
+//! Property-based tests of the medium: arbitration, clustering and
+//! trace accounting over arbitrary offer sets.
+
+use can_bus::{BusConfig, FaultPlan, Medium, TxOutcome};
+use can_types::{BitTime, CanId, Frame, Mid, MsgType, NodeId, NodeSet, Payload};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct OfferSpec {
+    node: u8,
+    type_code: u8,
+    reference: u16,
+    remote: bool,
+    payload_byte: u8,
+}
+
+fn arb_offer() -> impl Strategy<Value = OfferSpec> {
+    (
+        0u8..16,
+        prop::sample::select(vec![1u8, 2, 3, 8, 24]),
+        0u16..4,
+        any::<bool>(),
+        any::<u8>(),
+    )
+        .prop_map(|(node, type_code, reference, remote, payload_byte)| OfferSpec {
+            node,
+            type_code,
+            reference,
+            remote,
+            payload_byte,
+        })
+}
+
+fn build(spec: &OfferSpec) -> Frame {
+    let mid = Mid::new(
+        MsgType::from_code(spec.type_code).expect("valid code"),
+        spec.reference,
+        NodeId::new(spec.node),
+    );
+    if spec.remote {
+        Frame::remote(mid)
+    } else {
+        Frame::data(mid, Payload::from_slice(&[spec.payload_byte]).unwrap())
+    }
+}
+
+proptest! {
+    /// The winner of any arbitration round carries the minimum
+    /// identifier among the distinct offers, and every transmitter is
+    /// either wire-identical to the winner or a same-id collision.
+    #[test]
+    fn winner_has_minimum_identifier(offers in prop::collection::vec(arb_offer(), 1..12)) {
+        let mut medium = Medium::new(BusConfig::default());
+        let mut faults = FaultPlan::none();
+        let mut expected_min: Option<CanId> = None;
+        let mut latest_frame_of: std::collections::HashMap<u8, Frame> =
+            std::collections::HashMap::new();
+        for spec in &offers {
+            let frame = build(spec);
+            medium.offer(NodeId::new(spec.node), frame);
+            latest_frame_of.insert(spec.node, frame);
+        }
+        for frame in latest_frame_of.values() {
+            expected_min = Some(match expected_min {
+                None => frame.id(),
+                Some(current) if frame.id().beats(current) => frame.id(),
+                Some(current) => current,
+            });
+        }
+        let alive = NodeSet::first_n(16);
+        let tx = medium
+            .resolve(BitTime::ZERO, alive, &mut faults)
+            .expect("offers pending");
+        prop_assert_eq!(Some(tx.frame.id()), expected_min);
+        for node in tx.transmitters.iter() {
+            let offered = latest_frame_of[&node.as_u8()];
+            prop_assert_eq!(offered.id(), tx.frame.id());
+        }
+    }
+
+    /// Draining the medium transaction by transaction eventually
+    /// empties it, delivers every distinct offered frame exactly once
+    /// (fault-free), and the trace accounts for every transaction.
+    #[test]
+    fn fault_free_drain_delivers_every_offer(offers in prop::collection::vec(arb_offer(), 1..12)) {
+        let mut medium = Medium::new(BusConfig::default());
+        let mut faults = FaultPlan::none();
+        let mut latest_frame_of: std::collections::HashMap<u8, Frame> =
+            std::collections::HashMap::new();
+        for spec in &offers {
+            let frame = build(spec);
+            medium.offer(NodeId::new(spec.node), frame);
+            latest_frame_of.insert(spec.node, frame);
+        }
+        let alive = NodeSet::first_n(16);
+        let mut now = BitTime::ZERO;
+        let mut delivered: Vec<Frame> = Vec::new();
+        let mut rounds = 0;
+        while medium.has_offers(alive) {
+            rounds += 1;
+            prop_assert!(rounds <= 64, "drain must terminate");
+            let tx = medium.resolve(now, alive, &mut faults).expect("offers");
+            now = tx.bus_free;
+            match tx.outcome {
+                TxOutcome::Delivered { .. } => delivered.push(tx.frame),
+                // Same-id different-content collisions retransmit and
+                // (being deterministic) collide forever — tolerated
+                // only as long as offers keep colliding; the property
+                // below filters those runs out.
+                TxOutcome::IdCollision => {
+                    // Abandon: property only checks collision-free sets.
+                    return Ok(());
+                }
+                ref other => prop_assert!(false, "unexpected outcome {:?}", other),
+            }
+        }
+        // Every node's latest offer was delivered exactly once.
+        let mut expected: Vec<Frame> = latest_frame_of.values().copied().collect();
+        expected.sort_by_key(|f| (f.id(), f.is_remote()));
+        // Clustered identical frames deliver once for several nodes.
+        expected.dedup();
+        let mut got = delivered.clone();
+        got.sort_by_key(|f| (f.id(), f.is_remote()));
+        got.dedup();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Trace occupancy equals the sum of transaction durations: the
+    /// bandwidth accounting never loses a bit.
+    #[test]
+    fn trace_occupancy_is_exact(offers in prop::collection::vec(arb_offer(), 1..10)) {
+        let mut medium = Medium::new(BusConfig::default());
+        let mut faults = FaultPlan::none();
+        for spec in &offers {
+            medium.offer(NodeId::new(spec.node), build(spec));
+        }
+        let alive = NodeSet::first_n(16);
+        let mut now = BitTime::ZERO;
+        let mut manual_busy = 0u64;
+        let mut guard = 0;
+        while medium.has_offers(alive) {
+            guard += 1;
+            if guard > 64 { break; }
+            let Some(tx) = medium.resolve(now, alive, &mut faults) else { break };
+            manual_busy += (tx.bus_free - tx.start).as_u64();
+            now = tx.bus_free;
+        }
+        if now > BitTime::ZERO {
+            let stats = medium.trace().stats(BitTime::ZERO, now);
+            prop_assert_eq!(stats.busy.as_u64(), manual_busy);
+        }
+    }
+}

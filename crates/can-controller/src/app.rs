@@ -1,0 +1,269 @@
+//! The protocol-entity abstraction: applications driven by driver
+//! events and timers.
+//!
+//! A CANELy protocol stack (or a baseline protocol, or plain
+//! application traffic) is an [`Application`]: a deterministic state
+//! machine that reacts to [`DriverEvent`]s and timer expiries, and
+//! acts through its [`Ctx`] — issuing `can-data.req`, `can-rtr.req`,
+//! `can-abort.req` and managing local timers.
+
+use crate::controller::Controller;
+use crate::driver::DriverEvent;
+use crate::timer::{TimerId, TimerWheel};
+use can_types::{BitTime, CanId, Mid, NodeId, Payload};
+use std::any::Any;
+use std::fmt;
+
+/// One line of the simulation journal (human-readable protocol trace).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// When it happened.
+    pub time: BitTime,
+    /// The node it happened at.
+    pub node: NodeId,
+    /// What happened.
+    pub text: String,
+}
+
+impl fmt::Display for JournalEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>10} {}] {}", self.time, self.node, self.text)
+    }
+}
+
+/// The execution context handed to an application callback.
+///
+/// Provides the node's identity, the simulation clock, the request
+/// primitives of the CAN standard layer (Fig. 4) and local timers
+/// (Fig. 5).
+pub struct Ctx<'a> {
+    now: BitTime,
+    node: NodeId,
+    controller: &'a mut Controller,
+    timers: &'a mut TimerWheel,
+    journal: &'a mut Vec<JournalEntry>,
+    journal_enabled: bool,
+}
+
+impl<'a> Ctx<'a> {
+    /// Creates a standalone context.
+    ///
+    /// Used by the simulator to frame every application callback, and
+    /// by protocol unit tests to drive an entity without a full
+    /// simulation.
+    pub fn new(
+        now: BitTime,
+        node: NodeId,
+        controller: &'a mut Controller,
+        timers: &'a mut TimerWheel,
+        journal: &'a mut Vec<JournalEntry>,
+        journal_enabled: bool,
+    ) -> Self {
+        Ctx {
+            now,
+            node,
+            controller,
+            timers,
+            journal,
+            journal_enabled,
+        }
+    }
+
+    /// The current simulation instant.
+    pub fn now(&self) -> BitTime {
+        self.now
+    }
+
+    /// The identity of the local node (the pseudo-code's `p`).
+    pub fn me(&self) -> NodeId {
+        self.node
+    }
+
+    /// `can-data.req`: requests transmission of a data frame.
+    pub fn can_data_req(&mut self, mid: Mid, payload: Payload) {
+        self.controller.request_data(mid, payload);
+    }
+
+    /// `can-rtr.req`: requests transmission of a remote frame.
+    /// Identical requests issued by several nodes cluster into a
+    /// single physical frame on the wire.
+    pub fn can_rtr_req(&mut self, mid: Mid) {
+        self.controller.request_rtr(mid);
+    }
+
+    /// `can-abort.req`: aborts pending transmit requests with the
+    /// given identifier. "Has effect only on pending requests."
+    /// Returns the number of aborted requests.
+    pub fn can_abort_req(&mut self, id: impl Into<CanId>) -> usize {
+        self.controller.abort(id)
+    }
+
+    /// `start_alarm`: starts a timer expiring `delay` from now,
+    /// carrying an application-defined `tag`.
+    pub fn start_alarm(&mut self, delay: BitTime, tag: u64) -> TimerId {
+        self.timers.start(self.node, self.now + delay, tag)
+    }
+
+    /// `cancel_alarm`: cancels a pending timer.
+    pub fn cancel_alarm(&mut self, id: TimerId) -> bool {
+        self.timers.cancel(id)
+    }
+
+    /// Appends a line to the simulation journal (no-op unless the
+    /// simulator has journalling enabled).
+    pub fn journal(&mut self, text: impl fmt::Display) {
+        if self.journal_enabled {
+            self.journal.push(JournalEntry {
+                time: self.now,
+                node: self.node,
+                text: text.to_string(),
+            });
+        }
+    }
+
+    /// Read access to the node's controller (fault-confinement state,
+    /// queue depth) for management-level applications.
+    pub fn controller(&self) -> &Controller {
+        self.controller
+    }
+}
+
+/// A protocol entity running on one node.
+///
+/// All callbacks are optional except [`Application::as_any`] /
+/// [`Application::as_any_mut`], which allow tests and benchmarks to
+/// recover the concrete type after a run.
+pub trait Application {
+    /// Called once when the simulation starts (or when the node is
+    /// powered on, if it is added later).
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called for every driver event addressed to this node.
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: &DriverEvent) {
+        let _ = (ctx, event);
+    }
+
+    /// Called when a timer started by this node expires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, id: TimerId, tag: u64) {
+        let _ = (ctx, id, tag);
+    }
+
+    /// Upcast for post-run inspection.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for post-run inspection.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use can_types::MsgType;
+
+    struct Probe;
+    impl Application for Probe {
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn ctx_requests_reach_controller() {
+        let mut ctl = Controller::new();
+        let mut timers = TimerWheel::new();
+        let mut journal = Vec::new();
+        let mut ctx = Ctx::new(
+            BitTime::new(5),
+            NodeId::new(1),
+            &mut ctl,
+            &mut timers,
+            &mut journal,
+            true,
+        );
+        let mid = Mid::new(MsgType::Els, 0, NodeId::new(1));
+        ctx.can_rtr_req(mid);
+        assert_eq!(ctx.controller().queue_len(), 1);
+        assert_eq!(ctx.can_abort_req(mid), 1);
+        assert_eq!(ctx.controller().queue_len(), 0);
+    }
+
+    #[test]
+    fn ctx_timers_are_relative_to_now() {
+        let mut ctl = Controller::new();
+        let mut timers = TimerWheel::new();
+        let mut journal = Vec::new();
+        let mut ctx = Ctx::new(
+            BitTime::new(100),
+            NodeId::new(1),
+            &mut ctl,
+            &mut timers,
+            &mut journal,
+            false,
+        );
+        ctx.start_alarm(BitTime::new(50), 9);
+        assert_eq!(timers.next_deadline(), Some(BitTime::new(150)));
+    }
+
+    #[test]
+    fn journal_respects_enable_flag() {
+        let mut ctl = Controller::new();
+        let mut timers = TimerWheel::new();
+        let mut journal = Vec::new();
+        {
+            let mut ctx = Ctx::new(
+                BitTime::ZERO,
+                NodeId::new(0),
+                &mut ctl,
+                &mut timers,
+                &mut journal,
+                false,
+            );
+            ctx.journal("dropped");
+        }
+        assert!(journal.is_empty());
+        {
+            let mut ctx = Ctx::new(
+                BitTime::ZERO,
+                NodeId::new(0),
+                &mut ctl,
+                &mut timers,
+                &mut journal,
+                true,
+            );
+            ctx.journal("kept");
+        }
+        assert_eq!(journal.len(), 1);
+        assert_eq!(journal[0].text, "kept");
+    }
+
+    #[test]
+    fn default_callbacks_are_no_ops() {
+        let mut probe = Probe;
+        let mut ctl = Controller::new();
+        let mut timers = TimerWheel::new();
+        let mut journal = Vec::new();
+        let mut ctx = Ctx::new(
+            BitTime::ZERO,
+            NodeId::new(0),
+            &mut ctl,
+            &mut timers,
+            &mut journal,
+            true,
+        );
+        probe.on_start(&mut ctx);
+        probe.on_timer(&mut ctx, TimerId::default_for_test(), 0);
+        assert_eq!(ctl.queue_len(), 0);
+    }
+
+    impl TimerId {
+        fn default_for_test() -> TimerId {
+            let mut wheel = TimerWheel::new();
+            wheel.start(NodeId::new(0), BitTime::ZERO, 0)
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Babbling-idiot avoidance: a transmission-rate bus guardian.
+//!
+//! The comparison tables mark babbling-idiot avoidance "not provided"
+//! for CAN and CANELy, citing the follow-up study by Broster & Burns
+//! \[2\] on the babbling idiot in event-triggered systems. This module
+//! implements that extension: a *guardian* interposed between the
+//! controller and the bus that enforces a minimum arrival separation
+//! and a budget of transmissions per sliding window. A node whose
+//! application floods the bus (the "babbling idiot") is throttled
+//! locally, so the rest of the traffic — protocol frames included —
+//! keeps meeting its latency bounds.
+//!
+//! Unlike TTP's bus guardian (which enforces a TDMA schedule), an
+//! event-triggered guardian can only enforce *rate*, which is exactly
+//! the design point of \[2\].
+
+use can_types::{BitTime, NodeId};
+use std::collections::VecDeque;
+
+/// Rate budget enforced by a guardian.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardianPolicy {
+    /// Maximum transmissions within any window.
+    pub max_transmissions: u32,
+    /// The sliding window length.
+    pub window: BitTime,
+}
+
+impl GuardianPolicy {
+    /// A policy of `max_transmissions` per `window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget or the window is zero.
+    pub fn new(max_transmissions: u32, window: BitTime) -> Self {
+        assert!(max_transmissions > 0, "budget must be positive");
+        assert!(!window.is_zero(), "window must be positive");
+        GuardianPolicy {
+            max_transmissions,
+            window,
+        }
+    }
+}
+
+/// The per-node guardian state.
+#[derive(Debug, Clone)]
+pub struct Guardian {
+    policy: GuardianPolicy,
+    node: NodeId,
+    history: VecDeque<BitTime>,
+    throttled: u64,
+}
+
+impl Guardian {
+    /// Creates a guardian for `node` with the given policy.
+    pub fn new(node: NodeId, policy: GuardianPolicy) -> Self {
+        Guardian {
+            policy,
+            node,
+            history: VecDeque::new(),
+            throttled: 0,
+        }
+    }
+
+    /// The guarded node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of transmissions withheld so far (diagnostics).
+    pub fn throttled(&self) -> u64 {
+        self.throttled
+    }
+
+    /// Records a completed transmission of the guarded node.
+    pub fn note_transmission(&mut self, at: BitTime) {
+        self.history.push_back(at);
+        self.expire(at);
+    }
+
+    /// Whether the node may transmit at `now`; if not, returns the
+    /// instant the budget frees up.
+    pub fn admit(&mut self, now: BitTime) -> Result<(), BitTime> {
+        self.expire(now);
+        if (self.history.len() as u32) < self.policy.max_transmissions {
+            Ok(())
+        } else {
+            self.throttled += 1;
+            let oldest = *self.history.front().expect("budget is full");
+            Err(oldest + self.policy.window)
+        }
+    }
+
+    /// Non-counting variant of [`Guardian::admit`] used when
+    /// re-evaluating without a new attempt.
+    pub fn next_admission(&self, now: BitTime) -> Option<BitTime> {
+        let live = self
+            .history
+            .iter()
+            .filter(|&&t| t + self.policy.window > now)
+            .collect::<Vec<_>>();
+        if (live.len() as u32) < self.policy.max_transmissions {
+            None
+        } else {
+            Some(**live.first().expect("budget is full") + self.policy.window)
+        }
+    }
+
+    fn expire(&mut self, now: BitTime) {
+        // A transmission at `t` is live while `t + window > now`: at
+        // exactly `t + window` its budget slot frees up again.
+        while self
+            .history
+            .front()
+            .is_some_and(|&t| t + self.policy.window <= now)
+        {
+            self.history.pop_front();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn guardian(max: u32, window: u64) -> Guardian {
+        Guardian::new(
+            NodeId::new(1),
+            GuardianPolicy::new(max, BitTime::new(window)),
+        )
+    }
+
+    #[test]
+    fn under_budget_admits() {
+        let mut g = guardian(3, 1_000);
+        assert!(g.admit(BitTime::new(0)).is_ok());
+        g.note_transmission(BitTime::new(0));
+        g.note_transmission(BitTime::new(100));
+        assert!(g.admit(BitTime::new(200)).is_ok());
+        assert_eq!(g.throttled(), 0);
+    }
+
+    #[test]
+    fn over_budget_blocks_until_window_frees() {
+        let mut g = guardian(2, 1_000);
+        g.note_transmission(BitTime::new(100));
+        g.note_transmission(BitTime::new(200));
+        match g.admit(BitTime::new(300)) {
+            Err(free_at) => assert_eq!(free_at, BitTime::new(1_100)),
+            Ok(()) => panic!("budget exhausted, must block"),
+        }
+        assert_eq!(g.throttled(), 1);
+        // After the window slides past the first transmission…
+        assert!(g.admit(BitTime::new(1_100)).is_ok());
+    }
+
+    #[test]
+    fn next_admission_matches_admit_without_counting() {
+        let mut g = guardian(1, 500);
+        g.note_transmission(BitTime::new(50));
+        assert_eq!(g.next_admission(BitTime::new(100)), Some(BitTime::new(550)));
+        assert_eq!(g.next_admission(BitTime::new(600)), None);
+        assert_eq!(g.throttled(), 0, "next_admission never counts");
+    }
+
+    #[test]
+    fn history_expires() {
+        let mut g = guardian(2, 1_000);
+        for k in 0..10u64 {
+            g.note_transmission(BitTime::new(k * 2_000));
+            assert!(g.admit(BitTime::new(k * 2_000 + 1_500)).is_ok());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be positive")]
+    fn zero_budget_rejected() {
+        let _ = GuardianPolicy::new(0, BitTime::new(1));
+    }
+}

@@ -1,0 +1,353 @@
+//! Simulated time, measured in CAN bit-times.
+//!
+//! Every protocol bound in the paper (`Tltm`, `Tina`, `Th`, `Tm`, …) is a
+//! duration on the network; the natural unit on CAN is the *bit-time*,
+//! the duration of a single bit on the wire. At the nominal 1 Mbps rate
+//! a bit-time is exactly 1 µs, which makes the paper's millisecond
+//! figures easy to map (e.g. `Tm = 30 ms` is 30 000 bit-times).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// An instant or duration measured in CAN bit-times.
+///
+/// `BitTime` is used for both points in simulated time and durations;
+/// the arithmetic mirrors `std::time::Duration` but saturates nowhere —
+/// overflow in a simulation is a logic error and panics in debug builds.
+///
+/// # Examples
+///
+/// ```
+/// use can_types::{BitRate, BitTime};
+///
+/// let t = BitTime::from_ms(30, BitRate::MBPS_1);
+/// assert_eq!(t, BitTime::new(30_000));
+/// assert_eq!(t.as_micros(BitRate::MBPS_1), 30_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BitTime(u64);
+
+impl BitTime {
+    /// The zero instant / empty duration.
+    pub const ZERO: BitTime = BitTime(0);
+    /// The farthest representable instant; used as an "infinite" timeout.
+    pub const MAX: BitTime = BitTime(u64::MAX);
+
+    /// Creates a `BitTime` from a raw bit-time count.
+    #[inline]
+    pub const fn new(bits: u64) -> Self {
+        BitTime(bits)
+    }
+
+    /// Returns the raw bit-time count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Duration of `ms` milliseconds at the given bit rate.
+    #[inline]
+    pub const fn from_ms(ms: u64, rate: BitRate) -> Self {
+        BitTime(ms * 1_000_000 / (rate.bit_time_ns()))
+    }
+
+    /// Duration of `us` microseconds at the given bit rate.
+    #[inline]
+    pub const fn from_us(us: u64, rate: BitRate) -> Self {
+        BitTime(us * 1_000 / rate.bit_time_ns())
+    }
+
+    /// This duration expressed in microseconds at the given bit rate.
+    #[inline]
+    pub const fn as_micros(self, rate: BitRate) -> u64 {
+        self.0 * rate.bit_time_ns() / 1_000
+    }
+
+    /// This duration expressed in (truncated) milliseconds at the given bit rate.
+    #[inline]
+    pub const fn as_millis(self, rate: BitRate) -> u64 {
+        self.0 * rate.bit_time_ns() / 1_000_000
+    }
+
+    /// This duration expressed in fractional milliseconds at the given bit rate.
+    #[inline]
+    pub fn as_millis_f64(self, rate: BitRate) -> f64 {
+        self.0 as f64 * rate.bit_time_ns() as f64 / 1_000_000.0
+    }
+
+    /// Saturating subtraction: `self - other`, or zero if `other > self`.
+    #[inline]
+    pub fn saturating_sub(self, other: BitTime) -> BitTime {
+        BitTime(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked addition, `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, other: BitTime) -> Option<BitTime> {
+        self.0.checked_add(other.0).map(BitTime)
+    }
+
+    /// The larger of two instants.
+    #[inline]
+    pub fn max(self, other: BitTime) -> BitTime {
+        BitTime(self.0.max(other.0))
+    }
+
+    /// The smaller of two instants.
+    #[inline]
+    pub fn min(self, other: BitTime) -> BitTime {
+        BitTime(self.0.min(other.0))
+    }
+
+    /// Whether this is the zero duration.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for BitTime {
+    type Output = BitTime;
+    #[inline]
+    fn add(self, rhs: BitTime) -> BitTime {
+        BitTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for BitTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: BitTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for BitTime {
+    type Output = BitTime;
+    #[inline]
+    fn sub(self, rhs: BitTime) -> BitTime {
+        BitTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for BitTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: BitTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for BitTime {
+    type Output = BitTime;
+    #[inline]
+    fn mul(self, rhs: u64) -> BitTime {
+        BitTime(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for BitTime {
+    type Output = BitTime;
+    #[inline]
+    fn div(self, rhs: u64) -> BitTime {
+        BitTime(self.0 / rhs)
+    }
+}
+
+impl Rem<BitTime> for BitTime {
+    type Output = BitTime;
+    #[inline]
+    fn rem(self, rhs: BitTime) -> BitTime {
+        BitTime(self.0 % rhs.0)
+    }
+}
+
+impl Sum for BitTime {
+    fn sum<I: Iterator<Item = BitTime>>(iter: I) -> BitTime {
+        iter.fold(BitTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for BitTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}bt", self.0)
+    }
+}
+
+impl From<u64> for BitTime {
+    #[inline]
+    fn from(bits: u64) -> Self {
+        BitTime(bits)
+    }
+}
+
+/// A CAN bit rate, which fixes the wall-clock duration of a bit-time.
+///
+/// ISO 11898 relates maximum bus length to bit rate (the paper quotes
+/// 40 m @ 1 Mbps, 1000 m @ 50 kbps); the constants here are the
+/// standard rates used throughout the CANELy evaluation.
+///
+/// # Examples
+///
+/// ```
+/// use can_types::BitRate;
+///
+/// assert_eq!(BitRate::MBPS_1.bits_per_second(), 1_000_000);
+/// assert_eq!(BitRate::KBPS_50.bit_time_ns(), 20_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitRate {
+    bits_per_second: u32,
+}
+
+impl BitRate {
+    /// 1 Mbps — the rate of the paper's evaluation (40 m bus).
+    pub const MBPS_1: BitRate = BitRate::new(1_000_000);
+    /// 500 kbps (100 m bus).
+    pub const KBPS_500: BitRate = BitRate::new(500_000);
+    /// 250 kbps (250 m bus).
+    pub const KBPS_250: BitRate = BitRate::new(250_000);
+    /// 125 kbps (500 m bus).
+    pub const KBPS_125: BitRate = BitRate::new(125_000);
+    /// 50 kbps (1000 m bus).
+    pub const KBPS_50: BitRate = BitRate::new(50_000);
+
+    /// Creates a bit rate from bits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_second` is zero or does not divide 10⁹
+    /// evenly (every standard CAN rate does).
+    pub const fn new(bits_per_second: u32) -> Self {
+        assert!(bits_per_second > 0, "bit rate must be positive");
+        assert!(
+            1_000_000_000 % bits_per_second as u64 == 0,
+            "bit rate must divide 1e9 ns evenly"
+        );
+        BitRate { bits_per_second }
+    }
+
+    /// The rate in bits per second.
+    #[inline]
+    pub const fn bits_per_second(self) -> u32 {
+        self.bits_per_second
+    }
+
+    /// Duration of one bit in nanoseconds.
+    #[inline]
+    pub const fn bit_time_ns(self) -> u64 {
+        1_000_000_000 / self.bits_per_second as u64
+    }
+
+    /// The ISO 11898 guideline maximum bus length in meters for this
+    /// rate (rounded to the conventional figures quoted in the paper).
+    pub const fn max_bus_length_m(self) -> u32 {
+        match self.bits_per_second {
+            1_000_000 => 40,
+            500_000 => 100,
+            250_000 => 250,
+            125_000 => 500,
+            50_000 => 1000,
+            // Conservative inverse-proportional rule of thumb.
+            other => 40_000_000 / other,
+        }
+    }
+}
+
+impl Default for BitRate {
+    fn default() -> Self {
+        BitRate::MBPS_1
+    }
+}
+
+impl fmt::Display for BitRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bits_per_second.is_multiple_of(1_000_000) {
+            write!(f, "{} Mbps", self.bits_per_second / 1_000_000)
+        } else {
+            write!(f, "{} kbps", self.bits_per_second / 1_000)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_time_arithmetic() {
+        let a = BitTime::new(100);
+        let b = BitTime::new(30);
+        assert_eq!(a + b, BitTime::new(130));
+        assert_eq!(a - b, BitTime::new(70));
+        assert_eq!(a * 3, BitTime::new(300));
+        assert_eq!(a / 4, BitTime::new(25));
+        assert_eq!(a % b, BitTime::new(10));
+    }
+
+    #[test]
+    fn bit_time_saturating_sub() {
+        let a = BitTime::new(5);
+        let b = BitTime::new(9);
+        assert_eq!(a.saturating_sub(b), BitTime::ZERO);
+        assert_eq!(b.saturating_sub(a), BitTime::new(4));
+    }
+
+    #[test]
+    fn bit_time_sum() {
+        let total: BitTime = (1..=4u64).map(BitTime::new).sum();
+        assert_eq!(total, BitTime::new(10));
+    }
+
+    #[test]
+    fn ms_round_trip_at_1mbps() {
+        let t = BitTime::from_ms(30, BitRate::MBPS_1);
+        assert_eq!(t.as_u64(), 30_000);
+        assert_eq!(t.as_millis(BitRate::MBPS_1), 30);
+        assert_eq!(t.as_micros(BitRate::MBPS_1), 30_000);
+    }
+
+    #[test]
+    fn ms_round_trip_at_50kbps() {
+        // At 50 kbps one bit takes 20 µs, so 1 ms is 50 bit-times.
+        let t = BitTime::from_ms(1, BitRate::KBPS_50);
+        assert_eq!(t.as_u64(), 50);
+        assert_eq!(t.as_millis(BitRate::KBPS_50), 1);
+    }
+
+    #[test]
+    fn fractional_millis() {
+        let t = BitTime::new(1_500);
+        assert!((t.as_millis_f64(BitRate::MBPS_1) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(BitTime::new(42).to_string(), "42bt");
+        assert_eq!(BitRate::MBPS_1.to_string(), "1 Mbps");
+        assert_eq!(BitRate::KBPS_250.to_string(), "250 kbps");
+    }
+
+    #[test]
+    fn bus_length_table_matches_paper() {
+        // "Typical values are: 40m @ 1 Mbps; 1000m @ 50 kbps."
+        assert_eq!(BitRate::MBPS_1.max_bus_length_m(), 40);
+        assert_eq!(BitRate::KBPS_50.max_bus_length_m(), 1000);
+    }
+
+    #[test]
+    fn min_max_helpers() {
+        let a = BitTime::new(1);
+        let b = BitTime::new(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert_eq!(BitTime::MAX.checked_add(BitTime::new(1)), None);
+        assert_eq!(
+            BitTime::new(1).checked_add(BitTime::new(2)),
+            Some(BitTime::new(3))
+        );
+    }
+}

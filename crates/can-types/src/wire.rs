@@ -1,0 +1,242 @@
+//! Bit-level wire encoding: frame bit streams, CRC-15 and bit stuffing.
+//!
+//! The simulator charges each transmission its *exact* wire duration.
+//! That requires constructing the genuine bit stream of the frame —
+//! arbitration and control fields, data field and the ISO 11898 CRC —
+//! and applying the bit-stuffing rule (after five consecutive equal
+//! bits a complementary stuff bit is inserted) to count the stuff bits
+//! actually added.
+
+use crate::frame::{Frame, FrameFormat, FrameKind};
+
+/// The ISO 11898 CRC-15 generator polynomial
+/// `x¹⁵ + x¹⁴ + x¹⁰ + x⁸ + x⁷ + x⁴ + x³ + 1`.
+pub const CRC15_POLY: u16 = 0x4599;
+
+/// Computes the CAN CRC-15 over a bit sequence (most significant bit
+/// of the frame first), as specified by ISO 11898.
+///
+/// # Examples
+///
+/// ```
+/// use can_types::wire::crc15;
+///
+/// // CRC of the empty sequence is zero.
+/// assert_eq!(crc15(&[]), 0);
+/// // A single recessive bit yields the polynomial itself (shifted in).
+/// assert_ne!(crc15(&[true]), crc15(&[false]));
+/// ```
+pub fn crc15(bits: &[bool]) -> u16 {
+    let mut crc: u16 = 0;
+    for &bit in bits {
+        let crc_nxt = bit ^ ((crc >> 14) & 1 == 1);
+        crc = (crc << 1) & 0x7FFF;
+        if crc_nxt {
+            crc ^= CRC15_POLY;
+        }
+    }
+    crc
+}
+
+/// Appends the `width` low bits of `value` to `bits`, most significant
+/// first.
+fn push_bits(bits: &mut Vec<bool>, value: u32, width: u32) {
+    for i in (0..width).rev() {
+        bits.push((value >> i) & 1 == 1);
+    }
+}
+
+/// Builds the stuffable region of a frame (SOF through the CRC
+/// sequence) as a bit vector, CRC included.
+pub fn stuffable_region(frame: &Frame) -> Vec<bool> {
+    let mut bits = Vec::with_capacity(128);
+    let id = frame.id().raw();
+    let rtr = matches!(frame.kind(), FrameKind::Remote);
+    let data = match frame.kind() {
+        FrameKind::Data => frame.payload().as_slice(),
+        FrameKind::Remote => &[],
+    };
+    let dlc = match frame.kind() {
+        FrameKind::Data => frame.payload().len() as u32,
+        // A remote frame's DLC encodes the *requested* length; CANELy
+        // control messages request none.
+        FrameKind::Remote => 0,
+    };
+
+    // SOF is dominant.
+    bits.push(false);
+    match frame.format() {
+        FrameFormat::Standard => {
+            push_bits(&mut bits, id, 11);
+            bits.push(rtr); // RTR: recessive for remote frames
+            bits.push(false); // IDE: dominant (standard format)
+            bits.push(false); // r0
+        }
+        FrameFormat::Extended => {
+            push_bits(&mut bits, id >> 18, 11); // base identifier
+            bits.push(true); // SRR: recessive
+            bits.push(true); // IDE: recessive (extended format)
+            push_bits(&mut bits, id & 0x3_FFFF, 18); // identifier extension
+            bits.push(rtr); // RTR
+            bits.push(false); // r1
+            bits.push(false); // r0
+        }
+    }
+    push_bits(&mut bits, dlc, 4);
+    for &byte in data {
+        push_bits(&mut bits, byte as u32, 8);
+    }
+    let crc = crc15(&bits);
+    push_bits(&mut bits, crc as u32, 15);
+    bits
+}
+
+/// Counts the stuff bits the transmitter inserts into a bit sequence:
+/// after five consecutive bits of equal polarity a complementary bit
+/// is stuffed (and itself participates in subsequent runs).
+///
+/// # Examples
+///
+/// ```
+/// use can_types::wire::count_stuff_bits;
+///
+/// // Five equal bits force one stuff bit.
+/// assert_eq!(count_stuff_bits(&[false; 5]), 1);
+/// // Alternating bits never need stuffing.
+/// let alternating: Vec<bool> = (0..64).map(|i| i % 2 == 0).collect();
+/// assert_eq!(count_stuff_bits(&alternating), 0);
+/// ```
+pub fn count_stuff_bits(bits: &[bool]) -> u64 {
+    let mut stuffed = 0u64;
+    let mut run_value = match bits.first() {
+        Some(&b) => b,
+        None => return 0,
+    };
+    let mut run_len = 0u32;
+    for &bit in bits {
+        if bit == run_value {
+            run_len += 1;
+        } else {
+            run_value = bit;
+            run_len = 1;
+        }
+        if run_len == 5 {
+            stuffed += 1;
+            // The stuff bit is the complement and starts a new run.
+            run_value = !run_value;
+            run_len = 1;
+        }
+    }
+    stuffed
+}
+
+/// Exact wire length of a frame in bits: stuffable region plus the
+/// genuinely inserted stuff bits plus the fixed-form tail (CRC
+/// delimiter, ACK slot, ACK delimiter, 7-bit EOF).
+pub fn exact_frame_bits(frame: &Frame) -> u64 {
+    let region = stuffable_region(frame);
+    let stuff = count_stuff_bits(&region);
+    region.len() as u64 + stuff + 1 + 2 + 7
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Payload;
+    use crate::id::{CanId, Mid, MsgType};
+    use crate::node::NodeId;
+
+    #[test]
+    fn crc_is_deterministic_and_sensitive() {
+        let a = vec![true, false, true, true, false];
+        let mut b = a.clone();
+        b[2] = false;
+        assert_eq!(crc15(&a), crc15(&a));
+        assert_ne!(crc15(&a), crc15(&b));
+        assert!(crc15(&a) < (1 << 15));
+    }
+
+    #[test]
+    fn stuffing_of_long_runs() {
+        // 10 equal bits: stuff after bit 5; the stuff bit breaks the
+        // run, the remaining 5 equal bits force a second stuff bit.
+        assert_eq!(count_stuff_bits(&[true; 10]), 2);
+        // Worst case: every 4 bits after the first stuff.
+        assert_eq!(count_stuff_bits(&[false; 4]), 0);
+        assert_eq!(count_stuff_bits(&[false; 5]), 1);
+    }
+
+    #[test]
+    fn stuff_bit_participates_in_next_run() {
+        // 0000 0 1111 — five zeros stuff a one; together with the four
+        // following ones that makes a run of five ones: second stuff.
+        let bits = [
+            false, false, false, false, false, true, true, true, true,
+        ];
+        assert_eq!(count_stuff_bits(&bits), 2);
+    }
+
+    #[test]
+    fn empty_sequence_needs_no_stuffing() {
+        assert_eq!(count_stuff_bits(&[]), 0);
+    }
+
+    #[test]
+    fn region_length_matches_format_constant() {
+        for len in 0..=8usize {
+            let data: Vec<u8> = vec![0x55; len];
+            let f = Frame::data(
+                Mid::new(MsgType::AppData, 7, NodeId::new(1)),
+                Payload::from_slice(&data).unwrap(),
+            );
+            assert_eq!(
+                stuffable_region(&f).len() as u64,
+                f.format().stuffable_bits(len)
+            );
+        }
+    }
+
+    #[test]
+    fn exact_bits_bounded_by_formulas() {
+        for len in 0..=8usize {
+            for pattern in [0x00u8, 0xFF, 0x55, 0xA7] {
+                let data = vec![pattern; len];
+                let f = Frame::data(
+                    Mid::new(MsgType::AppData, 0, NodeId::new(0)),
+                    Payload::from_slice(&data).unwrap(),
+                );
+                let exact = exact_frame_bits(&f);
+                assert!(exact >= f.format().unstuffed_bits(len));
+                assert!(exact <= f.format().worst_case_bits(len));
+            }
+        }
+    }
+
+    #[test]
+    fn remote_frame_has_no_data_bits() {
+        let r = Frame::remote(CanId::new(0x123));
+        let d = Frame::data(CanId::new(0x123), Payload::EMPTY);
+        // Same stuffable length (no payload either way), but the RTR
+        // bit differs so the CRC — and possibly stuffing — differ.
+        assert_eq!(
+            stuffable_region(&r).len(),
+            stuffable_region(&d).len()
+        );
+        let rr = stuffable_region(&r);
+        let dd = stuffable_region(&d);
+        assert_ne!(rr, dd);
+    }
+
+    #[test]
+    fn all_dominant_payload_maximizes_stuffing() {
+        let zeros = Frame::data(
+            CanId::new(0),
+            Payload::from_slice(&[0u8; 8]).unwrap(),
+        );
+        let mixed = Frame::data(
+            CanId::new(0x0AAA_AAAA & 0x1FFF_FFFF),
+            Payload::from_slice(&[0x55u8; 8]).unwrap(),
+        );
+        assert!(exact_frame_bits(&zeros) > exact_frame_bits(&mixed));
+    }
+}

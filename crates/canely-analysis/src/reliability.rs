@@ -1,0 +1,167 @@
+//! Inconsistency-rate model — the paper's motivating argument made
+//! quantitative.
+//!
+//! Section 3: "Inconsistent frame omissions may occur when faults hit
+//! the last two bits of a frame at some nodes … **However infrequent
+//! they may be, the probability of its occurrence is high enough to be
+//! taken into account for highly fault-tolerant applications of
+//! CAN**." The argument (from the companion study \[18\]) is that even
+//! with benign bit error rates the *absolute* number of inconsistency
+//! events per hour dwarfs the failure budgets of safety-critical
+//! systems (typically ≤ 10⁻⁹ dangerous events per hour).
+//!
+//! The model: receivers suffer independent local bit errors (EMI,
+//! receiver circuitry — footnote 1 of the paper). A frame becomes an
+//! *inconsistent omission candidate* when an error hits the
+//! last-two-bits window at **some but not all** receivers. The rate of
+//! such events scales with the traffic volume, which is why a busy
+//! 1 Mbps bus turns a tiny per-frame probability into a tangible
+//! hourly rate.
+
+/// Parameters of the inconsistency-rate estimate.
+#[derive(Debug, Clone, Copy)]
+pub struct ReliabilityModel {
+    /// Per-receiver, per-bit probability of a local reception error.
+    pub bit_error_rate: f64,
+    /// Number of receivers of each frame (`n − 1`).
+    pub receivers: u32,
+    /// Average frame length in bits (stuffing included).
+    pub frame_bits: u32,
+    /// Bus bit rate in bits per second.
+    pub bits_per_second: u64,
+    /// Average bus load in `[0, 1]`.
+    pub bus_load: f64,
+}
+
+impl ReliabilityModel {
+    /// The operating point used in the companion study: a 32-node
+    /// 1 Mbps network under 90 % load, 110-bit average frames.
+    pub fn paper_operating_point(bit_error_rate: f64) -> Self {
+        ReliabilityModel {
+            bit_error_rate,
+            receivers: 31,
+            frame_bits: 110,
+            bits_per_second: 1_000_000,
+            bus_load: 0.9,
+        }
+    }
+
+    /// Probability that a given receiver suffers a local error inside
+    /// the critical last-two-bits window of one frame.
+    pub fn p_last_two_bits(&self) -> f64 {
+        1.0 - (1.0 - self.bit_error_rate).powi(2)
+    }
+
+    /// Probability that one frame becomes an inconsistent omission
+    /// candidate: *some but not all* receivers hit in the critical
+    /// window (independent receiver errors).
+    pub fn p_inconsistent_per_frame(&self) -> f64 {
+        let p = self.p_last_two_bits();
+        let n = self.receivers as f64;
+        let none = (1.0 - p).powf(n);
+        let all = p.powf(n);
+        1.0 - none - all
+    }
+
+    /// Frames transmitted per hour at the configured load.
+    pub fn frames_per_hour(&self) -> f64 {
+        self.bits_per_second as f64 * self.bus_load / self.frame_bits as f64 * 3_600.0
+    }
+
+    /// Expected inconsistent omission candidates per hour.
+    pub fn inconsistent_per_hour(&self) -> f64 {
+        self.frames_per_hour() * self.p_inconsistent_per_frame()
+    }
+
+    /// Expected inconsistent events within a window of `window_bits`
+    /// bit-times — the quantity the LCAN4 bound `j` must dominate.
+    pub fn expected_in_window(&self, window_bits: u64) -> f64 {
+        let frames = window_bits as f64 * self.bus_load / self.frame_bits as f64;
+        frames * self.p_inconsistent_per_frame()
+    }
+
+    /// A `j` with comfortable margin over the expected number of
+    /// inconsistent events in the window (at least 1, at least ten
+    /// times the expectation, rounded up).
+    pub fn suggested_j(&self, window_bits: u64) -> u32 {
+        let expected = self.expected_in_window(window_bits);
+        (expected * 10.0).ceil().max(1.0) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_ber_still_yields_tangible_hourly_rate() {
+        // Even at the very benign BER of 1e-11 the hourly inconsistency
+        // rate is orders of magnitude above a 1e-9/h failure budget —
+        // the paper's core motivation.
+        let model = ReliabilityModel::paper_operating_point(1e-11);
+        let per_hour = model.inconsistent_per_hour();
+        assert!(
+            per_hour > 1e-3,
+            "expected a tangible rate, got {per_hour} per hour"
+        );
+        assert!(per_hour < 1e3, "sanity upper bound, got {per_hour}");
+    }
+
+    #[test]
+    fn aggressive_ber_degrades_by_orders_of_magnitude() {
+        let benign = ReliabilityModel::paper_operating_point(1e-11).inconsistent_per_hour();
+        let harsh = ReliabilityModel::paper_operating_point(1e-6).inconsistent_per_hour();
+        assert!(harsh / benign > 1e4, "harsh {harsh} vs benign {benign}");
+    }
+
+    #[test]
+    fn rate_scales_linearly_with_load() {
+        let mut low = ReliabilityModel::paper_operating_point(1e-9);
+        low.bus_load = 0.3;
+        let mut high = low;
+        high.bus_load = 0.9;
+        let ratio = high.inconsistent_per_hour() / low.inconsistent_per_hour();
+        assert!((ratio - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probability_bounds_are_sane() {
+        for ber in [1e-12, 1e-9, 1e-6, 1e-3] {
+            let model = ReliabilityModel::paper_operating_point(ber);
+            let p = model.p_inconsistent_per_frame();
+            assert!((0.0..=1.0).contains(&p), "ber {ber}: p = {p}");
+        }
+        // Degenerate: certain errors at every receiver are *consistent*.
+        let certain = ReliabilityModel {
+            bit_error_rate: 1.0,
+            ..ReliabilityModel::paper_operating_point(1.0)
+        };
+        assert_eq!(certain.p_inconsistent_per_frame(), 0.0);
+    }
+
+    #[test]
+    fn suggested_j_is_small_for_realistic_parameters() {
+        // LCAN4: "j is normally several orders of magnitude smaller
+        // than k". For realistic error rates the suggested bound stays
+        // tiny even over a long window.
+        let model = ReliabilityModel::paper_operating_point(1e-9);
+        let j = model.suggested_j(10_000_000); // 10-second window at 1 Mbps
+        assert!(j <= 2, "suggested j = {j}");
+        assert!(j >= 1);
+    }
+
+    #[test]
+    fn suggested_j_grows_under_harsh_interference() {
+        let benign = ReliabilityModel::paper_operating_point(1e-9).suggested_j(10_000_000);
+        let harsh = ReliabilityModel::paper_operating_point(1e-5).suggested_j(10_000_000);
+        assert!(harsh > benign);
+    }
+
+    #[test]
+    fn frames_per_hour_matches_arithmetic() {
+        let model = ReliabilityModel::paper_operating_point(1e-9);
+        // 1 Mbps × 0.9 / 110 bits × 3600 s ≈ 2.95e7 frames/hour.
+        let fph = model.frames_per_hour();
+        assert!((fph - 2.945e7).abs() / fph < 0.01, "fph {fph}");
+    }
+}

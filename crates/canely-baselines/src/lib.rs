@@ -1,0 +1,29 @@
+//! Baseline node-monitoring protocols the paper compares against.
+//!
+//! Section 6.6 (related work) and the comparison tables (Figs. 1 and
+//! 11) situate CANELy against three industry designs, all implemented
+//! here on the same simulated bus so latency and bandwidth are
+//! directly comparable:
+//!
+//! * [`canopen`] — the CAN Application Layer / CANopen network
+//!   management: **master–slave node guarding** (the master cyclically
+//!   polls each slave with a remote frame) and the **producer–consumer
+//!   heartbeat** alternative. Centralized; no agreement on failures.
+//! * [`osek`] — **OSEK-NM** direct network management: every node is
+//!   monitored by every other node through a logical ring. Detection
+//!   latency grows with the ring size — "the period required to detect
+//!   the failure of a node may be in the order of one second".
+//! * [`ttp`] — a **TTP-style TDMA membership**: fail-silent nodes
+//!   transmitting in statically scheduled slots; membership updates
+//!   each round (Figs. 1/11 comparison columns).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod canopen;
+pub mod osek;
+pub mod ttp;
+
+pub use canopen::{CanopenMaster, CanopenSlave, HeartbeatNode};
+pub use osek::OsekNode;
+pub use ttp::TtpNode;

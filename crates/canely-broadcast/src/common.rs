@@ -1,0 +1,61 @@
+//! Shared pieces of the broadcast suite.
+
+use can_types::{BitTime, NodeId, Payload};
+
+/// Identity of a broadcast message: originator plus per-originator
+/// sequence number (carried in the mid reference field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MsgKey {
+    /// The originating node.
+    pub origin: NodeId,
+    /// The originator's sequence number.
+    pub seq: u16,
+}
+
+impl MsgKey {
+    /// Creates a message key.
+    pub fn new(origin: NodeId, seq: u16) -> Self {
+        MsgKey { origin, seq }
+    }
+}
+
+/// A message delivered to the layer above.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Delivery instant.
+    pub time: BitTime,
+    /// Message identity.
+    pub key: MsgKey,
+    /// Message contents.
+    pub payload: Payload,
+}
+
+/// A broadcast scheduled by the test/benchmark driver.
+#[derive(Debug, Clone)]
+pub struct ScheduledSend {
+    /// When to invoke the broadcast.
+    pub at: BitTime,
+    /// The message contents.
+    pub payload: Payload,
+}
+
+impl ScheduledSend {
+    /// Creates a scheduled broadcast.
+    pub fn new(at: BitTime, payload: Payload) -> Self {
+        ScheduledSend { at, payload }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_order_by_origin_then_seq() {
+        let a = MsgKey::new(NodeId::new(1), 5);
+        let b = MsgKey::new(NodeId::new(1), 6);
+        let c = MsgKey::new(NodeId::new(2), 0);
+        assert!(a < b);
+        assert!(b < c);
+    }
+}

@@ -1,0 +1,532 @@
+//! The CLI commands: scenario construction and execution.
+
+use crate::args::{ArgError, Args, Event};
+use crate::render;
+use can_bus::{BusConfig, FaultPlan};
+use can_controller::Simulator;
+use can_types::{BitTime, NodeId, NodeSet};
+use canely::{CanelyConfig, CanelyStack, TrafficConfig};
+use canely_analysis::{BandwidthModel, InaccessibilityModel, ProtocolBounds, ReliabilityModel};
+use canely_baselines::{CanopenMaster, CanopenSlave, HeartbeatNode, OsekNode, TtpNode};
+use canely_groups::{GroupId, GroupStack};
+use std::fmt::Write as _;
+
+type CmdResult = Result<String, String>;
+
+fn fail(e: ArgError) -> String {
+    e.to_string()
+}
+
+/// Common membership scenario options.
+struct MembershipScenario {
+    nodes: usize,
+    config: CanelyConfig,
+    until: BitTime,
+    crashes: Vec<Event>,
+    joins: Vec<Event>,
+    leaves: Vec<Event>,
+    restarts: Vec<Event>,
+    traffic: Option<BitTime>,
+    error_rate: f64,
+    seed: u64,
+    journal: bool,
+}
+
+impl MembershipScenario {
+    fn from_args(args: &mut Args) -> Result<Self, ArgError> {
+        let nodes = args.usize_opt("nodes", 4)?;
+        if nodes == 0 || nodes > can_types::MAX_NODES {
+            return Err(ArgError(format!(
+                "--nodes must be in 1..={}",
+                can_types::MAX_NODES
+            )));
+        }
+        let mut config = CanelyConfig::default()
+            .with_membership_cycle(args.duration_opt("tm", BitTime::new(30_000))?)
+            .with_heartbeat_period(args.duration_opt("th", BitTime::new(5_000))?);
+        config.join_wait = config.membership_cycle * 2 + BitTime::new(10_000);
+        config
+            .validate()
+            .map_err(|e| ArgError(format!("invalid configuration: {e}")))?;
+        Ok(MembershipScenario {
+            nodes,
+            config,
+            until: args.duration_opt("until", BitTime::new(600_000))?,
+            crashes: args.events("crash")?,
+            joins: args.events("join")?,
+            leaves: args.events("leave")?,
+            restarts: args.events("restart")?,
+            traffic: match args.duration_opt("traffic", BitTime::ZERO)? {
+                t if t.is_zero() => None,
+                t => Some(t),
+            },
+            error_rate: args.f64_opt("error-rate", 0.0)?,
+            seed: args.u64_opt("seed", 0)?,
+            journal: args.flag("journal"),
+        })
+    }
+
+    fn faults(&self) -> Result<FaultPlan, ArgError> {
+        if !(0.0..=1.0).contains(&self.error_rate) {
+            return Err(ArgError("--error-rate must be a probability".into()));
+        }
+        Ok(FaultPlan::seeded(self.seed).with_consistent_rate(self.error_rate))
+    }
+
+    fn stack(&self, id: u8) -> CanelyStack {
+        let mut stack = CanelyStack::new(self.config.clone());
+        if let Some(period) = self.traffic {
+            stack = stack.with_traffic(
+                TrafficConfig::periodic(period, 8)
+                    .with_offset(BitTime::new(u64::from(id) * 131 + 17)),
+            );
+        }
+        if let Some(leave) = self.leaves.iter().find(|e| e.node.as_u8() == id) {
+            stack = stack.with_leave_at(leave.at);
+        }
+        stack
+    }
+
+    fn build(&self) -> Result<Simulator, ArgError> {
+        let mut sim = Simulator::new(BusConfig::default(), self.faults()?);
+        sim.set_journal(self.journal);
+        let joiner_ids: Vec<u8> = self.joins.iter().map(|e| e.node.as_u8()).collect();
+        for id in 0..self.nodes as u8 {
+            if joiner_ids.contains(&id) {
+                continue; // added later at its join time
+            }
+            sim.add_node(NodeId::new(id), self.stack(id));
+        }
+        for event in &self.joins {
+            sim.add_node_at(event.node, self.stack(event.node.as_u8()), event.at);
+        }
+        for event in &self.crashes {
+            sim.schedule_crash(event.node, event.at);
+        }
+        for event in &self.restarts {
+            sim.schedule_restart(event.node, event.at, self.stack(event.node.as_u8()));
+        }
+        Ok(sim)
+    }
+}
+
+/// `canely membership …`
+pub fn membership(args: &mut Args) -> CmdResult {
+    let scenario = MembershipScenario::from_args(args).map_err(fail)?;
+    let mut sim = scenario.build().map_err(fail)?;
+    sim.run_until(scenario.until);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "CANELy membership: {} nodes, Tm {}, Th {}, horizon {}",
+        scenario.nodes,
+        render::ms(scenario.config.membership_cycle),
+        render::ms(scenario.config.heartbeat_period),
+        render::ms(scenario.until),
+    );
+    let restarted: Vec<u8> = scenario.restarts.iter().map(|e| e.node.as_u8()).collect();
+    for id in 0..scenario.nodes as u8 {
+        if sim.alive().contains(NodeId::new(id)) {
+            if restarted.contains(&id) {
+                let _ = writeln!(out, "node n{id}: (power-cycled)");
+            }
+            render::stack_history(&mut out, &sim, NodeId::new(id));
+        } else {
+            let _ = writeln!(out, "node n{id}: crashed");
+        }
+    }
+    render::bus_summary(&mut out, &sim, BitTime::ZERO, scenario.until);
+    if scenario.journal {
+        render::journal(&mut out, &sim);
+    }
+    Ok(out)
+}
+
+/// `canely groups …`
+pub fn groups(args: &mut Args) -> CmdResult {
+    let group_joins = args.events("group-join").map_err(fail)?;
+    let scenario = MembershipScenario::from_args(args).map_err(fail)?;
+    let mut sim = Simulator::new(BusConfig::default(), scenario.faults().map_err(fail)?);
+    for id in 0..scenario.nodes as u8 {
+        let mut stack = GroupStack::new(scenario.config.clone());
+        for event in group_joins.iter().filter(|e| e.node.as_u8() == id) {
+            stack = stack.with_group_join_at(GroupId::new(1), event.at);
+        }
+        sim.add_node(NodeId::new(id), stack);
+    }
+    for event in &scenario.crashes {
+        sim.schedule_crash(event.node, event.at);
+    }
+    sim.run_until(scenario.until);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "CANELy process groups: {} nodes", scenario.nodes);
+    for id in 0..scenario.nodes as u8 {
+        let node = NodeId::new(id);
+        if !sim.alive().contains(node) {
+            let _ = writeln!(out, "node {node}: crashed");
+            continue;
+        }
+        let stack = sim.app::<GroupStack>(node);
+        let _ = writeln!(
+            out,
+            "node {node}: site view {} | group g1 view {}",
+            stack.site_view(),
+            stack.group_view(GroupId::new(1)),
+        );
+    }
+    Ok(out)
+}
+
+/// `canely baseline <osek|guarding|heartbeat|ttp> …`
+pub fn baseline(args: &mut Args) -> CmdResult {
+    let which = args
+        .subcommand()
+        .ok_or("error: baseline requires a protocol (osek|guarding|heartbeat|ttp)")?
+        .to_string();
+    let nodes = args.usize_opt("nodes", 8).map_err(fail)? as u8;
+    let until = args
+        .duration_opt("until", BitTime::new(3_000_000))
+        .map_err(fail)?;
+    let crashes = args.events("crash").map_err(fail)?;
+
+    let mut sim = Simulator::new(BusConfig::default(), FaultPlan::none());
+    let population = NodeSet::first_n(nodes as usize);
+    match which.as_str() {
+        "osek" => {
+            for id in 0..nodes {
+                sim.add_node(
+                    NodeId::new(id),
+                    OsekNode::new(BitTime::new(50_000), BitTime::new(260_000), population),
+                );
+            }
+        }
+        "guarding" => {
+            sim.add_node(
+                NodeId::new(0),
+                CanopenMaster::new(
+                    BitTime::new(100_000),
+                    3,
+                    population - NodeSet::singleton(NodeId::new(0)),
+                ),
+            );
+            for id in 1..nodes {
+                sim.add_node(NodeId::new(id), CanopenSlave::new());
+            }
+        }
+        "heartbeat" => {
+            for id in 0..nodes {
+                let watched = population - NodeSet::singleton(NodeId::new(id));
+                sim.add_node(
+                    NodeId::new(id),
+                    HeartbeatNode::new(
+                        Some(BitTime::new(100_000)),
+                        BitTime::new(150_000),
+                        watched,
+                    ),
+                );
+            }
+        }
+        "ttp" => {
+            for id in 0..nodes {
+                sim.add_node(NodeId::new(id), TtpNode::new(BitTime::new(500), population));
+            }
+        }
+        other => return Err(format!("error: unknown baseline `{other}`")),
+    }
+    for event in &crashes {
+        sim.schedule_crash(event.node, event.at);
+    }
+    sim.run_until(until);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "baseline `{which}`: {nodes} nodes, horizon {}", render::ms(until));
+    match which.as_str() {
+        "osek" => {
+            for id in 0..nodes {
+                let node = NodeId::new(id);
+                if !sim.alive().contains(node) {
+                    continue;
+                }
+                let app = sim.app::<OsekNode>(node);
+                let _ = writeln!(
+                    out,
+                    "node {node}: config {} ({} ring messages, {} detections)",
+                    app.config(),
+                    app.ring_messages_sent(),
+                    app.detected().len()
+                );
+            }
+        }
+        "guarding" => {
+            let master = sim.app::<CanopenMaster>(NodeId::new(0));
+            let _ = writeln!(out, "master polls: {}", master.polls());
+            for &(t, who) in master.detected() {
+                let _ = writeln!(out, "detected failure of {who} at {}", render::ms(t));
+            }
+        }
+        "heartbeat" => {
+            for id in 0..nodes {
+                let node = NodeId::new(id);
+                if !sim.alive().contains(node) {
+                    continue;
+                }
+                let app = sim.app::<HeartbeatNode>(node);
+                for &(t, who) in app.detected() {
+                    let _ =
+                        writeln!(out, "node {node}: detected {who} at {}", render::ms(t));
+                }
+            }
+        }
+        "ttp" => {
+            for id in 0..nodes {
+                let node = NodeId::new(id);
+                if !sim.alive().contains(node) {
+                    continue;
+                }
+                let app = sim.app::<TtpNode>(node);
+                let _ = writeln!(out, "node {node}: view {}", app.view());
+            }
+        }
+        _ => unreachable!("validated above"),
+    }
+    render::bus_summary(&mut out, &sim, BitTime::ZERO, until);
+    Ok(out)
+}
+
+/// `canely analyze <inaccessibility|bandwidth|reliability|bounds> …`
+pub fn analyze(args: &mut Args) -> CmdResult {
+    let which = args
+        .subcommand()
+        .ok_or("error: analyze requires a model (inaccessibility|bandwidth|reliability|bounds)")?
+        .to_string();
+    let mut out = String::new();
+    match which.as_str() {
+        "inaccessibility" => {
+            let can = InaccessibilityModel::standard_can();
+            let canely = InaccessibilityModel::canely();
+            let _ = writeln!(out, "inaccessibility bounds (bit-times):");
+            let _ = writeln!(
+                out,
+                "  standard CAN : {} - {}",
+                can.lower_bound().as_u64(),
+                can.upper_bound().as_u64()
+            );
+            let _ = writeln!(
+                out,
+                "  CANELy       : {} - {}",
+                canely.lower_bound().as_u64(),
+                canely.upper_bound().as_u64()
+            );
+        }
+        "bandwidth" => {
+            let tm = args
+                .duration_opt("tm", BitTime::new(30_000))
+                .map_err(fail)?;
+            let requests = args.usize_opt("requests", 20).map_err(fail)? as u32;
+            let model = BandwidthModel::paper_defaults();
+            let _ = writeln!(out, "membership-suite bandwidth at Tm = {}:", render::ms(tm));
+            let _ = writeln!(out, "  no changes      : {}", render::pct(model.no_changes(tm)));
+            let _ = writeln!(out, "  f crash failures: {}", render::pct(model.with_crashes(tm)));
+            let _ = writeln!(
+                out,
+                "  + {requests} join/leave : {}",
+                render::pct(model.with_join_leave(tm, requests))
+            );
+        }
+        "reliability" => {
+            let ber = args.f64_opt("ber", 1e-9).map_err(fail)?;
+            let model = ReliabilityModel::paper_operating_point(ber);
+            let _ = writeln!(out, "inconsistency-rate estimate at BER {ber}:");
+            let _ = writeln!(
+                out,
+                "  P(inconsistent omission per frame): {:.3e}",
+                model.p_inconsistent_per_frame()
+            );
+            let _ = writeln!(
+                out,
+                "  expected inconsistent omissions/hour: {:.3e}",
+                model.inconsistent_per_hour()
+            );
+            let _ = writeln!(
+                out,
+                "  suggested LCAN4 degree j (10 s window): {}",
+                model.suggested_j(10_000_000)
+            );
+        }
+        "bounds" => {
+            let bounds = ProtocolBounds::paper_defaults();
+            let _ = writeln!(out, "protocol bounds (paper defaults):");
+            let _ = writeln!(out, "  Ttd (Tltm + Tina)       : {}", render::ms(bounds.ttd()));
+            let _ = writeln!(
+                out,
+                "  detection latency bound : {}",
+                render::ms(bounds.detection_latency())
+            );
+            let _ = writeln!(out, "  FDA frame bound         : {}", bounds.fda_frame_bound());
+            let _ = writeln!(out, "  RHA round bound         : {}", bounds.rha_round_bound());
+            let _ = writeln!(
+                out,
+                "  membership change bound : {}",
+                render::ms(bounds.membership_change_latency())
+            );
+        }
+        other => return Err(format!("error: unknown analysis `{other}`")),
+    }
+    Ok(out)
+}
+
+/// `canely trace …`
+pub fn trace(args: &mut Args) -> CmdResult {
+    let csv = args.flag("csv");
+    let scenario = MembershipScenario::from_args(args).map_err(fail)?;
+    let mut sim = scenario.build().map_err(fail)?;
+    sim.run_until(scenario.until);
+    if csv {
+        return Ok(render::trace_csv(&sim));
+    }
+    let mut out = String::new();
+    for rec in sim.trace().iter() {
+        let mid = rec
+            .mid()
+            .map_or_else(|| "-".to_string(), |m| m.to_string());
+        let _ = writeln!(
+            out,
+            "[{:>10}] {:<18} by {:<10} {}",
+            render::ms(rec.start),
+            mid,
+            rec.transmitters.to_string(),
+            if rec.errored { "ERROR" } else { "ok" },
+        );
+    }
+    render::bus_summary(&mut out, &sim, BitTime::ZERO, scenario.until);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::run;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn membership_scenario_end_to_end() {
+        let out = run(&argv(&[
+            "membership", "--nodes", "4", "--crash", "2@250ms", "--until", "500ms",
+        ]))
+        .unwrap();
+        assert!(out.contains("node n2: crashed"), "{out}");
+        assert!(out.contains("failure of n2 agreed"), "{out}");
+        assert!(out.contains("final view {0,1,3}"), "{out}");
+    }
+
+    #[test]
+    fn membership_with_traffic_and_noise() {
+        let out = run(&argv(&[
+            "membership",
+            "--nodes",
+            "3",
+            "--traffic",
+            "2ms",
+            "--error-rate",
+            "0.05",
+            "--seed",
+            "7",
+            "--until",
+            "300ms",
+        ]))
+        .unwrap();
+        assert!(out.contains("final view {0,1,2}"), "{out}");
+    }
+
+    #[test]
+    fn restart_via_cli() {
+        let out = run(&argv(&[
+            "membership", "--nodes", "3", "--crash", "2@250ms", "--restart", "2@500ms",
+            "--until", "900ms",
+        ]))
+        .unwrap();
+        assert!(out.contains("node n2: (power-cycled)"), "{out}");
+        assert!(out.contains("final view {0,1,2}"), "{out}");
+    }
+
+    #[test]
+    fn late_join_via_cli() {
+        let out = run(&argv(&[
+            "membership", "--nodes", "4", "--join", "3@300ms", "--until", "700ms",
+        ]))
+        .unwrap();
+        assert!(out.contains("node n3: final view {0,1,2,3}"), "{out}");
+    }
+
+    #[test]
+    fn groups_scenario() {
+        let out = run(&argv(&[
+            "groups",
+            "--nodes",
+            "3",
+            "--group-join",
+            "0@200ms",
+            "--group-join",
+            "1@200ms",
+            "--until",
+            "400ms",
+        ]))
+        .unwrap();
+        assert!(out.contains("group g1 view {0,1}"), "{out}");
+    }
+
+    #[test]
+    fn baselines_run() {
+        for which in ["osek", "guarding", "heartbeat", "ttp"] {
+            let out = run(&argv(&[
+                "baseline", which, "--nodes", "4", "--crash", "3@500ms", "--until", "2000ms",
+            ]))
+            .unwrap_or_else(|e| panic!("{which}: {e}"));
+            assert!(!out.is_empty());
+        }
+    }
+
+    #[test]
+    fn analyses_run() {
+        let out = run(&argv(&["analyze", "inaccessibility"])).unwrap();
+        assert!(out.contains("14 - 2880"));
+        assert!(out.contains("14 - 2160"));
+        let out = run(&argv(&["analyze", "reliability", "--ber", "1e-6"])).unwrap();
+        assert!(out.contains("per frame"));
+        let out = run(&argv(&["analyze", "bounds"])).unwrap();
+        assert!(out.contains("detection latency bound"));
+        let out = run(&argv(&["analyze", "bandwidth", "--tm", "30ms"])).unwrap();
+        assert!(out.contains("no changes"));
+    }
+
+    #[test]
+    fn trace_csv_has_header_and_rows() {
+        let out = run(&argv(&[
+            "trace", "--nodes", "2", "--until", "100ms", "--csv",
+        ]))
+        .unwrap();
+        let mut lines = out.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "start_bt,bus_free_bt,kind,mid,transmitters,delivered,errored"
+        );
+        assert!(lines.count() > 3, "some transactions expected");
+    }
+
+    #[test]
+    fn unknown_command_and_typos_error() {
+        assert!(run(&argv(&["frobnicate"])).is_err());
+        assert!(run(&argv(&["membership", "--nodez", "4"])).is_err());
+        assert!(run(&argv(&["membership", "--crash", "99@10ms"])).is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&argv(&["help"])).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Library backing the `canely` command-line scenario runner.
+//!
+//! The CLI exposes the simulation stack without writing Rust:
+//!
+//! ```text
+//! canelyctl membership --nodes 8 --crash 3@250ms --tm 30ms --journal
+//! canelyctl baseline osek --nodes 16 --crash 15@2000ms
+//! canelyctl analyze inaccessibility
+//! canelyctl analyze reliability --ber 1e-9
+//! canelyctl trace --nodes 4 --until 100ms --csv
+//! ```
+//!
+//! Argument parsing is hand-rolled (no external dependencies): every
+//! option is `--name value` (or a flag), durations accept `ms`/`us`
+//! suffixes, and events use the `node@time` form.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod render;
+pub mod scenario;
+
+pub use args::{ArgError, Args, Event};
+
+/// Entry point shared by the binary and the tests: parses `argv`
+/// (without the program name) and runs the selected command, returning
+/// the rendered output.
+///
+/// # Errors
+///
+/// Returns a usage/diagnostic message on malformed arguments.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let mut args = Args::parse(argv).map_err(|e| format!("{e}\n\n{}", usage()))?;
+    let command = args.command().to_string();
+    let output = match command.as_str() {
+        "membership" => commands::membership(&mut args),
+        "groups" => commands::groups(&mut args),
+        "baseline" => commands::baseline(&mut args),
+        "analyze" => commands::analyze(&mut args),
+        "trace" => commands::trace(&mut args),
+        "run" => {
+            let path = args
+                .subcommand()
+                .ok_or("error: run requires a scenario file path")?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("error: cannot read `{path}`: {e}"))?;
+            let parsed = scenario::Scenario::parse(&text).map_err(|e| e.to_string())?;
+            parsed.execute().map_err(|e| e.to_string())
+        }
+        "help" | "--help" | "-h" => return Ok(usage()),
+        other => return Err(format!("unknown command `{other}`\n\n{}", usage())),
+    }?;
+    args.reject_unused()?;
+    Ok(output)
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    "\
+canelyctl — CANELy scenario runner (simulated 1 Mbps CAN bus; 1 bit-time = 1 µs)
+
+USAGE:
+  canelyctl <command> [options]
+
+COMMANDS:
+  membership     run a CANELy membership scenario
+      --nodes N           cluster size                     [default 4]
+      --tm DUR            membership cycle period          [default 30ms]
+      --th DUR            heartbeat period                 [default 5ms]
+      --until DUR         simulation horizon               [default 600ms]
+      --crash NODE@TIME   schedule a crash (repeatable)
+      --join NODE@TIME    power on a late joiner (repeatable)
+      --leave NODE@TIME   schedule a leave (repeatable)
+      --restart NODE@TIME power-cycle a node (repeatable)
+      --error-rate P      stochastic consistent-omission probability
+      --seed N            fault-injection seed             [default 0]
+      --traffic DUR       cyclic traffic period for all nodes (implicit
+                          heartbeats); omit for explicit life-signs
+      --journal           print the protocol journal
+
+  groups         membership plus a process group
+      (membership options, plus)
+      --group-join NODE@TIME   process joins group 1 (repeatable)
+
+  baseline <osek|guarding|heartbeat|ttp>   run a related-work protocol
+      --nodes N           population                       [default 8]
+      --crash NODE@TIME   schedule a crash (repeatable)
+      --until DUR         simulation horizon               [default 3000ms]
+
+  analyze <inaccessibility|bandwidth|reliability|bounds>
+      --ber X             bit error rate (reliability)     [default 1e-9]
+      --tm DUR            cycle period (bandwidth)         [default 30ms]
+      --requests N        join/leave requests (bandwidth)  [default 20]
+
+  trace          dump the bus transaction trace of a scenario
+      (membership options, plus)
+      --csv               machine-readable CSV output
+
+  run FILE       execute a scenario file (line-based DSL: nodes, tm,
+                 th, traffic, crash, join, leave, restart, until,
+                 seed, error-rate, expect-view — see the `scenario`
+                 module docs); `expect-view` turns the file into an
+                 executable regression test
+
+  help           this text
+"
+    .to_string()
+}

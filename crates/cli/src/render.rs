@@ -1,0 +1,93 @@
+//! Output rendering helpers for the CLI.
+
+use can_bus::BusStats;
+use can_controller::Simulator;
+use can_types::{BitRate, BitTime, NodeId};
+use canely::{CanelyStack, UpperEvent};
+use std::fmt::Write as _;
+
+/// Milliseconds at 1 Mbps, two decimals.
+pub fn ms(t: BitTime) -> String {
+    format!("{:.2}ms", t.as_millis_f64(BitRate::MBPS_1))
+}
+
+/// A ratio as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Renders the upper-layer event history of one CANELy node.
+pub fn stack_history(out: &mut String, sim: &Simulator, node: NodeId) {
+    let stack = sim.app::<CanelyStack>(node);
+    let _ = writeln!(out, "node {node}: final view {}", stack.view());
+    for &(t, event) in stack.events() {
+        let line = match event {
+            UpperEvent::MembershipChange { view, failed } => {
+                format!("view change -> {view} (failed {failed})")
+            }
+            UpperEvent::FailureNotified(r) => format!("failure of {r} agreed"),
+            UpperEvent::LeftService => "left the membership service".to_string(),
+            UpperEvent::Expelled => "expelled from the membership".to_string(),
+        };
+        let _ = writeln!(out, "  [{:>10}] {line}", ms(t));
+    }
+}
+
+/// Renders the bus statistics of a window.
+pub fn bus_summary(out: &mut String, sim: &Simulator, from: BitTime, to: BitTime) {
+    let stats = sim.trace().stats(from, to);
+    let _ = writeln!(
+        out,
+        "bus [{} .. {}]: {} transactions, {} errored, utilization {} (membership suite {})",
+        ms(from),
+        ms(to),
+        stats.transactions,
+        stats.errors,
+        pct(stats.utilization()),
+        pct(stats.utilization_of(&BusStats::MEMBERSHIP_SUITE)),
+    );
+    if let Some(worst) = sim.trace().worst_inaccessibility() {
+        let _ = writeln!(out, "worst inaccessibility episode: {} bit-times", worst.as_u64());
+    }
+}
+
+/// Renders the protocol journal.
+pub fn journal(out: &mut String, sim: &Simulator) {
+    let _ = writeln!(out, "--- protocol journal ---");
+    for entry in sim.journal() {
+        let _ = writeln!(out, "{entry}");
+    }
+}
+
+/// Renders the bus trace as a CSV document.
+pub fn trace_csv(sim: &Simulator) -> String {
+    let mut out = String::from("start_bt,bus_free_bt,kind,mid,transmitters,delivered,errored\n");
+    for rec in sim.trace().iter() {
+        let mid = rec
+            .mid()
+            .map_or_else(|| "-".to_string(), |m| m.to_string());
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            rec.start.as_u64(),
+            rec.bus_free.as_u64(),
+            if rec.frame.is_remote() { "rtr" } else { "data" },
+            mid,
+            rec.transmitters,
+            rec.delivered,
+            rec.errored,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(ms(BitTime::new(1_500)), "1.50ms");
+        assert_eq!(pct(0.1234), "12.34%");
+    }
+}

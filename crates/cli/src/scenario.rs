@@ -1,0 +1,320 @@
+//! Scenario files: a line-based description of a whole experiment,
+//! runnable with `canelyctl run <file>`.
+//!
+//! ```text
+//! # factory cell with a failing sensor and a hot spare
+//! nodes 7
+//! tm 30ms
+//! th 5ms
+//! traffic 0 2ms      # node 0: 2 ms cyclic traffic
+//! traffic 1 5ms
+//! crash 2 400ms
+//! join 9 600ms
+//! leave 6 700ms
+//! restart 2 900ms
+//! until 1200ms
+//! expect-view {0,1,3,4,5,9}
+//! ```
+//!
+//! Lines are `keyword args…`; `#` starts a comment. The optional
+//! `expect-view` assertion makes scenario files usable as executable
+//! regression tests.
+
+use crate::args::{parse_duration, ArgError};
+use crate::render;
+use can_bus::{BusConfig, FaultPlan};
+use can_controller::Simulator;
+use can_types::{BitTime, NodeId, NodeSet};
+use canely::{CanelyConfig, CanelyStack, TrafficConfig};
+use std::fmt::Write as _;
+
+/// A parsed scenario.
+#[derive(Debug, Default)]
+pub struct Scenario {
+    nodes: u8,
+    tm: Option<BitTime>,
+    th: Option<BitTime>,
+    until: Option<BitTime>,
+    seed: u64,
+    error_rate: f64,
+    traffic: Vec<(u8, BitTime)>,
+    crashes: Vec<(u8, BitTime)>,
+    joins: Vec<(u8, BitTime)>,
+    leaves: Vec<(u8, BitTime)>,
+    restarts: Vec<(u8, BitTime)>,
+    expect_view: Option<NodeSet>,
+}
+
+fn err<T>(line_no: usize, msg: impl std::fmt::Display) -> Result<T, ArgError> {
+    Err(ArgError(format!("line {line_no}: {msg}")))
+}
+
+impl Scenario {
+    /// Parses a scenario document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic naming the offending line.
+    pub fn parse(text: &str) -> Result<Scenario, ArgError> {
+        let mut scenario = Scenario {
+            nodes: 4,
+            ..Scenario::default()
+        };
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            let keyword = words.next().expect("non-empty line");
+            let rest: Vec<&str> = words.collect();
+            let node_time = |line_no: usize, rest: &[&str]| -> Result<(u8, BitTime), ArgError> {
+                if rest.len() != 2 {
+                    return err(line_no, "expected `<node> <time>`");
+                }
+                let node: u8 = rest[0]
+                    .parse()
+                    .map_err(|_| ArgError(format!("line {line_no}: bad node id")))?;
+                if node as usize >= can_types::MAX_NODES {
+                    return err(line_no, "node id out of range");
+                }
+                let time = parse_duration(rest[1])
+                    .ok_or_else(|| ArgError(format!("line {line_no}: bad duration")))?;
+                Ok((node, time))
+            };
+            match keyword {
+                "nodes" => {
+                    let n: usize = rest
+                        .first()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| ArgError(format!("line {line_no}: bad node count")))?;
+                    if n == 0 || n > can_types::MAX_NODES {
+                        return err(line_no, "node count out of range");
+                    }
+                    scenario.nodes = n as u8;
+                }
+                "tm" | "th" | "until" => {
+                    let d = rest
+                        .first()
+                        .and_then(|w| parse_duration(w))
+                        .ok_or_else(|| ArgError(format!("line {line_no}: bad duration")))?;
+                    match keyword {
+                        "tm" => scenario.tm = Some(d),
+                        "th" => scenario.th = Some(d),
+                        _ => scenario.until = Some(d),
+                    }
+                }
+                "seed" => {
+                    scenario.seed = rest
+                        .first()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| ArgError(format!("line {line_no}: bad seed")))?;
+                }
+                "error-rate" => {
+                    let rate: f64 = rest
+                        .first()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| ArgError(format!("line {line_no}: bad rate")))?;
+                    if !(0.0..=1.0).contains(&rate) {
+                        return err(line_no, "rate must be a probability");
+                    }
+                    scenario.error_rate = rate;
+                }
+                "traffic" => scenario.traffic.push(node_time(line_no, &rest)?),
+                "crash" => scenario.crashes.push(node_time(line_no, &rest)?),
+                "join" => scenario.joins.push(node_time(line_no, &rest)?),
+                "leave" => scenario.leaves.push(node_time(line_no, &rest)?),
+                "restart" => scenario.restarts.push(node_time(line_no, &rest)?),
+                "expect-view" => {
+                    let spec = rest.join("");
+                    let inner = spec
+                        .strip_prefix('{')
+                        .and_then(|s| s.strip_suffix('}'))
+                        .ok_or_else(|| {
+                            ArgError(format!("line {line_no}: expected {{ids,…}}"))
+                        })?;
+                    let mut view = NodeSet::EMPTY;
+                    for part in inner.split(',').filter(|p| !p.is_empty()) {
+                        let id: u8 = part.trim().parse().map_err(|_| {
+                            ArgError(format!("line {line_no}: bad node id `{part}`"))
+                        })?;
+                        if id as usize >= can_types::MAX_NODES {
+                            return err(line_no, "node id out of range");
+                        }
+                        view.insert(NodeId::new(id));
+                    }
+                    scenario.expect_view = Some(view);
+                }
+                other => return err(line_no, format_args!("unknown keyword `{other}`")),
+            }
+        }
+        Ok(scenario)
+    }
+
+    fn config(&self) -> Result<CanelyConfig, ArgError> {
+        let mut config = CanelyConfig::default();
+        if let Some(tm) = self.tm {
+            config = config.with_membership_cycle(tm);
+        }
+        if let Some(th) = self.th {
+            config = config.with_heartbeat_period(th);
+        }
+        config.join_wait = config.membership_cycle * 2 + BitTime::new(10_000);
+        config
+            .validate()
+            .map_err(|e| ArgError(format!("invalid configuration: {e}")))?;
+        Ok(config)
+    }
+
+    /// Builds and runs the scenario, returning the simulator and the
+    /// horizon used.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic for inconsistent parameters.
+    pub fn run(&self) -> Result<(Simulator, BitTime), ArgError> {
+        let config = self.config()?;
+        let faults = FaultPlan::seeded(self.seed).with_consistent_rate(self.error_rate);
+        let mut sim = Simulator::new(BusConfig::default(), faults);
+        let joiner_ids: Vec<u8> = self.joins.iter().map(|&(n, _)| n).collect();
+        let build_stack = |id: u8| {
+            let mut stack = CanelyStack::new(config.clone());
+            if let Some(&(_, period)) = self.traffic.iter().find(|&&(n, _)| n == id) {
+                stack = stack.with_traffic(
+                    TrafficConfig::periodic(period, 8)
+                        .with_offset(BitTime::new(u64::from(id) * 131 + 17)),
+                );
+            }
+            if let Some(&(_, at)) = self.leaves.iter().find(|&&(n, _)| n == id) {
+                stack = stack.with_leave_at(at);
+            }
+            stack
+        };
+        for id in 0..self.nodes {
+            if !joiner_ids.contains(&id) {
+                sim.add_node(NodeId::new(id), build_stack(id));
+            }
+        }
+        for &(id, at) in &self.joins {
+            sim.add_node_at(NodeId::new(id), build_stack(id), at);
+        }
+        for &(id, at) in &self.crashes {
+            sim.schedule_crash(NodeId::new(id), at);
+        }
+        for &(id, at) in &self.restarts {
+            sim.schedule_restart(NodeId::new(id), at, build_stack(id));
+        }
+        let until = self.until.unwrap_or(BitTime::new(600_000));
+        sim.run_until(until);
+        Ok((sim, until))
+    }
+
+    /// Runs the scenario and renders a report; fails (with a
+    /// diagnostic) if an `expect-view` assertion does not hold at
+    /// every alive participant.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic for parameter errors or a failed
+    /// expectation.
+    pub fn execute(&self) -> Result<String, ArgError> {
+        let (sim, until) = self.run()?;
+        let mut out = String::new();
+        let _ = writeln!(out, "scenario: {} nodes, horizon {}", self.nodes, render::ms(until));
+        let mut participants: Vec<u8> = (0..self.nodes).collect();
+        participants.extend(self.joins.iter().map(|&(n, _)| n));
+        participants.sort_unstable();
+        participants.dedup();
+        for &id in &participants {
+            let node = NodeId::new(id);
+            if !sim.alive().contains(node) {
+                let _ = writeln!(out, "node {node}: crashed");
+                continue;
+            }
+            let stack = sim.app::<CanelyStack>(node);
+            if stack.is_out_of_service() {
+                // A node that left holds its last view; it is not part
+                // of the expectation.
+                let _ = writeln!(out, "node {node}: left the service");
+                continue;
+            }
+            let _ = writeln!(out, "node {node}: view {}", stack.view());
+            if let Some(expected) = self.expect_view {
+                if stack.view() != expected {
+                    return Err(ArgError(format!(
+                        "expectation failed at {node}: view {} != expected {expected}",
+                        stack.view()
+                    )));
+                }
+            }
+        }
+        if self.expect_view.is_some() {
+            let _ = writeln!(out, "expect-view: ok");
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &str = "\
+# lifecycle scenario
+nodes 5
+tm 30ms
+th 5ms
+traffic 0 2ms
+crash 2 300ms
+join 9 500ms
+leave 4 700ms
+restart 2 800ms
+until 1200ms
+expect-view {0,1,2,3,9}
+";
+
+    #[test]
+    fn full_scenario_parses_runs_and_matches_expectation() {
+        let scenario = Scenario::parse(FULL).unwrap();
+        let out = scenario.execute().unwrap();
+        assert!(out.contains("expect-view: ok"), "{out}");
+        assert!(out.contains("node n9: view {0,1,2,3,9}"), "{out}");
+    }
+
+    #[test]
+    fn failed_expectation_reports() {
+        let text = FULL.replace("{0,1,2,3,9}", "{0,1}");
+        let scenario = Scenario::parse(&text).unwrap();
+        let err = scenario.execute().unwrap_err();
+        assert!(err.0.contains("expectation failed"), "{err}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let scenario = Scenario::parse("\n# only comments\n\nnodes 3 # trailing\n").unwrap();
+        assert_eq!(scenario.nodes, 3);
+    }
+
+    #[test]
+    fn diagnostics_name_the_line() {
+        for (text, needle) in [
+            ("nodes zero", "line 1"),
+            ("nodes 3\ncrash 99 10ms", "line 2"),
+            ("frobnicate 1", "unknown keyword"),
+            ("crash 1", "expected"),
+            ("expect-view 0,1", "expected {"),
+            ("error-rate 7", "probability"),
+        ] {
+            let err = Scenario::parse(text).unwrap_err();
+            assert!(err.0.contains(needle), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let scenario = Scenario::parse("").unwrap();
+        let (sim, _) = scenario.run().unwrap();
+        assert_eq!(sim.alive().len(), 4);
+    }
+}

@@ -1,0 +1,35 @@
+//! Robustness: the argument parser and duration/event grammars never
+//! panic on arbitrary input.
+
+use canely_cli::args::{parse_duration, parse_event, Args};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn parser_never_panics(argv in prop::collection::vec(".{0,24}", 0..8)) {
+        let _ = Args::parse(&argv);
+    }
+
+    #[test]
+    fn duration_grammar_never_panics(text in ".{0,16}") {
+        let _ = parse_duration(&text);
+    }
+
+    #[test]
+    fn event_grammar_never_panics(text in ".{0,16}") {
+        let _ = parse_event(&text);
+    }
+
+    #[test]
+    fn valid_durations_round_trip(ms in 0u64..1_000_000) {
+        let parsed = parse_duration(&format!("{ms}ms")).expect("valid");
+        prop_assert_eq!(parsed.as_u64(), ms * 1_000);
+    }
+
+    #[test]
+    fn valid_events_round_trip(node in 0u8..64, us in 0u64..10_000_000) {
+        let parsed = parse_event(&format!("{node}@{us}us")).expect("valid");
+        prop_assert_eq!(parsed.node.as_u8(), node);
+        prop_assert_eq!(parsed.at.as_u64(), us);
+    }
+}

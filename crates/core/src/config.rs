@@ -1,0 +1,203 @@
+//! Protocol parameters (the paper's timing and degree bounds).
+
+use can_types::{BitRate, BitTime};
+
+/// Configuration of a CANELy node stack.
+///
+/// Field names follow the paper's parameter glossary:
+///
+/// | Field | Paper | Meaning |
+/// |---|---|---|
+/// | `heartbeat_period` | `Th` | max interval between consecutive life-sign transmit requests |
+/// | `tx_delay_bound` | `Ttd = Tltm + Tina` | bounded frame transmission delay (MCAN4) |
+/// | `membership_cycle` | `Tm` | membership cycle period |
+/// | `rha_timeout` | `Trha` | RHA maximum termination time |
+/// | `join_wait` | `Tjoin-wait` | maximum join wait delay (footnote: much longer than `Tm`) |
+/// | `inconsistent_degree` | `j` | bounded inconsistent omission degree (LCAN4) |
+///
+/// The remaining flags select design variants used by the ablation
+/// benches (the paper's design corresponds to the defaults).
+///
+/// # Examples
+///
+/// ```
+/// use canely::CanelyConfig;
+/// use can_types::BitTime;
+///
+/// let cfg = CanelyConfig::default().with_membership_cycle(BitTime::new(50_000));
+/// assert_eq!(cfg.membership_cycle, BitTime::new(50_000));
+/// // Detection latency bound: Th + Ttd.
+/// assert_eq!(cfg.detection_latency_bound(), cfg.heartbeat_period + cfg.tx_delay_bound);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanelyConfig {
+    /// `Th`: the heartbeat (life-sign) period.
+    pub heartbeat_period: BitTime,
+    /// `Ttd`: network message transmission delay bound added to remote
+    /// surveillance timers (`Tltm + Tina`).
+    pub tx_delay_bound: BitTime,
+    /// `Tm`: the membership cycle period.
+    pub membership_cycle: BitTime,
+    /// `Trha`: RHA maximum termination time.
+    pub rha_timeout: BitTime,
+    /// `Tjoin-wait`: maximum join wait delay at a non-integrated node.
+    pub join_wait: BitTime,
+    /// `j`: the inconsistent omission degree bound used by RHA's
+    /// duplicate-suppression rule (Fig. 7, line r08).
+    pub inconsistent_degree: u32,
+    /// Whether normal data traffic signals node activity implicitly
+    /// (the `can-data.nty` mechanism of Sec. 6.3). Disabling it forces
+    /// explicit life-signs from every node — an ablation target.
+    pub implicit_heartbeats: bool,
+    /// Ablation: also treat JOIN/LEAVE remote frames as activity of
+    /// their issuing node (the paper counts only data frames and ELS).
+    pub activity_from_all_rtr: bool,
+    /// Reconstruction choice: a joining node excluded from the agreed
+    /// view (inconsistent join failure) re-issues its JOIN request on
+    /// the next cycle instead of staying out forever.
+    pub rejoin_on_failed_join: bool,
+    /// Lifecycle of an expelled node (declared failed while running —
+    /// e.g. its fresh incarnation rebooted before the old failure
+    /// settled): start a new incarnation and rejoin after this delay,
+    /// honouring the Sec. 6.4 assumption that reintegration happens "a
+    /// period much higher than Tm" after removal. `None` keeps
+    /// expulsion terminal.
+    pub expulsion_rejoin_delay: Option<BitTime>,
+}
+
+impl CanelyConfig {
+    /// The evaluation defaults: 1 Mbps figures with `Tm = 30 ms`,
+    /// `Th = 5 ms`, detection latency bound well under "tens of ms".
+    pub fn default_at(rate: BitRate) -> Self {
+        CanelyConfig {
+            heartbeat_period: BitTime::from_ms(5, rate),
+            tx_delay_bound: BitTime::from_us(2_500, rate),
+            membership_cycle: BitTime::from_ms(30, rate),
+            rha_timeout: BitTime::from_ms(5, rate),
+            join_wait: BitTime::from_ms(60, rate),
+            inconsistent_degree: 2,
+            implicit_heartbeats: true,
+            activity_from_all_rtr: false,
+            rejoin_on_failed_join: true,
+            expulsion_rejoin_delay: Some(BitTime::from_ms(240, rate)),
+        }
+    }
+
+    /// Sets `Tm`, the membership cycle period.
+    pub fn with_membership_cycle(mut self, tm: BitTime) -> Self {
+        self.membership_cycle = tm;
+        self
+    }
+
+    /// Sets `Th`, the heartbeat period.
+    pub fn with_heartbeat_period(mut self, th: BitTime) -> Self {
+        self.heartbeat_period = th;
+        self
+    }
+
+    /// Sets `j`, the inconsistent omission degree bound.
+    pub fn with_inconsistent_degree(mut self, j: u32) -> Self {
+        self.inconsistent_degree = j;
+        self
+    }
+
+    /// Disables implicit heartbeats (every node then relies on ELS).
+    pub fn without_implicit_heartbeats(mut self) -> Self {
+        self.implicit_heartbeats = false;
+        self
+    }
+
+    /// The bound on node crash detection latency at a remote node:
+    /// a silent node is detected within `Th + Ttd` of its last
+    /// scheduled life-sign (Sec. 6.1: "the upper bound specified for
+    /// the delay in the detection of node crash failures is
+    /// preserved").
+    pub fn detection_latency_bound(&self) -> BitTime {
+        self.heartbeat_period + self.tx_delay_bound
+    }
+
+    /// Validates parameter coherence.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint:
+    /// durations must be positive, `Tjoin-wait > Tm` (footnote 9) and
+    /// `Trha < Tm` (an agreement must finish within its cycle).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.heartbeat_period.is_zero() {
+            return Err("heartbeat period (Th) must be positive".into());
+        }
+        if self.membership_cycle.is_zero() {
+            return Err("membership cycle (Tm) must be positive".into());
+        }
+        if self.rha_timeout.is_zero() {
+            return Err("RHA timeout (Trha) must be positive".into());
+        }
+        if self.join_wait <= self.membership_cycle {
+            return Err("join wait (Tjoin-wait) must exceed the membership cycle (Tm)".into());
+        }
+        if self.rha_timeout >= self.membership_cycle {
+            return Err("RHA timeout (Trha) must be below the membership cycle (Tm)".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for CanelyConfig {
+    fn default() -> Self {
+        CanelyConfig::default_at(BitRate::MBPS_1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid_and_paper_scaled() {
+        let cfg = CanelyConfig::default();
+        cfg.validate().expect("defaults must validate");
+        assert_eq!(cfg.membership_cycle, BitTime::new(30_000));
+        // "Membership … tens of ms latency" (Fig. 11): the detection
+        // bound must stay well below 100 ms at 1 Mbps.
+        assert!(cfg.detection_latency_bound() < BitTime::new(100_000));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = CanelyConfig::default()
+            .with_membership_cycle(BitTime::new(90_000))
+            .with_heartbeat_period(BitTime::new(9_000))
+            .with_inconsistent_degree(3)
+            .without_implicit_heartbeats();
+        assert_eq!(cfg.membership_cycle, BitTime::new(90_000));
+        assert_eq!(cfg.heartbeat_period, BitTime::new(9_000));
+        assert_eq!(cfg.inconsistent_degree, 3);
+        assert!(!cfg.implicit_heartbeats);
+    }
+
+    #[test]
+    fn validation_catches_inverted_timeouts() {
+        let cfg = CanelyConfig::default().with_membership_cycle(BitTime::new(1_000));
+        assert!(cfg.validate().is_err());
+
+        let cfg = CanelyConfig {
+            join_wait: CanelyConfig::default().membership_cycle,
+            ..CanelyConfig::default()
+        };
+        assert!(cfg.validate().unwrap_err().contains("join wait"));
+
+        let cfg = CanelyConfig {
+            heartbeat_period: BitTime::ZERO,
+            ..CanelyConfig::default()
+        };
+        assert!(cfg.validate().unwrap_err().contains("Th"));
+    }
+
+    #[test]
+    fn scales_with_bit_rate() {
+        // At 50 kbps a 30 ms cycle is only 1500 bit-times.
+        let slow = CanelyConfig::default_at(BitRate::KBPS_50);
+        assert_eq!(slow.membership_cycle, BitTime::new(1_500));
+    }
+}

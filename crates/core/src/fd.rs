@@ -1,0 +1,344 @@
+//! The node failure detection protocol (paper Fig. 8).
+//!
+//! One surveillance timer per monitored node:
+//!
+//! * the **local** timer has duration `Th` — when it expires the node
+//!   has been silent for a heartbeat period and must broadcast an
+//!   explicit life-sign (ELS remote frame);
+//! * **remote** timers have duration `Th + Ttd` (heartbeat period plus
+//!   the bounded network transmission delay of MCAN4) — expiry means
+//!   the remote node gave no sign of life in time, and the FDA
+//!   micro-protocol is invoked to disseminate the failure consistently.
+//!
+//! Node activity is signalled *implicitly* by normal data traffic
+//! (through the `can-data.nty` driver extension) and *explicitly* by
+//! ELS frames; either restarts the corresponding surveillance timer.
+//! "Explicit life-sign messages may need to be issued, but only if and
+//! when the time between message transmit requests is higher than the
+//! heartbeat period" — which is precisely what the local-timer rule
+//! implements.
+
+use crate::tags::TimerOwner;
+use can_controller::{Ctx, TimerId};
+use can_types::{BitTime, Mid, MsgType, NodeId, NodeSet};
+use std::collections::HashMap;
+
+/// Actions the failure detector hands back to the enclosing stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FdAction {
+    /// A remote node's surveillance timer expired: invoke
+    /// `fda-can.req(r)` to disseminate the crash consistently
+    /// (Fig. 8, line f10).
+    Suspect(NodeId),
+    /// `fd-can.nty(r)`: deliver the (agreed) failure notification to
+    /// the companion membership protocol (line f15).
+    Notify(NodeId),
+}
+
+/// The failure detection protocol entity of one node.
+#[derive(Debug)]
+pub struct FailureDetector {
+    /// `Th`: heartbeat period (local timer duration).
+    th: BitTime,
+    /// `Ttd`: network transmission delay bound added for remote nodes.
+    ttd: BitTime,
+    /// `tid(r)`: the armed surveillance timers.
+    timers: HashMap<NodeId, TimerId>,
+    /// The set of nodes this detector watches (`fd-can.req(START)`ed).
+    monitored: NodeSet,
+    /// Explicit life-signs issued (introspection / bandwidth studies).
+    els_sent: u64,
+}
+
+impl FailureDetector {
+    /// Creates a detector with heartbeat period `th` and transmission
+    /// delay bound `ttd`.
+    pub fn new(th: BitTime, ttd: BitTime) -> Self {
+        FailureDetector {
+            th,
+            ttd,
+            timers: HashMap::new(),
+            monitored: NodeSet::EMPTY,
+            els_sent: 0,
+        }
+    }
+
+    /// The mid of an explicit life-sign of node `r`.
+    pub fn els_mid(r: NodeId) -> Mid {
+        Mid::new(MsgType::Els, 0, r)
+    }
+
+    /// The set of currently monitored nodes.
+    pub fn monitored(&self) -> NodeSet {
+        self.monitored
+    }
+
+    /// Number of explicit life-signs this node has issued.
+    pub fn els_sent(&self) -> u64 {
+        self.els_sent
+    }
+
+    /// `fd-can.req(START, r)` (Fig. 8, lines f00–f02).
+    pub fn start(&mut self, ctx: &mut Ctx<'_>, r: NodeId) {
+        self.monitored.insert(r);
+        self.arm(ctx, r); // f01
+    }
+
+    /// `fd-can.req(STOP, r)` (lines f17–f19).
+    pub fn stop(&mut self, ctx: &mut Ctx<'_>, r: NodeId) {
+        self.monitored.remove(r);
+        if let Some(tid) = self.timers.remove(&r) {
+            ctx.cancel_alarm(tid); // f18
+        }
+    }
+
+    /// Stops every surveillance timer (used when the node leaves the
+    /// membership service).
+    pub fn stop_all(&mut self, ctx: &mut Ctx<'_>) {
+        for (_, tid) in self.timers.drain() {
+            ctx.cancel_alarm(tid);
+        }
+        self.monitored = NodeSet::EMPTY;
+    }
+
+    /// `fd-alarm-start(r)` (lines a00–a06): (re)arms the surveillance
+    /// timer — `Th` for the local node, `Th + Ttd` for remote nodes.
+    fn arm(&mut self, ctx: &mut Ctx<'_>, r: NodeId) {
+        if let Some(old) = self.timers.remove(&r) {
+            ctx.cancel_alarm(old);
+        }
+        let duration = if r == ctx.me() {
+            self.th // a02
+        } else {
+            // a04, plus a deterministic per-observer skew: real nodes
+            // have independent oscillators, so surveillance timers
+            // armed by the same frame delivery do not expire in
+            // lock-step. The spacing (512 bit-times per rank) exceeds
+            // a worst-case frame plus error signalling, so the first
+            // detector's failure-sign reaches — and cancels — every
+            // later observer before it fires. (Perfectly simultaneous
+            // expiry would make all observers transmit the sign in one
+            // cluster, leaving no same-side receiver to acknowledge it
+            // under a partition.)
+            self.th + self.ttd + BitTime::new(u64::from(ctx.me().as_u8()) * 512)
+        };
+        let tid = ctx.start_alarm(duration, TimerOwner::Surveillance(r).encode());
+        self.timers.insert(r, tid);
+    }
+
+    /// Node activity detected: a data frame from `r` arrived
+    /// (`can-data.nty`) or an explicit life-sign of `r` was heard
+    /// (`can-rtr.ind(mid{ELS,r})`) — restart the surveillance timer
+    /// (lines f03–f05). Activity of unmonitored nodes is ignored.
+    pub fn on_activity(&mut self, ctx: &mut Ctx<'_>, r: NodeId) {
+        if self.monitored.contains(r) {
+            self.arm(ctx, r); // f04
+        }
+    }
+
+    /// A surveillance timer expired (lines f06–f12). For the local
+    /// node an explicit life-sign is broadcast (its own reception will
+    /// restart the timer); for a remote node the caller must invoke
+    /// FDA.
+    pub fn on_timer(&mut self, ctx: &mut Ctx<'_>, r: NodeId) -> Option<FdAction> {
+        if !self.monitored.contains(r) {
+            return None; // stale expiry after STOP
+        }
+        self.timers.remove(&r);
+        if r == ctx.me() {
+            ctx.can_rtr_req(Self::els_mid(r)); // f08
+            self.els_sent += 1;
+            ctx.journal("FD: broadcasting explicit life-sign");
+            None
+        } else {
+            ctx.journal(format_args!("FD: node {r} silent — suspecting"));
+            Some(FdAction::Suspect(r)) // f10
+        }
+    }
+
+    /// `fda-can.nty(r)` received: the failure of `r` is agreed —
+    /// cancel the surveillance timer and notify the membership layer
+    /// (lines f13–f16).
+    pub fn on_fda_nty(&mut self, ctx: &mut Ctx<'_>, r: NodeId) -> FdAction {
+        self.monitored.remove(r);
+        if let Some(tid) = self.timers.remove(&r) {
+            ctx.cancel_alarm(tid); // f14
+        }
+        FdAction::Notify(r) // f15
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use can_controller::{Controller, JournalEntry, TimerWheel};
+
+    struct Harness {
+        ctl: Controller,
+        timers: TimerWheel,
+        journal: Vec<JournalEntry>,
+        me: NodeId,
+        now: BitTime,
+    }
+
+    impl Harness {
+        fn new(me: u8) -> Self {
+            Harness {
+                ctl: Controller::new(),
+                timers: TimerWheel::new(),
+                journal: Vec::new(),
+                me: NodeId::new(me),
+                now: BitTime::ZERO,
+            }
+        }
+
+        fn ctx<R>(&mut self, f: impl FnOnce(&mut Ctx<'_>) -> R) -> R {
+            let mut ctx = Ctx::new(
+                self.now,
+                self.me,
+                &mut self.ctl,
+                &mut self.timers,
+                &mut self.journal,
+                false,
+            );
+            f(&mut ctx)
+        }
+    }
+
+    fn fd() -> FailureDetector {
+        FailureDetector::new(BitTime::new(5_000), BitTime::new(2_500))
+    }
+
+    #[test]
+    fn local_timer_uses_th_remote_uses_th_plus_ttd() {
+        let mut h = Harness::new(0);
+        let mut d = fd();
+        h.ctx(|ctx| d.start(ctx, NodeId::new(0)));
+        assert_eq!(h.timers.next_deadline(), Some(BitTime::new(5_000)));
+        let mut h2 = Harness::new(0);
+        let mut d2 = fd();
+        h2.ctx(|ctx| d2.start(ctx, NodeId::new(1)));
+        assert_eq!(h2.timers.next_deadline(), Some(BitTime::new(7_500)));
+    }
+
+    #[test]
+    fn activity_restarts_monitored_timer() {
+        let mut h = Harness::new(0);
+        let mut d = fd();
+        h.ctx(|ctx| d.start(ctx, NodeId::new(1)));
+        h.now = BitTime::new(4_000);
+        h.ctx(|ctx| d.on_activity(ctx, NodeId::new(1)));
+        // Restarted at t=4000: new deadline 11_500, old one cancelled.
+        assert_eq!(h.timers.next_deadline(), Some(BitTime::new(11_500)));
+        assert_eq!(h.timers.len(), 1);
+    }
+
+    #[test]
+    fn activity_of_unmonitored_node_is_ignored() {
+        let mut h = Harness::new(0);
+        let mut d = fd();
+        h.ctx(|ctx| d.on_activity(ctx, NodeId::new(9)));
+        assert!(h.timers.is_empty());
+        assert_eq!(d.monitored(), NodeSet::EMPTY);
+    }
+
+    #[test]
+    fn local_expiry_broadcasts_els() {
+        let mut h = Harness::new(3);
+        let mut d = fd();
+        h.ctx(|ctx| d.start(ctx, NodeId::new(3)));
+        h.now = BitTime::new(5_000);
+        let action = h.ctx(|ctx| d.on_timer(ctx, NodeId::new(3)));
+        assert_eq!(action, None);
+        assert_eq!(d.els_sent(), 1);
+        // An ELS remote frame is queued.
+        let head = h.ctl.head().unwrap();
+        assert!(head.is_remote());
+        assert_eq!(
+            Mid::from_can_id(head.id()).unwrap(),
+            FailureDetector::els_mid(NodeId::new(3))
+        );
+    }
+
+    #[test]
+    fn own_els_reception_restarts_local_timer() {
+        // The elegant loop of Fig. 8: the node's own ELS arrives back
+        // (own transmissions included) and f03 restarts the timer.
+        let mut h = Harness::new(3);
+        let mut d = fd();
+        h.ctx(|ctx| d.start(ctx, NodeId::new(3)));
+        h.now = BitTime::new(5_000);
+        let fired = h.timers.pop_due(h.now).expect("local timer due");
+        assert_eq!(
+            fired.tag,
+            crate::tags::TimerOwner::Surveillance(NodeId::new(3)).encode()
+        );
+        h.ctx(|ctx| d.on_timer(ctx, NodeId::new(3)));
+        assert!(h.timers.is_empty(), "no timer while ELS in flight");
+        h.now = BitTime::new(5_080);
+        h.ctx(|ctx| d.on_activity(ctx, NodeId::new(3)));
+        assert_eq!(h.timers.next_deadline(), Some(BitTime::new(10_080)));
+    }
+
+    #[test]
+    fn remote_expiry_suspects() {
+        let mut h = Harness::new(0);
+        let mut d = fd();
+        h.ctx(|ctx| d.start(ctx, NodeId::new(2)));
+        h.now = BitTime::new(7_500);
+        let action = h.ctx(|ctx| d.on_timer(ctx, NodeId::new(2)));
+        assert_eq!(action, Some(FdAction::Suspect(NodeId::new(2))));
+        // No ELS issued for remote nodes.
+        assert_eq!(h.ctl.queue_len(), 0);
+    }
+
+    #[test]
+    fn stop_cancels_and_squelches_stale_expiry() {
+        let mut h = Harness::new(0);
+        let mut d = fd();
+        h.ctx(|ctx| d.start(ctx, NodeId::new(2)));
+        h.ctx(|ctx| d.stop(ctx, NodeId::new(2)));
+        assert!(h.timers.is_empty());
+        // A stale expiry (raced with STOP) is ignored.
+        let action = h.ctx(|ctx| d.on_timer(ctx, NodeId::new(2)));
+        assert_eq!(action, None);
+    }
+
+    #[test]
+    fn fda_notification_cancels_and_notifies() {
+        let mut h = Harness::new(0);
+        let mut d = fd();
+        h.ctx(|ctx| d.start(ctx, NodeId::new(2)));
+        let action = h.ctx(|ctx| d.on_fda_nty(ctx, NodeId::new(2)));
+        assert_eq!(action, FdAction::Notify(NodeId::new(2)));
+        assert!(h.timers.is_empty());
+        assert!(!d.monitored().contains(NodeId::new(2)));
+    }
+
+    #[test]
+    fn stop_all_clears_everything() {
+        let mut h = Harness::new(0);
+        let mut d = fd();
+        h.ctx(|ctx| {
+            d.start(ctx, NodeId::new(0));
+            d.start(ctx, NodeId::new(1));
+            d.start(ctx, NodeId::new(2));
+        });
+        assert_eq!(h.timers.len(), 3);
+        h.ctx(|ctx| d.stop_all(ctx));
+        assert!(h.timers.is_empty());
+        assert_eq!(d.monitored(), NodeSet::EMPTY);
+    }
+
+    #[test]
+    fn restart_replaces_rather_than_accumulates_timers() {
+        let mut h = Harness::new(0);
+        let mut d = fd();
+        h.ctx(|ctx| d.start(ctx, NodeId::new(1)));
+        for step in 1..=5u64 {
+            h.now = BitTime::new(step * 1_000);
+            h.ctx(|ctx| d.on_activity(ctx, NodeId::new(1)));
+        }
+        assert_eq!(h.timers.len(), 1, "exactly one live timer per node");
+    }
+}

@@ -1,0 +1,96 @@
+//! Timer-tag encoding shared by the stack's micro-protocols.
+//!
+//! Each protocol multiplexes its alarms onto the node's timer wheel;
+//! the 64-bit tag encodes the owning protocol in the top byte and a
+//! protocol-specific payload (usually a node identifier) in the low
+//! bits, so the stack can route expiries without extra bookkeeping.
+
+use can_types::NodeId;
+
+/// Owning protocol of a timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerOwner {
+    /// Failure-detection surveillance timer for a node (payload: node id).
+    Surveillance(NodeId),
+    /// RHA maximum-termination alarm.
+    RhaTermination,
+    /// Membership cycle / join-wait alarm (the shared `tid` of Fig. 9).
+    MembershipCycle,
+    /// Application traffic generator tick.
+    Traffic,
+    /// Scheduled upper-layer action (join/leave scripting).
+    Scripted(u32),
+}
+
+const KIND_SURVEILLANCE: u64 = 1;
+const KIND_RHA: u64 = 2;
+const KIND_MEMBERSHIP: u64 = 3;
+const KIND_TRAFFIC: u64 = 4;
+const KIND_SCRIPTED: u64 = 5;
+
+impl TimerOwner {
+    /// Encodes the owner as a timer tag.
+    pub fn encode(self) -> u64 {
+        match self {
+            TimerOwner::Surveillance(node) => {
+                (KIND_SURVEILLANCE << 56) | node.as_u8() as u64
+            }
+            TimerOwner::RhaTermination => KIND_RHA << 56,
+            TimerOwner::MembershipCycle => KIND_MEMBERSHIP << 56,
+            TimerOwner::Traffic => KIND_TRAFFIC << 56,
+            TimerOwner::Scripted(action) => (KIND_SCRIPTED << 56) | action as u64,
+        }
+    }
+
+    /// Decodes a timer tag, if it was produced by [`TimerOwner::encode`].
+    pub fn decode(tag: u64) -> Option<TimerOwner> {
+        let payload = tag & 0x00FF_FFFF_FFFF_FFFF;
+        match tag >> 56 {
+            KIND_SURVEILLANCE if payload < 64 => {
+                Some(TimerOwner::Surveillance(NodeId::new(payload as u8)))
+            }
+            KIND_RHA => Some(TimerOwner::RhaTermination),
+            KIND_MEMBERSHIP => Some(TimerOwner::MembershipCycle),
+            KIND_TRAFFIC => Some(TimerOwner::Traffic),
+            KIND_SCRIPTED => Some(TimerOwner::Scripted(payload as u32)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let owners = [
+            TimerOwner::Surveillance(NodeId::new(0)),
+            TimerOwner::Surveillance(NodeId::new(63)),
+            TimerOwner::RhaTermination,
+            TimerOwner::MembershipCycle,
+            TimerOwner::Traffic,
+            TimerOwner::Scripted(7),
+        ];
+        for owner in owners {
+            assert_eq!(TimerOwner::decode(owner.encode()), Some(owner));
+        }
+    }
+
+    #[test]
+    fn distinct_owners_distinct_tags() {
+        let a = TimerOwner::Surveillance(NodeId::new(1)).encode();
+        let b = TimerOwner::Surveillance(NodeId::new(2)).encode();
+        let c = TimerOwner::MembershipCycle.encode();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn garbage_tags_decode_to_none() {
+        assert_eq!(TimerOwner::decode(0), None);
+        assert_eq!(TimerOwner::decode(u64::MAX), None);
+        // Surveillance payload out of node range.
+        assert_eq!(TimerOwner::decode((1 << 56) | 64), None);
+    }
+}

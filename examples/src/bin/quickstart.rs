@@ -1,0 +1,53 @@
+//! Quickstart: the CANELy membership service in thirty lines.
+//!
+//! Five nodes power on, join, and agree on a view; node 3 crashes;
+//! the failure detection + FDA machinery notifies every survivor
+//! consistently and the view is purged.
+//!
+//! Run with `cargo run --release -p examples --bin quickstart`.
+
+use can_bus::{BusConfig, FaultPlan};
+use can_controller::Simulator;
+use can_types::{BitTime, NodeId};
+use canely::{CanelyConfig, CanelyStack, UpperEvent};
+use examples::{fmt_ms, print_history};
+
+fn main() {
+    let config = CanelyConfig::default();
+    let mut sim = Simulator::new(BusConfig::default(), FaultPlan::none());
+
+    // Five nodes, all joining at power-on.
+    for id in 0..5 {
+        sim.add_node(NodeId::new(id), CanelyStack::new(config.clone()));
+    }
+
+    // Let the cluster bootstrap (join wait + a couple of cycles)…
+    sim.run_until(BitTime::new(200_000));
+    println!(
+        "after bootstrap: view at node 0 = {}",
+        sim.app::<CanelyStack>(NodeId::new(0)).view()
+    );
+
+    // …then crash node 3.
+    let crash_at = BitTime::new(250_000);
+    sim.schedule_crash(NodeId::new(3), crash_at);
+    sim.run_until(BitTime::new(500_000));
+
+    println!("node 3 crashed at t={}", fmt_ms(crash_at));
+    for id in [0u8, 1, 2, 4] {
+        let stack = sim.app::<CanelyStack>(NodeId::new(id));
+        let detected = stack
+            .events()
+            .iter()
+            .find(|(_, e)| matches!(e, UpperEvent::FailureNotified(r) if r.as_u8() == 3))
+            .map(|&(t, _)| t)
+            .expect("failure agreed at every correct node");
+        println!(
+            "node {id}: detected at t={} (+{}), final view = {}",
+            fmt_ms(detected),
+            fmt_ms(detected - crash_at),
+            stack.view()
+        );
+    }
+    print_history("node 0", &sim, NodeId::new(0));
+}

@@ -1,0 +1,138 @@
+//! Seeded fault campaigns over the reliable broadcast suite:
+//! EDCAN/RELCAN keep exactly-once delivery, TOTCAN keeps total order
+//! and atomicity, across stochastic omission noise.
+
+use can_bus::{BusConfig, FaultPlan};
+use can_controller::Simulator;
+use can_types::{BitTime, Payload};
+use canely_broadcast::common::{MsgKey, ScheduledSend};
+use canely_broadcast::{Edcan, Relcan, Totcan};
+use integration::n;
+
+fn schedule(node: u8, count: u64, spacing: u64) -> Vec<ScheduledSend> {
+    (0..count)
+        .map(|k| {
+            ScheduledSend::new(
+                BitTime::new(1_000 + k * spacing + u64::from(node) * 137),
+                Payload::from_slice(&[node, k as u8]).unwrap(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn edcan_exactly_once_under_noise() {
+    for seed in 0..10u64 {
+        let faults = FaultPlan::seeded(seed)
+            .with_consistent_rate(0.05)
+            .with_inconsistent_rate(0.02)
+            .with_omission_bound(16, BitTime::new(50_000))
+            .with_inconsistent_bound(2);
+        let mut sim = Simulator::new(BusConfig::default(), faults);
+        for id in 0..3u8 {
+            sim.add_node(n(id), Edcan::new().with_schedule(schedule(id, 10, 4_000)));
+        }
+        sim.add_node(n(3), Edcan::new());
+        sim.run_until(BitTime::new(200_000));
+        for id in 0..4u8 {
+            let deliveries = sim.app::<Edcan>(n(id)).deliveries();
+            assert_eq!(deliveries.len(), 30, "seed {seed}, node {id}");
+            // Exactly once: all keys distinct.
+            let mut keys: Vec<MsgKey> = deliveries.iter().map(|d| d.key).collect();
+            keys.sort_unstable();
+            keys.dedup();
+            assert_eq!(keys.len(), 30, "seed {seed}, node {id}: duplicates");
+        }
+    }
+}
+
+#[test]
+fn relcan_exactly_once_under_noise() {
+    for seed in 0..10u64 {
+        let faults = FaultPlan::seeded(seed)
+            .with_consistent_rate(0.05)
+            .with_inconsistent_rate(0.02)
+            .with_omission_bound(16, BitTime::new(50_000))
+            .with_inconsistent_bound(2);
+        let mut sim = Simulator::new(BusConfig::default(), faults);
+        let timeout = BitTime::new(3_000);
+        for id in 0..3u8 {
+            sim.add_node(
+                n(id),
+                Relcan::new(timeout).with_schedule(schedule(id, 10, 4_000)),
+            );
+        }
+        sim.add_node(n(3), Relcan::new(timeout));
+        sim.run_until(BitTime::new(200_000));
+        for id in 0..4u8 {
+            let deliveries = sim.app::<Relcan>(n(id)).deliveries();
+            assert_eq!(deliveries.len(), 30, "seed {seed}, node {id}");
+        }
+    }
+}
+
+#[test]
+fn totcan_total_order_under_noise() {
+    for seed in 0..10u64 {
+        let faults = FaultPlan::seeded(seed)
+            .with_consistent_rate(0.05)
+            .with_inconsistent_rate(0.02)
+            .with_omission_bound(16, BitTime::new(50_000))
+            .with_inconsistent_bound(2);
+        let mut sim = Simulator::new(BusConfig::default(), faults);
+        let abort = BitTime::new(8_000);
+        for id in 0..3u8 {
+            sim.add_node(
+                n(id),
+                Totcan::new(abort).with_schedule(schedule(id, 8, 5_000)),
+            );
+        }
+        sim.add_node(n(3), Totcan::new(abort));
+        sim.run_until(BitTime::new(250_000));
+
+        let reference: Vec<MsgKey> = sim
+            .app::<Totcan>(n(3))
+            .deliveries()
+            .iter()
+            .map(|d| d.key)
+            .collect();
+        assert_eq!(reference.len(), 24, "seed {seed}: all messages accepted");
+        for id in 0..3u8 {
+            let order: Vec<MsgKey> = sim
+                .app::<Totcan>(n(id))
+                .deliveries()
+                .iter()
+                .map(|d| d.key)
+                .collect();
+            assert_eq!(order, reference, "seed {seed}, node {id}: order differs");
+        }
+    }
+}
+
+/// Mixed suite under noise: all three protocols coexisting with their
+/// guarantees intact (distinct type codes keep their traffic apart).
+#[test]
+fn mixed_suite_campaign() {
+    for seed in [3u64, 17, 40] {
+        let faults = FaultPlan::seeded(seed)
+            .with_consistent_rate(0.04)
+            .with_omission_bound(16, BitTime::new(50_000));
+        let mut sim = Simulator::new(BusConfig::default(), faults);
+        sim.add_node(n(0), Edcan::new().with_schedule(schedule(0, 6, 6_000)));
+        sim.add_node(
+            n(1),
+            Relcan::new(BitTime::new(3_000)).with_schedule(schedule(1, 6, 6_000)),
+        );
+        sim.add_node(
+            n(2),
+            Totcan::new(BitTime::new(8_000)).with_schedule(schedule(2, 6, 6_000)),
+        );
+        sim.add_node(n(4), Edcan::new());
+        sim.add_node(n(5), Relcan::new(BitTime::new(3_000)));
+        sim.add_node(n(6), Totcan::new(BitTime::new(8_000)));
+        sim.run_until(BitTime::new(200_000));
+        assert_eq!(sim.app::<Edcan>(n(4)).deliveries().len(), 6, "seed {seed}");
+        assert_eq!(sim.app::<Relcan>(n(5)).deliveries().len(), 6, "seed {seed}");
+        assert_eq!(sim.app::<Totcan>(n(6)).deliveries().len(), 6, "seed {seed}");
+    }
+}

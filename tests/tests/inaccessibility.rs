@@ -1,0 +1,156 @@
+//! Measured inaccessibility vs the analytic bounds of Fig. 11.
+//!
+//! The fault injector enforces the paper's bounded omission degree;
+//! the measured worst inaccessibility episode on the wire must stay
+//! within the closed-form `Tina` upper bound of [22] for the same
+//! omission degree.
+
+use can_bus::{BusConfig, FaultEffect, FaultMatcher, FaultPlan, ScriptedFault};
+use can_controller::Simulator;
+use can_types::BitTime;
+use canely::{CanelyConfig, CanelyStack, TrafficConfig};
+use canely_analysis::{InaccessibilityModel, Scenario};
+use integration::n;
+
+fn busy_cluster(sim: &mut Simulator, count: u8) {
+    let config = CanelyConfig::default();
+    for id in 0..count {
+        sim.add_node(
+            n(id),
+            CanelyStack::new(config.clone()).with_traffic(
+                TrafficConfig::periodic(BitTime::new(2_000), 8)
+                    .with_offset(BitTime::new(u64::from(id) * 311)),
+            ),
+        );
+    }
+}
+
+/// A scripted error burst produces one inaccessibility episode whose
+/// duration is within the analytic per-omission budget.
+#[test]
+fn scripted_burst_measured_within_analytic_budget() {
+    for burst in [1u32, 4, 8, 12] {
+        let mut faults = FaultPlan::none();
+        faults.push_scripted(ScriptedFault {
+            matcher: FaultMatcher {
+                not_before: BitTime::new(200_000),
+                ..FaultMatcher::default()
+            },
+            effect: FaultEffect::ConsistentOmission,
+            count: burst,
+        });
+        let mut sim = Simulator::new(BusConfig::default(), faults);
+        busy_cluster(&mut sim, 4);
+        sim.run_until(BitTime::new(400_000));
+
+        let model = InaccessibilityModel::canely();
+        let analytic = model.duration(Scenario::Burst { omissions: burst });
+        let measured = sim
+            .trace()
+            .worst_inaccessibility()
+            .expect("burst must show up as an episode");
+        assert!(
+            measured <= analytic,
+            "burst {burst}: measured {measured} > analytic {analytic}"
+        );
+        // And the analytic bound is tight-ish: within 2x.
+        assert!(
+            measured * 2 >= analytic,
+            "burst {burst}: measured {measured} implausibly small vs {analytic}"
+        );
+    }
+}
+
+/// Under stochastic omissions bounded by the CANELy omission degree,
+/// the measured worst inaccessibility stays below the Fig. 11 upper
+/// bound of 2160 bit-times.
+#[test]
+fn stochastic_campaign_respects_fig11_canely_bound() {
+    let model = InaccessibilityModel::canely();
+    for seed in 0..8u64 {
+        let faults = FaultPlan::seeded(seed)
+            .with_consistent_rate(0.10)
+            .with_omission_bound(model.omission_degree(), BitTime::new(50_000));
+        let mut sim = Simulator::new(BusConfig::default(), faults);
+        busy_cluster(&mut sim, 4);
+        sim.run_until(BitTime::new(1_000_000));
+        if let Some(worst) = sim.trace().worst_inaccessibility() {
+            assert!(
+                worst <= model.upper_bound(),
+                "seed {seed}: measured {worst} exceeds Tina {}",
+                model.upper_bound()
+            );
+        }
+    }
+}
+
+/// Traffic keeps flowing after an inaccessibility episode: the bounded
+/// transmission delay (MCAN4) includes Tina, and delivery resumes.
+#[test]
+fn service_resumes_after_episode() {
+    let mut faults = FaultPlan::none();
+    faults.push_scripted(ScriptedFault {
+        matcher: FaultMatcher {
+            not_before: BitTime::new(200_000),
+            ..FaultMatcher::default()
+        },
+        effect: FaultEffect::ConsistentOmission,
+        count: 12,
+    });
+    let mut sim = Simulator::new(BusConfig::default(), faults);
+    busy_cluster(&mut sim, 4);
+    sim.run_until(BitTime::new(800_000));
+    // No spurious failure notifications despite the burst: the
+    // surveillance margin Ttd covers the worst-case inaccessibility.
+    for id in 0..4u8 {
+        let stack = sim.app::<CanelyStack>(n(id));
+        assert_eq!(stack.view().len(), 4, "node {id} view intact");
+        assert!(
+            !stack
+                .events()
+                .iter()
+                .any(|(_, e)| matches!(e, canely::UpperEvent::FailureNotified(_))),
+            "node {id}: burst must not look like a crash"
+        );
+    }
+}
+
+/// Explicit inaccessibility periods (injected via the fault plan) also
+/// stay invisible to the membership as long as they are shorter than
+/// the surveillance margin.
+#[test]
+fn short_injected_inaccessibility_is_transparent() {
+    let mut faults = FaultPlan::none();
+    // 2 ms of bus hold — just under the default Ttd of 2.5 ms.
+    faults.push_inaccessibility(BitTime::new(250_000), BitTime::new(252_000));
+    let mut sim = Simulator::new(BusConfig::default(), faults);
+    busy_cluster(&mut sim, 4);
+    sim.run_until(BitTime::new(600_000));
+    for id in 0..4u8 {
+        assert_eq!(sim.app::<CanelyStack>(n(id)).view().len(), 4);
+    }
+}
+
+/// An inaccessibility period *longer* than the surveillance margin
+/// causes false suspicions — quantifying why Ttd must include Tina.
+#[test]
+fn overlong_inaccessibility_breaks_the_margin() {
+    let mut faults = FaultPlan::none();
+    // 20 ms of bus hold — way past Th + Ttd = 7.5 ms.
+    faults.push_inaccessibility(BitTime::new(250_000), BitTime::new(270_000));
+    let mut sim = Simulator::new(BusConfig::default(), faults);
+    busy_cluster(&mut sim, 4);
+    sim.run_until(BitTime::new(600_000));
+    let spurious = (0..4u8)
+        .filter(|&id| {
+            sim.app::<CanelyStack>(n(id))
+                .events()
+                .iter()
+                .any(|(_, e)| matches!(e, canely::UpperEvent::FailureNotified(_)))
+        })
+        .count();
+    assert!(
+        spurious > 0,
+        "an inaccessibility beyond the margin must surface as suspicions"
+    );
+}

@@ -1,0 +1,133 @@
+//! Media redundancy ([17]) at system level: a single-medium bus
+//! partition violates the channel assumption and splits the
+//! membership; the replicated-media scheme masks the same partition
+//! completely.
+//!
+//! This is the system-model footnote made executable: "there is no
+//! permanent failure of the channel (e.g. medium partition) — this
+//! assumption can be enforced through the media redundancy scheme
+//! described in \[17\]".
+
+use can_bus::{BusConfig, FaultPlan, MediaFault};
+use can_controller::Simulator;
+use can_types::{BitTime, NodeSet};
+use canely::{CanelyConfig, CanelyStack, UpperEvent};
+use integration::n;
+
+const SPLIT_A: u64 = 0b0011; // nodes 0,1
+const SPLIT_B: u64 = 0b1100; // nodes 2,3
+
+fn cluster(sim: &mut Simulator) {
+    let config = CanelyConfig::default();
+    for id in 0..4u8 {
+        sim.add_node(n(id), CanelyStack::new(config.clone()));
+    }
+}
+
+/// Without redundancy, a lasting medium partition makes each side
+/// declare the other failed — split brain. (This demonstrates *why*
+/// the paper's system model must exclude partitions.)
+#[test]
+fn single_medium_partition_splits_the_membership() {
+    let mut faults = FaultPlan::none();
+    faults.push_media_fault(MediaFault {
+        medium: 0,
+        isolated: NodeSet::from_bits(SPLIT_B),
+        from: BitTime::new(300_000),
+        until: BitTime::new(900_000),
+    });
+    let mut sim = Simulator::new(BusConfig::default(), faults);
+    cluster(&mut sim);
+    sim.run_until(BitTime::new(800_000));
+
+    // Each side has expelled the other.
+    let view_a = sim.app::<CanelyStack>(n(0)).view();
+    let view_b = sim.app::<CanelyStack>(n(2)).view();
+    assert_eq!(view_a, NodeSet::from_bits(SPLIT_A), "side A view {view_a}");
+    assert_eq!(view_b, NodeSet::from_bits(SPLIT_B), "side B view {view_b}");
+    // Both sides issued failure notifications for the other side.
+    assert!(sim
+        .app::<CanelyStack>(n(0))
+        .events()
+        .iter()
+        .any(|(_, e)| matches!(e, UpperEvent::FailureNotified(r) if r.as_u8() >= 2)));
+}
+
+/// With the dual-media scheme of [17], the same partition on one
+/// medium is invisible: no failure notifications, view intact.
+#[test]
+fn dual_media_mask_the_partition() {
+    let mut faults = FaultPlan::none().with_media_count(2);
+    faults.push_media_fault(MediaFault {
+        medium: 0,
+        isolated: NodeSet::from_bits(SPLIT_B),
+        from: BitTime::new(300_000),
+        until: BitTime::new(900_000),
+    });
+    let mut sim = Simulator::new(BusConfig::default(), faults);
+    cluster(&mut sim);
+    sim.run_until(BitTime::new(800_000));
+
+    for id in 0..4u8 {
+        let stack = sim.app::<CanelyStack>(n(id));
+        assert_eq!(stack.view(), NodeSet::first_n(4), "node {id}");
+        assert!(
+            !stack
+                .events()
+                .iter()
+                .any(|(_, e)| matches!(e, UpperEvent::FailureNotified(_))),
+            "node {id}: spurious failure under masked partition"
+        );
+    }
+}
+
+/// Redundancy degrades gracefully: both media partitioned (the
+/// double-fault case beyond the scheme's coverage) splits the system
+/// again.
+#[test]
+fn double_media_partition_exceeds_coverage() {
+    let mut faults = FaultPlan::none().with_media_count(2);
+    for medium in 0..2 {
+        faults.push_media_fault(MediaFault {
+            medium,
+            isolated: NodeSet::from_bits(SPLIT_B),
+            from: BitTime::new(300_000),
+            until: BitTime::new(900_000),
+        });
+    }
+    let mut sim = Simulator::new(BusConfig::default(), faults);
+    cluster(&mut sim);
+    sim.run_until(BitTime::new(800_000));
+    assert_eq!(
+        sim.app::<CanelyStack>(n(0)).view(),
+        NodeSet::from_bits(SPLIT_A)
+    );
+    assert_eq!(
+        sim.app::<CanelyStack>(n(2)).view(),
+        NodeSet::from_bits(SPLIT_B)
+    );
+}
+
+/// A *transient* single-medium partition shorter than the detection
+/// latency is also harmless even without redundancy (the surveillance
+/// margin absorbs it).
+#[test]
+fn short_partition_below_detection_latency_is_absorbed() {
+    let config = CanelyConfig::default();
+    let mut faults = FaultPlan::none();
+    // 3 ms partition < Th + Ttd = 7.5 ms.
+    faults.push_media_fault(MediaFault {
+        medium: 0,
+        isolated: NodeSet::from_bits(SPLIT_B),
+        from: BitTime::new(300_000),
+        until: BitTime::new(303_000),
+    });
+    let mut sim = Simulator::new(BusConfig::default(), faults);
+    for id in 0..4u8 {
+        sim.add_node(n(id), CanelyStack::new(config.clone()));
+    }
+    sim.run_until(BitTime::new(800_000));
+    for id in 0..4u8 {
+        assert_eq!(sim.app::<CanelyStack>(n(id)).view(), NodeSet::first_n(4));
+    }
+}
