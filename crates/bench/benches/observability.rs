@@ -1,0 +1,80 @@
+//! Measures the cost of the observability layer: the same crash
+//! scenario runs with tracing disabled (no sink installed) and with a
+//! shared `ObsLog` collecting every protocol event. The disabled
+//! configuration is the acceptance baseline — `EventSink::emit` must
+//! compile down to a branch on `None`.
+
+use can_bus::{BusConfig, FaultPlan};
+use can_controller::Simulator;
+use can_types::{BitTime, NodeId};
+use canely::obs::ObsLog;
+use canely::{CanelyConfig, CanelyStack, ProtocolEvent};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn crash_scenario(n: u8, obs: Option<&ObsLog>) -> Simulator {
+    let config = CanelyConfig::default();
+    let mut sim = Simulator::new(BusConfig::default(), FaultPlan::none());
+    for id in 0..n {
+        let mut stack = CanelyStack::new(config.clone());
+        if let Some(log) = obs {
+            stack = stack.with_obs(log.sink());
+        }
+        sim.add_node(NodeId::new(id), stack);
+    }
+    let crash_at = config.join_wait + config.membership_cycle * 2;
+    sim.schedule_crash(NodeId::new(n - 1), crash_at);
+    if let Some(log) = obs {
+        log.record(crash_at, NodeId::new(n - 1), ProtocolEvent::NodeCrashed);
+    }
+    sim.run_until(crash_at + config.membership_cycle * 2);
+    sim
+}
+
+/// Full crash-detection episode with and without event collection.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(20);
+    for &n in &[4u8, 16] {
+        group.bench_with_input(BenchmarkId::new("disabled", n), &n, |b, &n| {
+            b.iter(|| crash_scenario(n, None));
+        });
+        group.bench_with_input(BenchmarkId::new("enabled", n), &n, |b, &n| {
+            b.iter(|| {
+                let log = ObsLog::new();
+                let sim = crash_scenario(n, Some(&log));
+                assert!(!log.is_empty());
+                sim
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The raw emit path in isolation: a disabled sink versus an enabled
+/// one, per million events.
+fn bench_emit_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_emit");
+    group.sample_size(20);
+    group.bench_function("disabled_1m", |b| {
+        let sink = canely::EventSink::disabled();
+        b.iter(|| {
+            for i in 0..1_000_000u64 {
+                sink.emit(BitTime::new(i), NodeId::new(0), ProtocolEvent::LifeSignSent);
+            }
+        });
+    });
+    group.bench_function("enabled_1m", |b| {
+        b.iter(|| {
+            let log = ObsLog::new();
+            let sink = log.sink();
+            for i in 0..1_000_000u64 {
+                sink.emit(BitTime::new(i), NodeId::new(0), ProtocolEvent::LifeSignSent);
+            }
+            log.len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead, bench_emit_path);
+criterion_main!(benches);

@@ -18,7 +18,8 @@
 use can_bus::{BusConfig, BusStats, FaultPlan};
 use can_controller::Simulator;
 use can_types::{BitTime, NodeId, NodeSet};
-use canely::{CanelyConfig, CanelyStack, TrafficConfig, UpperEvent};
+use canely::obs::ObsLog;
+use canely::{CanelyConfig, CanelyStack, ProtocolEvent, Snapshot, TrafficConfig};
 
 /// The Fig. 10 operating conditions.
 #[derive(Debug, Clone, Copy)]
@@ -176,37 +177,35 @@ pub fn measure_episode(
 /// Measured failure detection latency of a CANELy cluster: time from
 /// the crash instant to the `FailureNotified` event at each correct
 /// node. Returns `(min, max)` across observers, in bit-times.
+///
+/// Measured through the observability layer: every stack shares an
+/// [`ObsLog`], the crash marker is seeded into it, and the latency
+/// histogram is derived by [`Snapshot::compute`] — the same pipeline
+/// `canelyctl metrics` uses.
 pub fn measure_detection_latency(
     nodes: u8,
     config: &CanelyConfig,
     crash_phase: u64,
 ) -> (BitTime, BitTime) {
+    let log = ObsLog::new();
     let mut sim = Simulator::new(BusConfig::default(), FaultPlan::none());
     for id in 0..nodes {
-        sim.add_node(NodeId::new(id), CanelyStack::new(config.clone()));
+        sim.add_node(
+            NodeId::new(id),
+            CanelyStack::new(config.clone()).with_obs(log.sink()),
+        );
     }
     let crash_at = config.join_wait + config.membership_cycle * 4 + BitTime::new(crash_phase);
     let victim = NodeId::new(nodes - 1);
     sim.schedule_crash(victim, crash_at);
+    log.record(crash_at, victim, ProtocolEvent::NodeCrashed);
     sim.run_until(crash_at + config.membership_cycle * 4);
-    let mut latencies = Vec::new();
-    for id in 0..nodes - 1 {
-        let stack = sim.app::<CanelyStack>(NodeId::new(id));
-        if let Some(&(t, _)) = stack
-            .events()
-            .iter()
-            .find(|(_, e)| matches!(e, UpperEvent::FailureNotified(r) if *r == victim))
-        {
-            latencies.push(t - crash_at);
-        }
-    }
-    assert!(
-        !latencies.is_empty(),
-        "crash of {victim} was never detected"
-    );
+    let snapshot = Snapshot::compute(&log.events(), None);
+    let h = &snapshot.detection_latency;
+    assert!(!h.is_empty(), "crash of {victim} was never detected");
     (
-        latencies.iter().copied().min().expect("non-empty"),
-        latencies.iter().copied().max().expect("non-empty"),
+        BitTime::new(h.min().expect("non-empty")),
+        BitTime::new(h.max().expect("non-empty")),
     )
 }
 

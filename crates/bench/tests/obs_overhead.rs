@@ -1,0 +1,82 @@
+//! Verifies the "zero-cost when disabled" property of the
+//! observability layer with a counting global allocator: emitting
+//! through a disabled [`EventSink`] must not allocate at all, while an
+//! enabled sink visibly allocates for the backing log.
+//!
+//! This test owns the whole process (one `#[test]` per file) so the
+//! allocation counter is not disturbed by concurrent tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use can_types::{BitTime, NodeId};
+use canely::obs::ObsLog;
+use canely::{EventSink, ProtocolEvent};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn disabled_sink_is_allocation_free() {
+    let disabled = EventSink::disabled();
+    assert!(!disabled.is_enabled());
+
+    let before = allocations();
+    for i in 0..100_000u64 {
+        disabled.emit(
+            BitTime::new(i),
+            NodeId::new((i % 4) as u8),
+            ProtocolEvent::LifeSignSent,
+        );
+        disabled.emit(
+            BitTime::new(i),
+            NodeId::new(0),
+            ProtocolEvent::FdaSignReceived {
+                failed: NodeId::new(3),
+                duplicate: false,
+            },
+        );
+    }
+    let disabled_delta = allocations() - before;
+    assert_eq!(
+        disabled_delta, 0,
+        "disabled sink performed {disabled_delta} allocations"
+    );
+
+    // Sanity check that the counter actually observes the enabled
+    // path: the same traffic through a live sink must allocate (the
+    // log's backing vector grows).
+    let log = ObsLog::new();
+    let sink = log.sink();
+    assert!(sink.is_enabled());
+    let before = allocations();
+    for i in 0..100_000u64 {
+        sink.emit(
+            BitTime::new(i),
+            NodeId::new((i % 4) as u8),
+            ProtocolEvent::LifeSignSent,
+        );
+    }
+    let enabled_delta = allocations() - before;
+    assert!(enabled_delta > 0, "counting allocator saw no allocations");
+    assert_eq!(log.len(), 100_000);
+}

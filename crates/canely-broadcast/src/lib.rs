@@ -22,6 +22,13 @@
 //!   signal, which is itself eagerly diffused; a message whose ACCEPT
 //!   never arrives is discarded by everyone. All correct nodes deliver
 //!   the same messages in the same order.
+//!
+//! The [`common`] module holds the shared machinery (message keys,
+//! duplicate tracking, scheduled sends). The membership stack's FDA —
+//! the eager-diffusion specialization living in the `canely` crate —
+//! is instrumented with structured `fda.*` trace events; see
+//! `docs/TRACE_SCHEMA.md` at the repository root for how a diffusion
+//! episode looks on the wire.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

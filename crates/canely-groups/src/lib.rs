@@ -21,6 +21,13 @@
 //! * consequently, group views are identical at all correct group
 //!   observers without any additional agreement round — the "crucial
 //!   assistant" claim made concrete.
+//!
+//! Layout: [`group`] implements the per-node [`GroupManager`] (views,
+//! announcements, purges) and [`stack`] composes it with the site
+//! membership into a [`GroupStack`] application. The site-membership
+//! events a group purge reacts to (`fd.notified`, `view.changed`) are
+//! observable in the structured trace of the underlying stack — see
+//! `docs/TRACE_SCHEMA.md` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

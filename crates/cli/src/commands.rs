@@ -5,7 +5,8 @@ use crate::render;
 use can_bus::{BusConfig, FaultPlan};
 use can_controller::Simulator;
 use can_types::{BitTime, NodeId, NodeSet};
-use canely::{CanelyConfig, CanelyStack, TrafficConfig};
+use canely::obs::{ObsLog, Snapshot};
+use canely::{CanelyConfig, CanelyStack, ProtocolEvent, TrafficConfig};
 use canely_analysis::{BandwidthModel, InaccessibilityModel, ProtocolBounds, ReliabilityModel};
 use canely_baselines::{CanopenMaster, CanopenSlave, HeartbeatNode, OsekNode, TtpNode};
 use canely_groups::{GroupId, GroupStack};
@@ -73,7 +74,7 @@ impl MembershipScenario {
         Ok(FaultPlan::seeded(self.seed).with_consistent_rate(self.error_rate))
     }
 
-    fn stack(&self, id: u8) -> CanelyStack {
+    fn stack(&self, id: u8, obs: Option<&ObsLog>) -> CanelyStack {
         let mut stack = CanelyStack::new(self.config.clone());
         if let Some(period) = self.traffic {
             stack = stack.with_traffic(
@@ -84,10 +85,16 @@ impl MembershipScenario {
         if let Some(leave) = self.leaves.iter().find(|e| e.node.as_u8() == id) {
             stack = stack.with_leave_at(leave.at);
         }
+        if let Some(log) = obs {
+            stack = stack.with_obs(log.sink());
+        }
         stack
     }
 
-    fn build(&self) -> Result<Simulator, ArgError> {
+    /// Builds the simulator. With an [`ObsLog`], every stack shares
+    /// its sink and the scripted crash/restart markers are pre-seeded
+    /// into the log (anchoring the latency metrics).
+    fn build(&self, obs: Option<&ObsLog>) -> Result<Simulator, ArgError> {
         let mut sim = Simulator::new(BusConfig::default(), self.faults()?);
         sim.set_journal(self.journal);
         let joiner_ids: Vec<u8> = self.joins.iter().map(|e| e.node.as_u8()).collect();
@@ -95,16 +102,22 @@ impl MembershipScenario {
             if joiner_ids.contains(&id) {
                 continue; // added later at its join time
             }
-            sim.add_node(NodeId::new(id), self.stack(id));
+            sim.add_node(NodeId::new(id), self.stack(id, obs));
         }
         for event in &self.joins {
-            sim.add_node_at(event.node, self.stack(event.node.as_u8()), event.at);
+            sim.add_node_at(event.node, self.stack(event.node.as_u8(), obs), event.at);
         }
         for event in &self.crashes {
             sim.schedule_crash(event.node, event.at);
+            if let Some(log) = obs {
+                log.record(event.at, event.node, ProtocolEvent::NodeCrashed);
+            }
         }
         for event in &self.restarts {
-            sim.schedule_restart(event.node, event.at, self.stack(event.node.as_u8()));
+            sim.schedule_restart(event.node, event.at, self.stack(event.node.as_u8(), obs));
+            if let Some(log) = obs {
+                log.record(event.at, event.node, ProtocolEvent::NodeRestarted);
+            }
         }
         Ok(sim)
     }
@@ -113,7 +126,7 @@ impl MembershipScenario {
 /// `canely membership …`
 pub fn membership(args: &mut Args) -> CmdResult {
     let scenario = MembershipScenario::from_args(args).map_err(fail)?;
-    let mut sim = scenario.build().map_err(fail)?;
+    let mut sim = scenario.build(None).map_err(fail)?;
     sim.run_until(scenario.until);
 
     let mut out = String::new();
@@ -380,8 +393,20 @@ pub fn analyze(args: &mut Args) -> CmdResult {
 /// `canely trace …`
 pub fn trace(args: &mut Args) -> CmdResult {
     let csv = args.flag("csv");
+    let jsonl = args.flag("jsonl");
+    if csv && jsonl {
+        return Err("error: --csv and --jsonl are mutually exclusive".into());
+    }
     let scenario = MembershipScenario::from_args(args).map_err(fail)?;
-    let mut sim = scenario.build().map_err(fail)?;
+    if jsonl {
+        // Merged protocol + bus trace, one JSON object per line (see
+        // docs/TRACE_SCHEMA.md).
+        let log = ObsLog::new();
+        let mut sim = scenario.build(Some(&log)).map_err(fail)?;
+        sim.run_until(scenario.until);
+        return Ok(log.export_jsonl(Some(sim.trace())));
+    }
+    let mut sim = scenario.build(None).map_err(fail)?;
     sim.run_until(scenario.until);
     if csv {
         return Ok(render::trace_csv(&sim));
@@ -401,6 +426,31 @@ pub fn trace(args: &mut Args) -> CmdResult {
         );
     }
     render::bus_summary(&mut out, &sim, BitTime::ZERO, scenario.until);
+    Ok(out)
+}
+
+/// `canely metrics …` — runs a membership scenario with the
+/// observability layer on and reports the derived metrics: per-node
+/// event counters plus the failure-detection-latency, view-change-
+/// latency and RHA-broadcast histograms.
+pub fn metrics(args: &mut Args) -> CmdResult {
+    let scenario = MembershipScenario::from_args(args).map_err(fail)?;
+    let log = ObsLog::new();
+    let mut sim = scenario.build(Some(&log)).map_err(fail)?;
+    sim.run_until(scenario.until);
+    let snapshot = Snapshot::compute(&log.events(), Some((sim.trace(), scenario.until)));
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "CANELy metrics: {} nodes, Tm {}, Th {}, horizon {} ({} protocol events)",
+        scenario.nodes,
+        render::ms(scenario.config.membership_cycle),
+        render::ms(scenario.config.heartbeat_period),
+        render::ms(scenario.until),
+        log.len(),
+    );
+    render::metrics_report(&mut out, &snapshot);
     Ok(out)
 }
 
@@ -515,6 +565,52 @@ mod tests {
             "start_bt,bus_free_bt,kind,mid,transmitters,delivered,errored"
         );
         assert!(lines.count() > 3, "some transactions expected");
+    }
+
+    #[test]
+    fn trace_jsonl_merges_bus_and_protocol() {
+        let out = run(&argv(&[
+            "trace", "--nodes", "4", "--crash", "2@250ms", "--until", "500ms", "--jsonl",
+        ]))
+        .unwrap();
+        assert!(out.lines().all(|l| l.starts_with('{') && l.ends_with('}')), "{out}");
+        assert!(out.contains("\"kind\":\"bus.tx\""), "{out}");
+        assert!(out.contains("\"kind\":\"fd.notified\""), "{out}");
+        assert!(out.contains("\"kind\":\"node.crashed\""), "{out}");
+        assert!(out.contains("\"kind\":\"view.changed\""), "{out}");
+        // Time-ordered across both sources.
+        let mut last = 0u64;
+        for line in out.lines() {
+            let t: u64 = line
+                .split("\"t\":")
+                .nth(1)
+                .and_then(|s| s.split(',').next())
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("no t in {line}"));
+            assert!(t >= last, "trace not time-ordered: {line}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn trace_csv_and_jsonl_conflict() {
+        let err = run(&argv(&["trace", "--csv", "--jsonl"])).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn metrics_end_to_end() {
+        let out = run(&argv(&[
+            "metrics", "--nodes", "4", "--crash", "2@250ms", "--until", "500ms",
+        ]))
+        .unwrap();
+        assert!(out.contains("CANELy metrics: 4 nodes"), "{out}");
+        assert!(out.contains("event totals:"), "{out}");
+        assert!(out.contains("failure-detection latency: "), "{out}");
+        assert!(!out.contains("failure-detection latency: no samples"), "{out}");
+        assert!(out.contains("view-change latency: "), "{out}");
+        assert!(out.contains("markers: 1 crashes"), "{out}");
+        assert!(out.contains("bus: "), "{out}");
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! canelyctl analyze inaccessibility
 //! canelyctl analyze reliability --ber 1e-9
 //! canelyctl trace --nodes 4 --until 100ms --csv
+//! canelyctl trace --nodes 4 --crash 2@250ms --until 500ms --jsonl
+//! canelyctl metrics --nodes 4 --crash 2@250ms --until 500ms
 //! ```
 //!
 //! Argument parsing is hand-rolled (no external dependencies): every
@@ -40,6 +42,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "baseline" => commands::baseline(&mut args),
         "analyze" => commands::analyze(&mut args),
         "trace" => commands::trace(&mut args),
+        "metrics" => commands::metrics(&mut args),
         "run" => {
             let path = args
                 .subcommand()
@@ -96,7 +99,15 @@ COMMANDS:
 
   trace          dump the bus transaction trace of a scenario
       (membership options, plus)
-      --csv               machine-readable CSV output
+      --csv               machine-readable CSV output (bus only)
+      --jsonl             merged protocol + bus trace, one JSON object
+                          per line (schema: docs/TRACE_SCHEMA.md)
+
+  metrics        run a scenario with structured tracing on and report
+                 derived metrics: per-node event counters plus
+                 failure-detection-latency, view-change-latency and
+                 RHA-broadcast histograms
+      (membership options)
 
   run FILE       execute a scenario file (line-based DSL: nodes, tm,
                  th, traffic, crash, join, leave, restart, until,

@@ -3,6 +3,7 @@
 use can_bus::BusStats;
 use can_controller::Simulator;
 use can_types::{BitRate, BitTime, NodeId};
+use canely::obs::{Histogram, Snapshot};
 use canely::{CanelyStack, UpperEvent};
 use std::fmt::Write as _;
 
@@ -81,6 +82,101 @@ pub fn trace_csv(sim: &Simulator) -> String {
     out
 }
 
+/// Renders a histogram: summary statistics plus ASCII bucket bars.
+/// With `unit_ms` the samples are bit-times and are printed as
+/// milliseconds; otherwise they are plain counts.
+pub fn histogram(out: &mut String, title: &str, unit_ms: bool, h: &Histogram) {
+    if h.is_empty() {
+        let _ = writeln!(out, "{title}: no samples");
+        return;
+    }
+    let fmt = |v: u64| {
+        if unit_ms {
+            ms(BitTime::new(v))
+        } else {
+            v.to_string()
+        }
+    };
+    let mean = h.mean().unwrap_or(0.0);
+    let _ = writeln!(
+        out,
+        "{title}: {} samples, min {}, mean {}, p99 {}, max {}",
+        h.count(),
+        fmt(h.min().unwrap_or(0)),
+        if unit_ms {
+            format!("{:.2}ms", mean / 1_000.0)
+        } else {
+            format!("{mean:.2}")
+        },
+        fmt(h.percentile(99.0).unwrap_or(0)),
+        fmt(h.max().unwrap_or(0)),
+    );
+    for (lo, hi, count) in h.buckets(8) {
+        let bar = "#".repeat(count.min(48));
+        let _ = writeln!(out, "  {:>10} .. {:<10} |{:>4} {bar}", fmt(lo), fmt(hi), count);
+    }
+}
+
+/// Renders a metrics [`Snapshot`]: totals, per-node counters, the
+/// latency histograms and (when present) the bus figures.
+pub fn metrics_report(out: &mut String, snapshot: &Snapshot) {
+    let t = &snapshot.totals;
+    let _ = writeln!(out, "event totals:");
+    let _ = writeln!(
+        out,
+        "  fd : life-signs {} tx / {} rx, suspects {}, failures notified {}",
+        t.life_signs_sent, t.life_signs_observed, t.suspects_raised, t.failures_notified,
+    );
+    let _ = writeln!(
+        out,
+        "  fda: invoked {}, signs {} tx / {} rx, delivered {}",
+        t.fda_invocations, t.fda_signs_sent, t.fda_signs_received, t.fda_deliveries,
+    );
+    let _ = writeln!(
+        out,
+        "  rha: started {}, rhv {} tx / {} rx, narrowings {}, settled {}",
+        t.rha_started, t.rhv_sent, t.rhv_received, t.rha_narrowings, t.rha_settled,
+    );
+    let _ = writeln!(
+        out,
+        "  msh: cycles {}, views installed {}, view changes {}, joins {}, leaves {}, expulsions {}",
+        t.cycles, t.views_installed, t.view_changes, t.joins_requested, t.leaves_requested,
+        t.expulsions,
+    );
+    let _ = writeln!(
+        out,
+        "  timers {} armed / {} expired; markers: {} crashes, {} restarts",
+        t.timers_armed, t.timers_expired, t.crashes, t.restarts,
+    );
+    let _ = writeln!(out, "per node:");
+    for (node, c) in snapshot.per_node() {
+        let _ = writeln!(
+            out,
+            "  {node}: life-signs {} tx / {} rx, fda delivered {}, rha settled {}, \
+             cycles {}, views {}",
+            c.life_signs_sent,
+            c.life_signs_observed,
+            c.fda_deliveries,
+            c.rha_settled,
+            c.cycles,
+            c.views_installed,
+        );
+    }
+    histogram(out, "failure-detection latency", true, &snapshot.detection_latency);
+    histogram(out, "view-change latency", true, &snapshot.view_change_latency);
+    histogram(out, "rha broadcasts per agreement", false, &snapshot.rha_broadcasts);
+    if let Some(bus) = &snapshot.bus {
+        let _ = writeln!(
+            out,
+            "bus: {} transactions, {} errored, utilization {} (membership suite {})",
+            bus.transactions,
+            bus.errors,
+            pct(bus.utilization),
+            pct(bus.suite_utilization),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +185,26 @@ mod tests {
     fn formatting() {
         assert_eq!(ms(BitTime::new(1_500)), "1.50ms");
         assert_eq!(pct(0.1234), "12.34%");
+    }
+
+    #[test]
+    fn histogram_renders_stats_and_buckets() {
+        let mut h = Histogram::new();
+        for v in [1_000, 2_000, 8_000] {
+            h.record(v);
+        }
+        let mut out = String::new();
+        histogram(&mut out, "latency", true, &h);
+        assert!(out.contains("latency: 3 samples"), "{out}");
+        assert!(out.contains("min 1.00ms"), "{out}");
+        assert!(out.contains("max 8.00ms"), "{out}");
+        assert!(out.contains('#'), "{out}");
+    }
+
+    #[test]
+    fn empty_histogram_renders_placeholder() {
+        let mut out = String::new();
+        histogram(&mut out, "latency", true, &Histogram::new());
+        assert_eq!(out, "latency: no samples\n");
     }
 }

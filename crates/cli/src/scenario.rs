@@ -25,7 +25,8 @@ use crate::render;
 use can_bus::{BusConfig, FaultPlan};
 use can_controller::Simulator;
 use can_types::{BitTime, NodeId, NodeSet};
-use canely::{CanelyConfig, CanelyStack, TrafficConfig};
+use canely::obs::ObsLog;
+use canely::{CanelyConfig, CanelyStack, ProtocolEvent, TrafficConfig};
 use std::fmt::Write as _;
 
 /// A parsed scenario.
@@ -174,6 +175,24 @@ impl Scenario {
     ///
     /// Returns a diagnostic for inconsistent parameters.
     pub fn run(&self) -> Result<(Simulator, BitTime), ArgError> {
+        self.run_traced(None)
+    }
+
+    /// Builds and runs the scenario with the stack-wide observability
+    /// layer enabled: every node's protocol events land in one shared
+    /// [`ObsLog`], pre-seeded with the scripted crash/restart markers
+    /// so latency metrics can be derived from the trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic for inconsistent parameters.
+    pub fn run_with_obs(&self) -> Result<(Simulator, BitTime, ObsLog), ArgError> {
+        let log = ObsLog::new();
+        let (sim, until) = self.run_traced(Some(&log))?;
+        Ok((sim, until, log))
+    }
+
+    fn run_traced(&self, obs: Option<&ObsLog>) -> Result<(Simulator, BitTime), ArgError> {
         let config = self.config()?;
         let faults = FaultPlan::seeded(self.seed).with_consistent_rate(self.error_rate);
         let mut sim = Simulator::new(BusConfig::default(), faults);
@@ -189,6 +208,9 @@ impl Scenario {
             if let Some(&(_, at)) = self.leaves.iter().find(|&&(n, _)| n == id) {
                 stack = stack.with_leave_at(at);
             }
+            if let Some(log) = obs {
+                stack = stack.with_obs(log.sink());
+            }
             stack
         };
         for id in 0..self.nodes {
@@ -201,9 +223,15 @@ impl Scenario {
         }
         for &(id, at) in &self.crashes {
             sim.schedule_crash(NodeId::new(id), at);
+            if let Some(log) = obs {
+                log.record(at, NodeId::new(id), ProtocolEvent::NodeCrashed);
+            }
         }
         for &(id, at) in &self.restarts {
             sim.schedule_restart(NodeId::new(id), at, build_stack(id));
+            if let Some(log) = obs {
+                log.record(at, NodeId::new(id), ProtocolEvent::NodeRestarted);
+            }
         }
         let until = self.until.unwrap_or(BitTime::new(600_000));
         sim.run_until(until);

@@ -18,6 +18,7 @@
 //! heartbeat period" — which is precisely what the local-timer rule
 //! implements.
 
+use crate::obs::{EventSink, ObsTimer, ProtocolEvent};
 use crate::tags::TimerOwner;
 use can_controller::{Ctx, TimerId};
 use can_types::{BitTime, Mid, MsgType, NodeId, NodeSet};
@@ -48,6 +49,8 @@ pub struct FailureDetector {
     monitored: NodeSet,
     /// Explicit life-signs issued (introspection / bandwidth studies).
     els_sent: u64,
+    /// Structured-event sink (disabled by default).
+    obs: EventSink,
 }
 
 impl FailureDetector {
@@ -60,7 +63,13 @@ impl FailureDetector {
             timers: HashMap::new(),
             monitored: NodeSet::EMPTY,
             els_sent: 0,
+            obs: EventSink::disabled(),
         }
+    }
+
+    /// Installs the structured-event sink (see [`crate::obs`]).
+    pub fn set_sink(&mut self, sink: EventSink) {
+        self.obs = sink;
     }
 
     /// The mid of an explicit life-sign of node `r`.
@@ -123,6 +132,14 @@ impl FailureDetector {
             self.th + self.ttd + BitTime::new(u64::from(ctx.me().as_u8()) * 512)
         };
         let tid = ctx.start_alarm(duration, TimerOwner::Surveillance(r).encode());
+        self.obs.emit(
+            ctx.now(),
+            ctx.me(),
+            ProtocolEvent::TimerArmed {
+                timer: ObsTimer::Surveillance(r),
+                deadline: ctx.now() + duration,
+            },
+        );
         self.timers.insert(r, tid);
     }
 
@@ -148,9 +165,12 @@ impl FailureDetector {
         if r == ctx.me() {
             ctx.can_rtr_req(Self::els_mid(r)); // f08
             self.els_sent += 1;
+            self.obs.emit(ctx.now(), ctx.me(), ProtocolEvent::LifeSignSent);
             ctx.journal("FD: broadcasting explicit life-sign");
             None
         } else {
+            self.obs
+                .emit(ctx.now(), ctx.me(), ProtocolEvent::SuspectRaised { suspect: r });
             ctx.journal(format_args!("FD: node {r} silent — suspecting"));
             Some(FdAction::Suspect(r)) // f10
         }

@@ -21,6 +21,7 @@
 //! * `fs_ndup(mid)` — failure-sign duplicates seen;
 //! * `fs_nreq(mid)` — own transmit requests issued.
 
+use crate::obs::{EventSink, ProtocolEvent};
 use can_controller::Ctx;
 use can_types::{Mid, MsgType, NodeId};
 use std::collections::HashMap;
@@ -41,12 +42,18 @@ struct FdaState {
 #[derive(Debug, Default)]
 pub struct Fda {
     state: HashMap<NodeId, FdaState>,
+    obs: EventSink,
 }
 
 impl Fda {
     /// A fresh FDA entity.
     pub fn new() -> Self {
         Fda::default()
+    }
+
+    /// Installs the structured-event sink (see [`crate::obs`]).
+    pub fn set_sink(&mut self, sink: EventSink) {
+        self.obs = sink;
     }
 
     /// The mid of a failure-sign for failed node `r`. It does *not*
@@ -60,10 +67,20 @@ impl Fda {
     /// protocol) to reliably disseminate the failure of node `r`
     /// (Fig. 6, lines s00–s05).
     pub fn invoke(&mut self, ctx: &mut Ctx<'_>, r: NodeId) {
+        self.obs
+            .emit(ctx.now(), ctx.me(), ProtocolEvent::FdaInvoked { failed: r });
         let st = self.state.entry(r).or_default();
         st.nreq += 1;
         if st.nreq == 1 {
             ctx.can_rtr_req(Self::failure_sign_mid(r)); // s03
+            self.obs.emit(
+                ctx.now(),
+                ctx.me(),
+                ProtocolEvent::FdaSignSent {
+                    failed: r,
+                    diffusion: false,
+                },
+            );
             ctx.journal(format_args!("FDA: failure-sign transmit request for {r}"));
         }
     }
@@ -77,15 +94,42 @@ impl Fda {
         let st = self.state.entry(r).or_default();
         st.ndup += 1; // r01
         if st.ndup != 1 {
+            self.obs.emit(
+                ctx.now(),
+                ctx.me(),
+                ProtocolEvent::FdaSignReceived {
+                    failed: r,
+                    duplicate: true,
+                },
+            );
             return None; // duplicate: already handled
         }
         // First copy: deliver upstairs (r03) and, in the absence of an
         // equivalent transmit request, join the diffusion (r04–r07).
         st.nreq += 1;
-        if st.nreq == 1 {
+        let diffuse = st.nreq == 1;
+        self.obs.emit(
+            ctx.now(),
+            ctx.me(),
+            ProtocolEvent::FdaSignReceived {
+                failed: r,
+                duplicate: false,
+            },
+        );
+        if diffuse {
             ctx.can_rtr_req(Self::failure_sign_mid(r)); // r06
+            self.obs.emit(
+                ctx.now(),
+                ctx.me(),
+                ProtocolEvent::FdaSignSent {
+                    failed: r,
+                    diffusion: true,
+                },
+            );
             ctx.journal(format_args!("FDA: diffusing failure-sign for {r}"));
         }
+        self.obs
+            .emit(ctx.now(), ctx.me(), ProtocolEvent::FdaDelivered { failed: r });
         Some(r)
     }
 

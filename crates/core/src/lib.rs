@@ -67,6 +67,7 @@ pub mod config;
 pub mod fd;
 pub mod fda;
 pub mod membership;
+pub mod obs;
 pub mod rha;
 pub mod stack;
 pub mod tags;
@@ -76,6 +77,7 @@ pub use config::CanelyConfig;
 pub use fd::{FailureDetector, FdAction};
 pub use fda::Fda;
 pub use membership::{Membership, MembershipEvent};
+pub use obs::{EventSink, ObsLog, ProtocolEvent, Snapshot, TimedEvent};
 pub use rha::{Rha, RhaNotification};
 pub use stack::{CanelyStack, UpperEvent};
 pub use traffic::TrafficConfig;

@@ -33,6 +33,7 @@
 //!    view re-issues its JOIN request (configurable,
 //!    `rejoin_on_failed_join`).
 
+use crate::obs::{EventSink, ObsTimer, ProtocolEvent};
 use crate::rha::SharedSets;
 use crate::tags::TimerOwner;
 use can_controller::{Ctx, TimerId};
@@ -105,6 +106,8 @@ pub struct Membership {
     out_of_service: bool,
     /// Completed membership cycles (introspection).
     cycles: u64,
+    /// Structured-event sink (disabled by default).
+    obs: EventSink,
 }
 
 impl Membership {
@@ -123,7 +126,13 @@ impl Membership {
             joining: false,
             out_of_service: false,
             cycles: 0,
+            obs: EventSink::disabled(),
         }
+    }
+
+    /// Installs the structured-event sink (see [`crate::obs`]).
+    pub fn set_sink(&mut self, sink: EventSink) {
+        self.obs = sink;
     }
 
     /// The current site membership view `Vs`.
@@ -167,8 +176,17 @@ impl Membership {
                 self.join_wait, // s01: max join wait delay
                 TimerOwner::MembershipCycle.encode(),
             ));
+            self.obs.emit(
+                ctx.now(),
+                ctx.me(),
+                ProtocolEvent::TimerArmed {
+                    timer: ObsTimer::MembershipCycle,
+                    deadline: ctx.now() + self.join_wait,
+                },
+            );
         }
         ctx.can_rtr_req(Mid::new(MsgType::Join, 0, ctx.me())); // s02
+        self.obs.emit(ctx.now(), ctx.me(), ProtocolEvent::JoinRequested);
         ctx.journal("MSH: join requested");
     }
 
@@ -179,6 +197,7 @@ impl Membership {
             return; // s07 guard: only members leave
         }
         ctx.can_rtr_req(Mid::new(MsgType::Leave, 0, ctx.me())); // s08
+        self.obs.emit(ctx.now(), ctx.me(), ProtocolEvent::LeaveRequested);
         ctx.journal("MSH: leave requested");
     }
 
@@ -215,6 +234,8 @@ impl Membership {
             // s18–s19: no full member answered within the join wait —
             // bootstrap the view from the joining set.
             self.vs = self.vj;
+            self.obs
+                .emit(ctx.now(), me, ProtocolEvent::ViewBootstrapped { view: self.vs });
             ctx.journal(format_args!("MSH: bootstrap view {}", self.vs));
         }
         // s21: restart the cycle timer.
@@ -222,13 +243,30 @@ impl Membership {
             ctx.cancel_alarm(old);
         }
         self.tid = Some(ctx.start_alarm(self.tm, TimerOwner::MembershipCycle.encode()));
+        self.obs.emit(
+            ctx.now(),
+            me,
+            ProtocolEvent::TimerArmed {
+                timer: ObsTimer::MembershipCycle,
+                deadline: ctx.now() + self.tm,
+            },
+        );
         self.cycles += 1;
 
+        let idle = self.vj.is_empty() && self.vl.is_empty();
+        self.obs.emit(
+            ctx.now(),
+            me,
+            ProtocolEvent::CycleStarted {
+                index: self.cycles,
+                idle,
+            },
+        );
         let mut actions = Vec::new();
-        if !self.vj.is_empty() || !self.vl.is_empty() {
+        if !idle {
             actions.push(MshAction::InvokeRha); // s23
         } else {
-            self.view_proc(self.vs); // s25: idle cycle — skip RHA
+            self.view_proc(ctx, self.vs); // s25: idle cycle — skip RHA
         }
         self.maybe_rejoin(ctx, &mut actions);
         actions
@@ -244,7 +282,7 @@ impl Membership {
         let vj_snapshot = self.vj;
         let vl_snapshot = self.vl;
 
-        self.view_proc(v_rhv); // s29
+        self.view_proc(ctx, v_rhv); // s29
 
         let mut actions = Vec::new();
         // s30–s32: notify if the settlement changed the composition.
@@ -289,8 +327,13 @@ impl Membership {
 
     /// `msh-view-proc` (lines a00–a02): commit a vector as the view,
     /// net of the failures detected meanwhile.
-    fn view_proc(&mut self, vw: NodeSet) {
-        self.vs = vw - self.fs; // a01
+    fn view_proc(&mut self, ctx: &mut Ctx<'_>, vw: NodeSet) {
+        let next = vw - self.fs; // a01
+        if next != self.vs {
+            self.obs
+                .emit(ctx.now(), ctx.me(), ProtocolEvent::ViewInstalled { view: next });
+        }
+        self.vs = next;
         self.fs = NodeSet::EMPTY;
     }
 

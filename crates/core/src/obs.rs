@@ -1,0 +1,1060 @@
+//! Stack-wide observability: structured protocol events, a merged
+//! machine-readable trace and derived metrics.
+//!
+//! Every protocol entity of the CANELy stack (failure detection, FDA,
+//! RHA, membership) can be handed an [`EventSink`] — a cheap, cloneable
+//! handle onto a shared, time-ordered event log ([`ObsLog`]). When no
+//! sink is installed the instrumentation is free: emitting degrades to
+//! a branch on an empty `Option` and never allocates (verified by an
+//! allocation-counting test in the `bench` crate).
+//!
+//! The building blocks:
+//!
+//! * [`ProtocolEvent`] — one structured record per protocol-visible
+//!   occurrence: timer arm/expiry, life-sign tx/rx, FDA invocation /
+//!   sign exchange / delivery, RHV snapshots and agreement, membership
+//!   cycles and view installs, plus externally recorded node crash /
+//!   restart markers.
+//! * [`ObsLog`] / [`EventSink`] — the shared log and the per-entity
+//!   handle. All nodes of a simulation share **one** log, so a single
+//!   export captures the whole run.
+//! * [`export_jsonl`] — renders the protocol events, merged with the
+//!   bus-level [`BusTrace`], as one time-ordered
+//!   JSON-Lines document (schema: `docs/TRACE_SCHEMA.md`).
+//! * [`Snapshot`] — metrics derived by folding over the event log:
+//!   per-node and global counters plus latency histograms
+//!   (failure-detection latency, view-change latency, RHA broadcasts
+//!   per agreement) and bus utilization.
+//!
+//! The event log is the single source of truth: metrics are *derived*
+//! from it, never counted separately, so the numbers reported by the
+//! CLI and the benches are exactly the numbers visible in the trace.
+
+use can_bus::{BusStats, BusTrace};
+use can_types::{BitTime, NodeId, NodeSet, MAX_NODES};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Protocol timers visible in the trace (the application-traffic and
+/// scripting alarms of the harness are deliberately excluded — they
+/// are workload, not protocol).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsTimer {
+    /// Failure-detection surveillance timer for a node.
+    Surveillance(NodeId),
+    /// RHA maximum-termination alarm (`Trha`).
+    RhaTermination,
+    /// Membership cycle / join-wait alarm (`Tm` / `Tjoin-wait`).
+    MembershipCycle,
+}
+
+impl std::fmt::Display for ObsTimer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObsTimer::Surveillance(r) => write!(f, "surveillance:{}", r.as_u8()),
+            ObsTimer::RhaTermination => f.write_str("rha-termination"),
+            ObsTimer::MembershipCycle => f.write_str("membership-cycle"),
+        }
+    }
+}
+
+/// One structured protocol occurrence, as emitted by the stack's
+/// entities. See `docs/TRACE_SCHEMA.md` for the wire (JSONL) schema of
+/// every variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolEvent {
+    /// A protocol timer was (re)armed; `deadline` is its expiry instant.
+    TimerArmed {
+        /// The owning protocol timer.
+        timer: ObsTimer,
+        /// Absolute expiry instant.
+        deadline: BitTime,
+    },
+    /// A protocol timer expired and is about to be handled.
+    TimerExpired {
+        /// The owning protocol timer.
+        timer: ObsTimer,
+    },
+    /// The local node broadcast an explicit life-sign (Fig. 8, f08).
+    LifeSignSent,
+    /// An explicit life-sign of node `of` was observed on the bus.
+    LifeSignObserved {
+        /// Whose life-sign it was.
+        of: NodeId,
+    },
+    /// A remote surveillance timer expired: `suspect` is presumed
+    /// crashed and FDA is about to be invoked (Fig. 8, f10).
+    SuspectRaised {
+        /// The node under suspicion.
+        suspect: NodeId,
+    },
+    /// `fd-can.nty`: the failure of `failed` was consistently agreed
+    /// and delivered to the membership layer (Fig. 8, f15).
+    FailureNotified {
+        /// The failed node.
+        failed: NodeId,
+    },
+    /// `fda-can.req(r)`: FDA dissemination of a failure was invoked
+    /// locally (Fig. 6, s00).
+    FdaInvoked {
+        /// The failed node.
+        failed: NodeId,
+    },
+    /// A failure-sign transmit request was queued. `diffusion` is
+    /// `false` for the original request (s03) and `true` for the
+    /// eager-diffusion echo of a received first copy (r06).
+    FdaSignSent {
+        /// The failed node.
+        failed: NodeId,
+        /// Whether this is a diffusion echo rather than the original.
+        diffusion: bool,
+    },
+    /// A failure-sign copy arrived (Fig. 6, r01).
+    FdaSignReceived {
+        /// The failed node.
+        failed: NodeId,
+        /// Whether this was a duplicate (not the first copy).
+        duplicate: bool,
+    },
+    /// First failure-sign copy: `fda-can.nty(failed)` delivered
+    /// upstairs (Fig. 6, r03).
+    FdaDelivered {
+        /// The failed node.
+        failed: NodeId,
+    },
+    /// An RHA execution started at this node (Fig. 7, a00–a08).
+    RhaStarted {
+        /// The initial local vector proposal.
+        proposal: NodeSet,
+        /// Whether the node started as a full member (a03) or adopted
+        /// the received vector verbatim (a05).
+        full_member: bool,
+    },
+    /// An RHV signal carrying `vector` was queued for transmission.
+    RhvSent {
+        /// The broadcast vector.
+        vector: NodeSet,
+    },
+    /// An RHV signal was received (own transmissions included).
+    RhvReceived {
+        /// The transmitter of the signal.
+        from: NodeId,
+        /// The received vector.
+        vector: NodeSet,
+    },
+    /// The local vector was narrowed by intersection and re-broadcast
+    /// (Fig. 7, r04–r07).
+    RhaNarrowed {
+        /// The narrowed local vector.
+        vector: NodeSet,
+    },
+    /// `j` copies of the local value circulate: the pending own signal
+    /// was aborted to save bandwidth (Fig. 7, r08–r09).
+    RhaQuenched {
+        /// The local vector whose transmission was aborted.
+        vector: NodeSet,
+    },
+    /// The RHA termination alarm fired: agreement reached on `vector`
+    /// after `broadcasts` own RHV transmissions (Fig. 7, r14–r18).
+    RhaSettled {
+        /// The agreed reception-history vector.
+        vector: NodeSet,
+        /// Own RHV broadcasts this execution (1 + narrowing rounds).
+        broadcasts: u32,
+    },
+    /// The local node issued a JOIN request (Fig. 9, s02).
+    JoinRequested,
+    /// The local node issued a LEAVE request (Fig. 9, s08).
+    LeaveRequested,
+    /// A JOIN request of `subject` was observed (Fig. 9, s04–s06).
+    JoinObserved {
+        /// The joining node.
+        subject: NodeId,
+    },
+    /// A LEAVE request of `subject` was observed (Fig. 9, s10–s12).
+    LeaveObserved {
+        /// The leaving node.
+        subject: NodeId,
+    },
+    /// A membership cycle boundary was processed (Fig. 9, s17–s27).
+    CycleStarted {
+        /// Completed-cycle counter after this boundary.
+        index: u64,
+        /// Whether the cycle was idle (no pending join/leave — RHA
+        /// skipped, line s24).
+        idle: bool,
+    },
+    /// A non-integrated node bootstrapped its view from `Vj`
+    /// (Fig. 9, s18–s19).
+    ViewBootstrapped {
+        /// The bootstrap view.
+        view: NodeSet,
+    },
+    /// `msh-view-proc` committed a new view `Vs` (Fig. 9, a00–a02).
+    /// Emitted only when the view actually changed.
+    ViewInstalled {
+        /// The committed view.
+        view: NodeSet,
+    },
+    /// `msh-can.nty`: a membership change was delivered upstairs.
+    ViewChanged {
+        /// The notified set of active sites.
+        view: NodeSet,
+        /// The failed nodes reported with the change.
+        failed: NodeSet,
+    },
+    /// The local node was expelled (declared failed while running).
+    Expelled,
+    /// The local node's leave completed; it is out of the service.
+    LeftService,
+    /// External marker: the node fail-silently crashed at this instant.
+    NodeCrashed,
+    /// External marker: the node was power-cycled at this instant.
+    NodeRestarted,
+}
+
+impl ProtocolEvent {
+    /// The stable, dotted event-kind label used in the JSONL trace.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProtocolEvent::TimerArmed { .. } => "timer.armed",
+            ProtocolEvent::TimerExpired { .. } => "timer.expired",
+            ProtocolEvent::LifeSignSent => "fd.lifesign.tx",
+            ProtocolEvent::LifeSignObserved { .. } => "fd.lifesign.rx",
+            ProtocolEvent::SuspectRaised { .. } => "fd.suspect",
+            ProtocolEvent::FailureNotified { .. } => "fd.notified",
+            ProtocolEvent::FdaInvoked { .. } => "fda.invoked",
+            ProtocolEvent::FdaSignSent { .. } => "fda.sign.tx",
+            ProtocolEvent::FdaSignReceived { .. } => "fda.sign.rx",
+            ProtocolEvent::FdaDelivered { .. } => "fda.delivered",
+            ProtocolEvent::RhaStarted { .. } => "rha.started",
+            ProtocolEvent::RhvSent { .. } => "rha.rhv.tx",
+            ProtocolEvent::RhvReceived { .. } => "rha.rhv.rx",
+            ProtocolEvent::RhaNarrowed { .. } => "rha.narrowed",
+            ProtocolEvent::RhaQuenched { .. } => "rha.quenched",
+            ProtocolEvent::RhaSettled { .. } => "rha.settled",
+            ProtocolEvent::JoinRequested => "msh.join.tx",
+            ProtocolEvent::LeaveRequested => "msh.leave.tx",
+            ProtocolEvent::JoinObserved { .. } => "msh.join.rx",
+            ProtocolEvent::LeaveObserved { .. } => "msh.leave.rx",
+            ProtocolEvent::CycleStarted { .. } => "msh.cycle",
+            ProtocolEvent::ViewBootstrapped { .. } => "view.bootstrap",
+            ProtocolEvent::ViewInstalled { .. } => "view.installed",
+            ProtocolEvent::ViewChanged { .. } => "view.changed",
+            ProtocolEvent::Expelled => "msh.expelled",
+            ProtocolEvent::LeftService => "msh.left",
+            ProtocolEvent::NodeCrashed => "node.crashed",
+            ProtocolEvent::NodeRestarted => "node.restarted",
+        }
+    }
+
+    /// Appends the variant-specific JSON fields (each preceded by a
+    /// comma) to a JSON object under construction.
+    fn write_json_fields(&self, out: &mut String) {
+        match *self {
+            ProtocolEvent::TimerArmed { timer, deadline } => {
+                let _ = write!(
+                    out,
+                    ",\"timer\":\"{timer}\",\"deadline\":{}",
+                    deadline.as_u64()
+                );
+            }
+            ProtocolEvent::TimerExpired { timer } => {
+                let _ = write!(out, ",\"timer\":\"{timer}\"");
+            }
+            ProtocolEvent::LifeSignObserved { of } => {
+                let _ = write!(out, ",\"of\":{}", of.as_u8());
+            }
+            ProtocolEvent::SuspectRaised { suspect } => {
+                let _ = write!(out, ",\"suspect\":{}", suspect.as_u8());
+            }
+            ProtocolEvent::FailureNotified { failed }
+            | ProtocolEvent::FdaInvoked { failed }
+            | ProtocolEvent::FdaDelivered { failed } => {
+                let _ = write!(out, ",\"failed\":{}", failed.as_u8());
+            }
+            ProtocolEvent::FdaSignSent { failed, diffusion } => {
+                let _ = write!(
+                    out,
+                    ",\"failed\":{},\"diffusion\":{diffusion}",
+                    failed.as_u8()
+                );
+            }
+            ProtocolEvent::FdaSignReceived { failed, duplicate } => {
+                let _ = write!(
+                    out,
+                    ",\"failed\":{},\"duplicate\":{duplicate}",
+                    failed.as_u8()
+                );
+            }
+            ProtocolEvent::RhaStarted {
+                proposal,
+                full_member,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"proposal\":\"{proposal}\",\"full_member\":{full_member}"
+                );
+            }
+            ProtocolEvent::RhvSent { vector }
+            | ProtocolEvent::RhaNarrowed { vector }
+            | ProtocolEvent::RhaQuenched { vector } => {
+                let _ = write!(out, ",\"vector\":\"{vector}\"");
+            }
+            ProtocolEvent::RhvReceived { from, vector } => {
+                let _ = write!(out, ",\"from\":{},\"vector\":\"{vector}\"", from.as_u8());
+            }
+            ProtocolEvent::RhaSettled { vector, broadcasts } => {
+                let _ = write!(
+                    out,
+                    ",\"vector\":\"{vector}\",\"broadcasts\":{broadcasts}"
+                );
+            }
+            ProtocolEvent::JoinObserved { subject } | ProtocolEvent::LeaveObserved { subject } => {
+                let _ = write!(out, ",\"subject\":{}", subject.as_u8());
+            }
+            ProtocolEvent::CycleStarted { index, idle } => {
+                let _ = write!(out, ",\"index\":{index},\"idle\":{idle}");
+            }
+            ProtocolEvent::ViewBootstrapped { view } | ProtocolEvent::ViewInstalled { view } => {
+                let _ = write!(out, ",\"view\":\"{view}\"");
+            }
+            ProtocolEvent::ViewChanged { view, failed } => {
+                let _ = write!(out, ",\"view\":\"{view}\",\"failed\":\"{failed}\"");
+            }
+            ProtocolEvent::LifeSignSent
+            | ProtocolEvent::JoinRequested
+            | ProtocolEvent::LeaveRequested
+            | ProtocolEvent::Expelled
+            | ProtocolEvent::LeftService
+            | ProtocolEvent::NodeCrashed
+            | ProtocolEvent::NodeRestarted => {}
+        }
+    }
+}
+
+/// A protocol event stamped with its instant and emitting node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// When the event happened (simulation bit-time).
+    pub time: BitTime,
+    /// The node it happened at (for external markers: the affected
+    /// node).
+    pub node: NodeId,
+    /// What happened.
+    pub event: ProtocolEvent,
+}
+
+impl TimedEvent {
+    /// Renders the event as one JSONL object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(
+            out,
+            "{{\"t\":{},\"node\":{},\"kind\":\"{}\"",
+            self.time.as_u64(),
+            self.node.as_u8(),
+            self.event.kind()
+        );
+        self.event.write_json_fields(&mut out);
+        out.push('}');
+        out
+    }
+}
+
+/// A cloneable handle through which protocol entities emit events.
+///
+/// The default ([`EventSink::disabled`]) handle is empty: emitting
+/// through it is a branch on `None` — no allocation, no side effect.
+/// Handles produced by [`ObsLog::sink`] append to the shared log.
+#[derive(Debug, Clone, Default)]
+pub struct EventSink {
+    log: Option<Rc<RefCell<Vec<TimedEvent>>>>,
+}
+
+impl EventSink {
+    /// A sink that drops everything (the default for every entity).
+    pub const fn disabled() -> Self {
+        EventSink { log: None }
+    }
+
+    /// Whether events emitted through this handle are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.log.is_some()
+    }
+
+    /// Records one event. A no-op (and allocation-free) when disabled.
+    #[inline]
+    pub fn emit(&self, time: BitTime, node: NodeId, event: ProtocolEvent) {
+        if let Some(log) = &self.log {
+            log.borrow_mut().push(TimedEvent { time, node, event });
+        }
+    }
+}
+
+/// The shared, append-only event log of one simulation run.
+///
+/// Create one log per run, hand [`ObsLog::sink`] clones to every
+/// stack (via `CanelyStack::with_obs`), and read the merged record
+/// back with [`ObsLog::events`] / [`ObsLog::export_jsonl`].
+#[derive(Debug, Clone, Default)]
+pub struct ObsLog {
+    log: Rc<RefCell<Vec<TimedEvent>>>,
+}
+
+impl ObsLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        ObsLog::default()
+    }
+
+    /// A sink handle appending to this log.
+    pub fn sink(&self) -> EventSink {
+        EventSink {
+            log: Some(Rc::clone(&self.log)),
+        }
+    }
+
+    /// Records an event from outside the stack — used by harnesses to
+    /// inject the externally known crash/restart markers
+    /// ([`ProtocolEvent::NodeCrashed`] / [`ProtocolEvent::NodeRestarted`])
+    /// that anchor the latency metrics.
+    pub fn record(&self, time: BitTime, node: NodeId, event: ProtocolEvent) {
+        self.log.borrow_mut().push(TimedEvent { time, node, event });
+    }
+
+    /// A snapshot of all recorded events.
+    pub fn events(&self) -> Vec<TimedEvent> {
+        self.log.borrow().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.log.borrow().len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.log.borrow().is_empty()
+    }
+
+    /// Renders the log — merged with a bus trace, if given — as one
+    /// time-ordered JSONL document (see [`export_jsonl`]).
+    pub fn export_jsonl(&self, bus: Option<&BusTrace>) -> String {
+        export_jsonl(&self.log.borrow(), bus)
+    }
+}
+
+/// Renders protocol events and (optionally) the bus transaction trace
+/// as one merged JSON-Lines document, one object per line, sorted by
+/// time.
+///
+/// Ordering guarantees (documented in `docs/TRACE_SCHEMA.md`):
+/// primary key is the event instant `t`; at equal instants bus
+/// transactions sort before protocol events (a frame *starts* before
+/// anything reacts to it), and events of the same class keep their
+/// recording order. The output is deterministic: two identical runs
+/// produce byte-identical documents.
+pub fn export_jsonl(events: &[TimedEvent], bus: Option<&BusTrace>) -> String {
+    // (time, class, sequence) — class 0 = bus, 1 = protocol.
+    let mut lines: Vec<(u64, u8, usize, String)> = Vec::with_capacity(
+        events.len() + bus.map_or(0, BusTrace::len),
+    );
+    if let Some(trace) = bus {
+        for (seq, rec) in trace.iter().enumerate() {
+            let mut line = String::with_capacity(128);
+            let mid = rec
+                .mid()
+                .map_or_else(|| "-".to_string(), |m| m.to_string());
+            let _ = write!(
+                line,
+                "{{\"t\":{},\"kind\":\"bus.tx\",\"mid\":\"{}\",\"frame\":\"{}\",\
+                 \"transmitters\":\"{}\",\"bus_free\":{},\"delivered\":{},\"errored\":{}}}",
+                rec.start.as_u64(),
+                json_escape(&mid),
+                if rec.frame.is_remote() { "rtr" } else { "data" },
+                rec.transmitters,
+                rec.bus_free.as_u64(),
+                rec.delivered,
+                rec.errored,
+            );
+            lines.push((rec.start.as_u64(), 0, seq, line));
+        }
+    }
+    for (seq, event) in events.iter().enumerate() {
+        lines.push((event.time.as_u64(), 1, seq, event.to_json()));
+    }
+    lines.sort_by_key(|&(t, class, seq, _)| (t, class, seq));
+    let mut out = String::new();
+    for (_, _, _, line) in lines {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A simple sample-keeping histogram over `u64` values (latencies in
+/// bit-times, round counts, …).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<u64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.samples.push(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the histogram holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<u64> {
+        self.samples.iter().copied().min()
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64)
+    }
+
+    /// Nearest-rank percentile, `p` in `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+    }
+
+    /// The raw samples, in recording order.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Equal-width buckets spanning `[min, max]` — `(lo, hi, count)`
+    /// triples for ASCII rendering. Empty for an empty histogram.
+    pub fn buckets(&self, n: usize) -> Vec<(u64, u64, usize)> {
+        let (Some(min), Some(max)) = (self.min(), self.max()) else {
+            return Vec::new();
+        };
+        let n = n.max(1);
+        let width = ((max - min) / n as u64).max(1);
+        // A narrow value range needs fewer than `n` buckets; don't pad
+        // with empty ranges past the maximum.
+        let n = (((max - min) / width) as usize + 1).min(n);
+        let mut buckets: Vec<(u64, u64, usize)> = (0..n)
+            .map(|i| {
+                let lo = min + width * i as u64;
+                let hi = if i == n - 1 { max } else { lo + width - 1 };
+                (lo, hi, 0)
+            })
+            .collect();
+        for &s in &self.samples {
+            let idx = (((s - min) / width) as usize).min(n - 1);
+            buckets[idx].2 += 1;
+        }
+        buckets
+    }
+}
+
+/// Per-node (and global) event counters derived from the log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// `timer.armed` events.
+    pub timers_armed: u64,
+    /// `timer.expired` events.
+    pub timers_expired: u64,
+    /// Explicit life-signs broadcast (`fd.lifesign.tx`).
+    pub life_signs_sent: u64,
+    /// Explicit life-signs observed (`fd.lifesign.rx`).
+    pub life_signs_observed: u64,
+    /// Surveillance expiries raising a suspicion (`fd.suspect`).
+    pub suspects_raised: u64,
+    /// Agreed failures delivered upstairs (`fd.notified`).
+    pub failures_notified: u64,
+    /// FDA invocations (`fda.invoked`).
+    pub fda_invocations: u64,
+    /// Failure-sign transmit requests (`fda.sign.tx`).
+    pub fda_signs_sent: u64,
+    /// Failure-sign copies received (`fda.sign.rx`).
+    pub fda_signs_received: u64,
+    /// First-copy FDA deliveries (`fda.delivered`).
+    pub fda_deliveries: u64,
+    /// RHA executions started (`rha.started`).
+    pub rha_started: u64,
+    /// RHV signals queued (`rha.rhv.tx`).
+    pub rhv_sent: u64,
+    /// RHV signals received (`rha.rhv.rx`).
+    pub rhv_received: u64,
+    /// Narrowing rounds (`rha.narrowed`).
+    pub rha_narrowings: u64,
+    /// RHA executions settled (`rha.settled`).
+    pub rha_settled: u64,
+    /// Own JOIN requests (`msh.join.tx`).
+    pub joins_requested: u64,
+    /// Own LEAVE requests (`msh.leave.tx`).
+    pub leaves_requested: u64,
+    /// Membership cycle boundaries (`msh.cycle`).
+    pub cycles: u64,
+    /// View commits, bootstrap included (`view.installed` +
+    /// `view.bootstrap`).
+    pub views_installed: u64,
+    /// Membership-change notifications (`view.changed`).
+    pub view_changes: u64,
+    /// Expulsions (`msh.expelled`).
+    pub expulsions: u64,
+    /// Completed leaves (`msh.left`).
+    pub leaves_completed: u64,
+    /// External crash markers (`node.crashed`).
+    pub crashes: u64,
+    /// External restart markers (`node.restarted`).
+    pub restarts: u64,
+}
+
+impl Counters {
+    fn bump(&mut self, event: &ProtocolEvent) {
+        match event {
+            ProtocolEvent::TimerArmed { .. } => self.timers_armed += 1,
+            ProtocolEvent::TimerExpired { .. } => self.timers_expired += 1,
+            ProtocolEvent::LifeSignSent => self.life_signs_sent += 1,
+            ProtocolEvent::LifeSignObserved { .. } => self.life_signs_observed += 1,
+            ProtocolEvent::SuspectRaised { .. } => self.suspects_raised += 1,
+            ProtocolEvent::FailureNotified { .. } => self.failures_notified += 1,
+            ProtocolEvent::FdaInvoked { .. } => self.fda_invocations += 1,
+            ProtocolEvent::FdaSignSent { .. } => self.fda_signs_sent += 1,
+            ProtocolEvent::FdaSignReceived { .. } => self.fda_signs_received += 1,
+            ProtocolEvent::FdaDelivered { .. } => self.fda_deliveries += 1,
+            ProtocolEvent::RhaStarted { .. } => self.rha_started += 1,
+            ProtocolEvent::RhvSent { .. } => self.rhv_sent += 1,
+            ProtocolEvent::RhvReceived { .. } => self.rhv_received += 1,
+            ProtocolEvent::RhaNarrowed { .. } => self.rha_narrowings += 1,
+            ProtocolEvent::RhaQuenched { .. } => {}
+            ProtocolEvent::RhaSettled { .. } => self.rha_settled += 1,
+            ProtocolEvent::JoinRequested => self.joins_requested += 1,
+            ProtocolEvent::LeaveRequested => self.leaves_requested += 1,
+            ProtocolEvent::JoinObserved { .. } | ProtocolEvent::LeaveObserved { .. } => {}
+            ProtocolEvent::CycleStarted { .. } => self.cycles += 1,
+            ProtocolEvent::ViewBootstrapped { .. } | ProtocolEvent::ViewInstalled { .. } => {
+                self.views_installed += 1;
+            }
+            ProtocolEvent::ViewChanged { .. } => self.view_changes += 1,
+            ProtocolEvent::Expelled => self.expulsions += 1,
+            ProtocolEvent::LeftService => self.leaves_completed += 1,
+            ProtocolEvent::NodeCrashed => self.crashes += 1,
+            ProtocolEvent::NodeRestarted => self.restarts += 1,
+        }
+    }
+}
+
+/// Aggregate bus figures carried by a [`Snapshot`].
+#[derive(Debug, Clone, Copy)]
+pub struct BusMetrics {
+    /// Transactions on the wire over the measured window.
+    pub transactions: usize,
+    /// Errored transactions.
+    pub errors: usize,
+    /// Overall bus utilization in `[0, 1]`.
+    pub utilization: f64,
+    /// Utilization attributable to the membership suite
+    /// (ELS + FDA + RHA + JOIN + LEAVE — the Fig. 10 quantity).
+    pub suite_utilization: f64,
+}
+
+/// Metrics derived from one event log (plus, optionally, the bus
+/// trace): counters and the latency histograms of the evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counters summed over all nodes.
+    pub totals: Counters,
+    per_node: Vec<(NodeId, Counters)>,
+    /// Failure-detection latency: per observer, `fd.notified` instant
+    /// minus the victim's `node.crashed` marker (bit-times).
+    pub detection_latency: Histogram,
+    /// View-change latency: per observer, the first view commit
+    /// *excluding* the victim minus the crash marker (bit-times).
+    pub view_change_latency: Histogram,
+    /// Own RHV broadcasts per settled agreement (1 = no narrowing).
+    pub rha_broadcasts: Histogram,
+    /// Bus utilization figures, when a trace was supplied.
+    pub bus: Option<BusMetrics>,
+}
+
+impl Snapshot {
+    /// Folds an event log (and optionally the bus trace with the
+    /// measurement horizon) into a metrics snapshot.
+    ///
+    /// The latency histograms need `node.crashed` markers in the log
+    /// (recorded by the harness via [`ObsLog::record`]); without
+    /// markers they stay empty.
+    pub fn compute(events: &[TimedEvent], bus: Option<(&BusTrace, BitTime)>) -> Self {
+        let mut snapshot = Snapshot::default();
+        let mut per_node = vec![Counters::default(); MAX_NODES];
+        let mut seen = [false; MAX_NODES];
+
+        // Crash markers, per victim, in time order.
+        let mut crash_times: HashMap<u8, Vec<BitTime>> = HashMap::new();
+        for e in events {
+            if matches!(e.event, ProtocolEvent::NodeCrashed) {
+                crash_times.entry(e.node.as_u8()).or_default().push(e.time);
+            }
+        }
+
+        for e in events {
+            let idx = e.node.as_usize();
+            per_node[idx].bump(&e.event);
+            seen[idx] = true;
+            snapshot.totals.bump(&e.event);
+
+            match e.event {
+                ProtocolEvent::FailureNotified { failed } => {
+                    if let Some(ct) = last_crash_before(&crash_times, failed, e.time) {
+                        snapshot.detection_latency.record((e.time - ct).as_u64());
+                    }
+                }
+                ProtocolEvent::RhaSettled { broadcasts, .. } => {
+                    snapshot.rha_broadcasts.record(u64::from(broadcasts));
+                }
+                _ => {}
+            }
+        }
+
+        // View-change latency: first commit excluding the victim after
+        // each crash, per observer.
+        for (&victim, times) in &crash_times {
+            let victim = NodeId::new(victim);
+            for &ct in times {
+                let mut settled: HashMap<u8, BitTime> = HashMap::new();
+                for e in events {
+                    if e.time < ct || e.node == victim {
+                        continue;
+                    }
+                    let view = match e.event {
+                        ProtocolEvent::ViewInstalled { view }
+                        | ProtocolEvent::ViewBootstrapped { view } => view,
+                        _ => continue,
+                    };
+                    if !view.contains(victim) {
+                        settled.entry(e.node.as_u8()).or_insert(e.time);
+                    }
+                }
+                for (_, t) in settled {
+                    snapshot.view_change_latency.record((t - ct).as_u64());
+                }
+            }
+        }
+
+        snapshot.per_node = (0..MAX_NODES)
+            .filter(|&i| seen[i])
+            .map(|i| (NodeId::new(i as u8), per_node[i]))
+            .collect();
+
+        if let Some((trace, until)) = bus {
+            if !until.is_zero() {
+                let stats = trace.stats(BitTime::ZERO, until);
+                snapshot.bus = Some(BusMetrics {
+                    transactions: stats.transactions,
+                    errors: stats.errors,
+                    utilization: stats.utilization(),
+                    suite_utilization: stats.utilization_of(&BusStats::MEMBERSHIP_SUITE),
+                });
+            }
+        }
+        snapshot
+    }
+
+    /// Counters per node, in node order (only nodes that emitted or
+    /// were the subject of at least one event).
+    pub fn per_node(&self) -> &[(NodeId, Counters)] {
+        &self.per_node
+    }
+}
+
+fn last_crash_before(
+    crash_times: &HashMap<u8, Vec<BitTime>>,
+    victim: NodeId,
+    at: BitTime,
+) -> Option<BitTime> {
+    crash_times
+        .get(&victim.as_u8())?
+        .iter()
+        .copied()
+        .filter(|&t| t <= at)
+        .max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(id: u8) -> NodeId {
+        NodeId::new(id)
+    }
+
+    fn t(v: u64) -> BitTime {
+        BitTime::new(v)
+    }
+
+    #[test]
+    fn disabled_sink_drops_events() {
+        let sink = EventSink::disabled();
+        assert!(!sink.is_enabled());
+        sink.emit(t(1), n(0), ProtocolEvent::LifeSignSent);
+        // Nothing observable — the call must simply be a no-op.
+    }
+
+    #[test]
+    fn sink_appends_to_shared_log() {
+        let log = ObsLog::new();
+        let a = log.sink();
+        let b = log.sink();
+        assert!(a.is_enabled());
+        a.emit(t(5), n(0), ProtocolEvent::LifeSignSent);
+        b.emit(t(9), n(1), ProtocolEvent::SuspectRaised { suspect: n(0) });
+        let events = log.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].node, n(0));
+        assert_eq!(events[1].event, ProtocolEvent::SuspectRaised { suspect: n(0) });
+    }
+
+    #[test]
+    fn json_lines_are_flat_objects() {
+        let e = TimedEvent {
+            time: t(1234),
+            node: n(3),
+            event: ProtocolEvent::FdaSignReceived {
+                failed: n(7),
+                duplicate: true,
+            },
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"t\":1234,\"node\":3,\"kind\":\"fda.sign.rx\",\"failed\":7,\"duplicate\":true}"
+        );
+    }
+
+    #[test]
+    fn every_variant_renders_with_its_kind() {
+        let variants = [
+            ProtocolEvent::TimerArmed {
+                timer: ObsTimer::Surveillance(n(3)),
+                deadline: t(10),
+            },
+            ProtocolEvent::TimerExpired {
+                timer: ObsTimer::MembershipCycle,
+            },
+            ProtocolEvent::LifeSignSent,
+            ProtocolEvent::LifeSignObserved { of: n(1) },
+            ProtocolEvent::SuspectRaised { suspect: n(1) },
+            ProtocolEvent::FailureNotified { failed: n(1) },
+            ProtocolEvent::FdaInvoked { failed: n(1) },
+            ProtocolEvent::FdaSignSent {
+                failed: n(1),
+                diffusion: false,
+            },
+            ProtocolEvent::FdaSignReceived {
+                failed: n(1),
+                duplicate: false,
+            },
+            ProtocolEvent::FdaDelivered { failed: n(1) },
+            ProtocolEvent::RhaStarted {
+                proposal: NodeSet::from_bits(0b11),
+                full_member: true,
+            },
+            ProtocolEvent::RhvSent {
+                vector: NodeSet::from_bits(0b11),
+            },
+            ProtocolEvent::RhvReceived {
+                from: n(2),
+                vector: NodeSet::from_bits(0b11),
+            },
+            ProtocolEvent::RhaNarrowed {
+                vector: NodeSet::from_bits(0b01),
+            },
+            ProtocolEvent::RhaQuenched {
+                vector: NodeSet::from_bits(0b01),
+            },
+            ProtocolEvent::RhaSettled {
+                vector: NodeSet::from_bits(0b01),
+                broadcasts: 2,
+            },
+            ProtocolEvent::JoinRequested,
+            ProtocolEvent::LeaveRequested,
+            ProtocolEvent::JoinObserved { subject: n(9) },
+            ProtocolEvent::LeaveObserved { subject: n(9) },
+            ProtocolEvent::CycleStarted {
+                index: 4,
+                idle: true,
+            },
+            ProtocolEvent::ViewBootstrapped {
+                view: NodeSet::from_bits(0b11),
+            },
+            ProtocolEvent::ViewInstalled {
+                view: NodeSet::from_bits(0b11),
+            },
+            ProtocolEvent::ViewChanged {
+                view: NodeSet::from_bits(0b11),
+                failed: NodeSet::EMPTY,
+            },
+            ProtocolEvent::Expelled,
+            ProtocolEvent::LeftService,
+            ProtocolEvent::NodeCrashed,
+            ProtocolEvent::NodeRestarted,
+        ];
+        for event in variants {
+            let line = TimedEvent {
+                time: t(1),
+                node: n(0),
+                event,
+            }
+            .to_json();
+            assert!(
+                line.contains(&format!("\"kind\":\"{}\"", event.kind())),
+                "{line}"
+            );
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn export_merges_and_sorts_by_time() {
+        let events = vec![
+            TimedEvent {
+                time: t(300),
+                node: n(1),
+                event: ProtocolEvent::LifeSignSent,
+            },
+            TimedEvent {
+                time: t(100),
+                node: n(0),
+                event: ProtocolEvent::NodeCrashed,
+            },
+        ];
+        let out = export_jsonl(&events, None);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("node.crashed"), "{out}");
+        assert!(lines[1].contains("fd.lifesign.tx"), "{out}");
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::new();
+        for v in [10, 20, 30, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), Some(10));
+        assert_eq!(h.max(), Some(40));
+        assert_eq!(h.mean(), Some(25.0));
+        assert_eq!(h.percentile(50.0), Some(20));
+        assert_eq!(h.percentile(100.0), Some(40));
+        let buckets = h.buckets(2);
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets.iter().map(|b| b.2).sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.percentile(99.0), None);
+        assert!(h.buckets(4).is_empty());
+    }
+
+    #[test]
+    fn snapshot_derives_detection_latency_from_markers() {
+        let events = vec![
+            TimedEvent {
+                time: t(1_000),
+                node: n(2),
+                event: ProtocolEvent::NodeCrashed,
+            },
+            TimedEvent {
+                time: t(8_500),
+                node: n(0),
+                event: ProtocolEvent::FailureNotified { failed: n(2) },
+            },
+            TimedEvent {
+                time: t(8_500),
+                node: n(1),
+                event: ProtocolEvent::FailureNotified { failed: n(2) },
+            },
+            TimedEvent {
+                time: t(31_000),
+                node: n(0),
+                event: ProtocolEvent::ViewInstalled {
+                    view: NodeSet::from_bits(0b011),
+                },
+            },
+        ];
+        let s = Snapshot::compute(&events, None);
+        assert_eq!(s.detection_latency.count(), 2);
+        assert_eq!(s.detection_latency.min(), Some(7_500));
+        assert_eq!(s.view_change_latency.count(), 1);
+        assert_eq!(s.view_change_latency.min(), Some(30_000));
+        assert_eq!(s.totals.failures_notified, 2);
+        assert_eq!(s.totals.crashes, 1);
+        // Per-node split: nodes 0, 1, 2 appear.
+        assert_eq!(s.per_node().len(), 3);
+    }
+
+    #[test]
+    fn snapshot_without_markers_has_empty_latency() {
+        let events = vec![TimedEvent {
+            time: t(8_500),
+            node: n(0),
+            event: ProtocolEvent::FailureNotified { failed: n(2) },
+        }];
+        let s = Snapshot::compute(&events, None);
+        assert!(s.detection_latency.is_empty());
+        assert_eq!(s.totals.failures_notified, 1);
+    }
+
+    #[test]
+    fn json_escape_controls_and_quotes() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+}

@@ -24,6 +24,7 @@
 //! * the protocol terminates at `Trha` after each node's own start,
 //!   delivering `rha-can.nty(END, V_RHV)` upstairs (lines r14–r18).
 
+use crate::obs::{EventSink, ObsTimer, ProtocolEvent};
 use crate::tags::TimerOwner;
 use can_controller::{Ctx, TimerId};
 use can_types::{BitTime, Mid, MsgType, NodeId, NodeSet, Payload};
@@ -70,6 +71,10 @@ pub struct Rha {
     ndup: HashMap<NodeSet, u32>,
     /// Executions completed (introspection).
     executions: u64,
+    /// Own RHV broadcasts in the current execution (metrics).
+    sends: u32,
+    /// Structured-event sink (disabled by default).
+    obs: EventSink,
 }
 
 impl Rha {
@@ -83,7 +88,14 @@ impl Rha {
             v_rhv: NodeSet::EMPTY,
             ndup: HashMap::new(),
             executions: 0,
+            sends: 0,
+            obs: EventSink::disabled(),
         }
+    }
+
+    /// Installs the structured-event sink (see [`crate::obs`]).
+    pub fn set_sink(&mut self, sink: EventSink) {
+        self.obs = sink;
     }
 
     /// The mid of an RHV signal: type RHA, reference `#V_RHV`,
@@ -127,11 +139,28 @@ impl Rha {
         sets: SharedSets,
     ) -> RhaNotification {
         self.tid = Some(ctx.start_alarm(self.trha, TimerOwner::RhaTermination.encode())); // a01
+        self.obs.emit(
+            ctx.now(),
+            ctx.me(),
+            ProtocolEvent::TimerArmed {
+                timer: ObsTimer::RhaTermination,
+                deadline: ctx.now() + self.trha,
+            },
+        );
         self.v_rhv = if full_member {
             ((sets.vs | sets.vj) - sets.vl) & vw // a03
         } else {
             vw // a05: non-members use the received vector
         };
+        self.sends = 0;
+        self.obs.emit(
+            ctx.now(),
+            ctx.me(),
+            ProtocolEvent::RhaStarted {
+                proposal: self.v_rhv,
+                full_member,
+            },
+        );
         self.broadcast_current(ctx); // a07
         ctx.journal(format_args!(
             "RHA: started, proposing {}",
@@ -140,10 +169,13 @@ impl Rha {
         RhaNotification::Init // a08
     }
 
-    fn broadcast_current(&self, ctx: &mut Ctx<'_>) {
+    fn broadcast_current(&mut self, ctx: &mut Ctx<'_>) {
         let mid = Self::rhv_mid(ctx.me(), self.v_rhv);
         let payload = Payload::from_slice(&self.v_rhv.to_bytes()).expect("8-byte vector");
         ctx.can_data_req(mid, payload);
+        self.sends += 1;
+        self.obs
+            .emit(ctx.now(), ctx.me(), ProtocolEvent::RhvSent { vector: self.v_rhv });
     }
 
     /// Handles an arriving RHV signal (Fig. 7, lines r00–r13; own
@@ -163,6 +195,14 @@ impl Rha {
         };
         let v_remote = NodeSet::from_bytes(bytes);
         *self.ndup.entry(v_remote).or_default() += 1; // r01
+        self.obs.emit(
+            ctx.now(),
+            ctx.me(),
+            ProtocolEvent::RhvReceived {
+                from: mid.node(),
+                vector: v_remote,
+            },
+        );
 
         if self.tid.is_none() {
             // r02–r03: join the execution using the received vector.
@@ -172,11 +212,15 @@ impl Rha {
             // r04–r07: the remote vector excludes nodes we still hold.
             ctx.can_abort_req(Self::rhv_mid(ctx.me(), self.v_rhv)); // r05
             self.v_rhv &= v_remote; // r06
+            self.obs
+                .emit(ctx.now(), ctx.me(), ProtocolEvent::RhaNarrowed { vector: self.v_rhv });
             self.broadcast_current(ctx); // r07
             ctx.journal(format_args!("RHA: narrowed to {}", self.v_rhv));
         } else if self.ndup.get(&self.v_rhv).copied().unwrap_or(0) >= self.j {
             // r08–r09: enough copies of our value circulate already.
             ctx.can_abort_req(Self::rhv_mid(ctx.me(), self.v_rhv));
+            self.obs
+                .emit(ctx.now(), ctx.me(), ProtocolEvent::RhaQuenched { vector: self.v_rhv });
         }
         None
     }
@@ -185,10 +229,19 @@ impl Rha {
     /// r14–r18). Returns the END notification with the agreed vector.
     pub fn on_timeout(&mut self, ctx: &mut Ctx<'_>) -> RhaNotification {
         let vector = self.v_rhv;
+        self.obs.emit(
+            ctx.now(),
+            ctx.me(),
+            ProtocolEvent::RhaSettled {
+                vector,
+                broadcasts: self.sends,
+            },
+        );
         self.tid = None; // r16
         self.v_rhv = NodeSet::EMPTY; // r17
         self.ndup.clear(); // new execution starts fresh
         self.executions += 1;
+        self.sends = 0;
         ctx.journal(format_args!("RHA: ended with {vector}"));
         RhaNotification::End(vector) // r15
     }

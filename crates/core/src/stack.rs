@@ -21,6 +21,7 @@ use crate::config::CanelyConfig;
 use crate::fd::{FailureDetector, FdAction};
 use crate::fda::Fda;
 use crate::membership::{Membership, MembershipEvent, MshAction};
+use crate::obs::{EventSink, ObsTimer, ProtocolEvent};
 use crate::rha::{Rha, RhaNotification};
 use crate::tags::TimerOwner;
 use crate::traffic::{TrafficConfig, TrafficGenerator};
@@ -78,6 +79,7 @@ pub struct CanelyStack {
     leave_at: Option<BitTime>,
     active: bool,
     events: Vec<(BitTime, UpperEvent)>,
+    obs: EventSink,
 }
 
 impl CanelyStack {
@@ -104,8 +106,23 @@ impl CanelyStack {
             leave_at: None,
             active: true,
             events: Vec::new(),
+            obs: EventSink::disabled(),
             config,
         }
+    }
+
+    /// Installs a structured-event sink on the whole stack: every
+    /// protocol entity (failure detection, FDA, RHA, membership) emits
+    /// its [`crate::obs::ProtocolEvent`]s into the shared log behind
+    /// the sink. Pass a clone of the same [`crate::obs::ObsLog`] sink
+    /// to every node of a simulation to obtain one merged trace.
+    pub fn with_obs(mut self, sink: EventSink) -> Self {
+        self.fda.set_sink(sink.clone());
+        self.rha.set_sink(sink.clone());
+        self.fd.set_sink(sink.clone());
+        self.msh.set_sink(sink.clone());
+        self.obs = sink;
+        self
     }
 
     /// Adds cyclic application traffic (implicit heartbeats).
@@ -192,8 +209,19 @@ impl CanelyStack {
         self.fd.monitored()
     }
 
-    fn record(&mut self, now: BitTime, event: UpperEvent) {
-        self.events.push((now, event));
+    fn record(&mut self, ctx: &Ctx<'_>, event: UpperEvent) {
+        // Mirror the upper-layer notification into the structured
+        // trace so one export covers the whole stack.
+        let mirrored = match event {
+            UpperEvent::MembershipChange { view, failed } => {
+                ProtocolEvent::ViewChanged { view, failed }
+            }
+            UpperEvent::FailureNotified(r) => ProtocolEvent::FailureNotified { failed: r },
+            UpperEvent::LeftService => ProtocolEvent::LeftService,
+            UpperEvent::Expelled => ProtocolEvent::Expelled,
+        };
+        self.obs.emit(ctx.now(), ctx.me(), mirrored);
+        self.events.push((ctx.now(), event));
     }
 
     /// Routes membership actions to the companion services.
@@ -213,16 +241,16 @@ impl CanelyStack {
                     }
                 }
                 MshAction::Notify { view, failed } => {
-                    self.record(ctx.now(), UpperEvent::MembershipChange { view, failed });
+                    self.record(ctx, UpperEvent::MembershipChange { view, failed });
                 }
                 MshAction::LeftService => {
                     self.fd.stop_all(ctx);
                     self.active = false;
-                    self.record(ctx.now(), UpperEvent::LeftService);
+                    self.record(ctx, UpperEvent::LeftService);
                 }
                 MshAction::Expelled => {
                     self.fd.stop_all(ctx);
-                    self.record(ctx.now(), UpperEvent::Expelled);
+                    self.record(ctx, UpperEvent::Expelled);
                     if let Some(delay) = self.config.expulsion_rejoin_delay {
                         // Fresh incarnation: membership and agreement
                         // state are discarded and a reintegration is
@@ -241,6 +269,10 @@ impl CanelyStack {
                             self.config.join_wait,
                             self.config.rejoin_on_failed_join,
                         );
+                        // The fresh incarnation keeps emitting into the
+                        // same trace.
+                        self.rha.set_sink(self.obs.clone());
+                        self.msh.set_sink(self.obs.clone());
                         ctx.start_alarm(
                             delay,
                             TimerOwner::Scripted(SCRIPT_JOIN).encode(),
@@ -304,24 +336,41 @@ impl Application for CanelyStack {
                 }
             }
             DriverEvent::RtrInd { mid } => match mid.msg_type() {
-                MsgType::Els => self.fd.on_activity(ctx, mid.node()),
+                MsgType::Els => {
+                    self.obs.emit(
+                        ctx.now(),
+                        ctx.me(),
+                        ProtocolEvent::LifeSignObserved { of: mid.node() },
+                    );
+                    self.fd.on_activity(ctx, mid.node());
+                }
                 MsgType::Fda => {
                     if let Some(r) = self.fda.on_rtr_ind(ctx, *mid) {
                         let FdAction::Notify(r) = self.fd.on_fda_nty(ctx, r) else {
                             unreachable!("on_fda_nty always notifies");
                         };
-                        self.record(ctx.now(), UpperEvent::FailureNotified(r));
+                        self.record(ctx, UpperEvent::FailureNotified(r));
                         let actions = self.msh.on_fd_nty(ctx, r);
                         self.handle_msh_actions(ctx, actions);
                     }
                 }
                 MsgType::Join => {
+                    self.obs.emit(
+                        ctx.now(),
+                        ctx.me(),
+                        ProtocolEvent::JoinObserved { subject: mid.node() },
+                    );
                     self.msh.on_join_ind(mid.node());
                     if self.config.activity_from_all_rtr {
                         self.fd.on_activity(ctx, mid.node());
                     }
                 }
                 MsgType::Leave => {
+                    self.obs.emit(
+                        ctx.now(),
+                        ctx.me(),
+                        ProtocolEvent::LeaveObserved { subject: mid.node() },
+                    );
                     self.msh.on_leave_ind(mid.node());
                     if self.config.activity_from_all_rtr {
                         self.fd.on_activity(ctx, mid.node());
@@ -351,6 +400,15 @@ impl Application for CanelyStack {
         }
         if !self.active {
             return;
+        }
+        if let Some(timer) = match owner {
+            TimerOwner::Surveillance(r) => Some(ObsTimer::Surveillance(r)),
+            TimerOwner::RhaTermination => Some(ObsTimer::RhaTermination),
+            TimerOwner::MembershipCycle => Some(ObsTimer::MembershipCycle),
+            TimerOwner::Traffic | TimerOwner::Scripted(_) => None,
+        } {
+            self.obs
+                .emit(ctx.now(), ctx.me(), ProtocolEvent::TimerExpired { timer });
         }
         match owner {
             TimerOwner::Surveillance(r) => {
@@ -597,6 +655,70 @@ mod tests {
                 .events()
                 .iter()
                 .any(|(_, e)| matches!(e, UpperEvent::FailureNotified(r) if *r == n(2))));
+        }
+    }
+
+    #[test]
+    fn obs_log_captures_crash_detection_chain() {
+        use crate::obs::{ObsLog, ProtocolEvent, Snapshot};
+        let log = ObsLog::new();
+        let mut sim = Simulator::new(BusConfig::default(), FaultPlan::none());
+        for id in 0..4 {
+            sim.add_node(
+                n(id),
+                CanelyStack::new(CanelyConfig::default()).with_obs(log.sink()),
+            );
+        }
+        let crash_at = BitTime::new(250_000);
+        log.record(crash_at, n(2), ProtocolEvent::NodeCrashed);
+        sim.schedule_crash(n(2), crash_at);
+        sim.run_until(BitTime::new(500_000));
+
+        let events = log.events();
+        let position = |pred: &dyn Fn(&ProtocolEvent) -> bool| {
+            events
+                .iter()
+                .position(|e| pred(&e.event))
+                .expect("event present in trace")
+        };
+        // The causal chain appears in order: crash marker, suspicion,
+        // FDA invocation, delivery, notification, view change.
+        let crash = position(&|e| matches!(e, ProtocolEvent::NodeCrashed));
+        let suspect =
+            position(&|e| matches!(e, ProtocolEvent::SuspectRaised { suspect } if *suspect == n(2)));
+        let invoked =
+            position(&|e| matches!(e, ProtocolEvent::FdaInvoked { failed } if *failed == n(2)));
+        let delivered =
+            position(&|e| matches!(e, ProtocolEvent::FdaDelivered { failed } if *failed == n(2)));
+        let notified =
+            position(&|e| matches!(e, ProtocolEvent::FailureNotified { failed } if *failed == n(2)));
+        let changed = position(
+            &|e| matches!(e, ProtocolEvent::ViewChanged { view, .. } if !view.contains(n(2))),
+        );
+        assert!(crash < suspect && suspect < invoked, "{crash} {suspect} {invoked}");
+        assert!(invoked < delivered && delivered < notified, "{delivered} {notified}");
+        assert!(notified < changed, "{notified} {changed}");
+
+        // Metrics derived from the same log: a detection-latency sample
+        // per surviving node, within the analytic bound.
+        let snapshot = Snapshot::compute(&events, None);
+        assert_eq!(snapshot.detection_latency.count(), 3);
+        let bound =
+            CanelyConfig::default().detection_latency_bound() + BitTime::new(1_000);
+        assert!(snapshot.detection_latency.max().unwrap() <= bound.as_u64());
+        assert!(snapshot.view_change_latency.count() >= 3);
+        assert_eq!(snapshot.totals.crashes, 1);
+    }
+
+    #[test]
+    fn stack_without_obs_records_nothing() {
+        let mut sim = Simulator::new(BusConfig::default(), FaultPlan::none());
+        cluster(&mut sim, 3);
+        sim.run_until(SETTLED);
+        // No sink installed: the default path must not have grown any
+        // observable state (events are only in the per-stack journal).
+        for id in 0..3 {
+            assert!(!sim.app::<CanelyStack>(n(id)).obs.is_enabled());
         }
     }
 

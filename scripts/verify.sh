@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Full verification gate: build, test, docs, lints.
+#
+# Everything runs --offline: the workspace vendors its few external
+# dependencies (vendor/{rand,proptest,criterion}) so no network access
+# is needed — or allowed — to verify.
+#
+# Usage: scripts/verify.sh  (from the repository root or anywhere)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --workspace --offline
+run cargo test --workspace --offline -q
+run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline -q
+run cargo clippy --workspace --all-targets --offline -q -- -D warnings
+
+echo "==> verify: all green"

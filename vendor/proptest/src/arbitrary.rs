@@ -1,0 +1,67 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Function-backed strategy used for primitive `Arbitrary` impls.
+pub struct ArbWith<T> {
+    gen_fn: fn(&mut TestRng) -> T,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Debug> Strategy for ArbWith<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen_fn)(rng)
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = ArbWith<$t>;
+
+            fn arbitrary() -> ArbWith<$t> {
+                ArbWith {
+                    // Bias 1-in-8 draws toward boundary values; fuzzed
+                    // grammars break there far more often than in the
+                    // bulk of the domain.
+                    gen_fn: |rng| match rng.next_u64() & 7 {
+                        0 => [<$t>::MIN, <$t>::MAX, 0 as $t, 1 as $t][rng.pick(4)],
+                        _ => rng.next_u64() as $t,
+                    },
+                    _marker: PhantomData,
+                }
+            }
+        }
+    )*};
+}
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    type Strategy = ArbWith<bool>;
+
+    fn arbitrary() -> ArbWith<bool> {
+        ArbWith {
+            gen_fn: |rng| rng.next_u64() & 1 == 1,
+            _marker: PhantomData,
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Inclusive size bounds for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            min: exact,
+            max: exact,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range {r:?}");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range {r:?}");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// A `Vec` whose length lies in `size` and whose elements come from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec()`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.in_range_i128(self.size.min as i128, self.size.max as i128) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,253 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This crate implements the subset of the
+//! `proptest 1.x` surface the workspace's property tests use — the
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map` /
+//! `prop_flat_map`, integer/range/tuple/string strategies,
+//! `prop::collection::vec`, `prop::sample::{select, Index}`, and the
+//! `prop_assert*` macros — on top of a deterministic splitmix64 case
+//! generator.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case reports the generated inputs and
+//!   the per-case seed; it does not minimize them.
+//! - **Deterministic seeding.** Case seeds derive from the test name
+//!   and case index, so every run explores the same inputs — failures
+//!   reproduce without a persistence file.
+//! - **Default cases = 64** (override with the `PROPTEST_CASES`
+//!   environment variable), keeping the heavy whole-system property
+//!   tests inside a reasonable CI budget.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Define property tests.
+///
+/// Supports the forms the workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///
+///     /// Doc comments and attributes pass through.
+///     #[test]
+///     fn my_property(x in 0u8..16, ys in prop::collection::vec(any::<u64>(), 1..8)) {
+///         prop_assert!(x < 16);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($config:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let mut __runner = $crate::test_runner::TestRunner::new(__config);
+                __runner.run_named(stringify!($name), |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    let mut __input = ::std::string::String::new();
+                    $(
+                        let _ = ::std::fmt::Write::write_fmt(
+                            &mut __input,
+                            format_args!("{} = {:?}; ", stringify!($arg), $arg),
+                        );
+                    )+
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    __result.map_err(|e| (__input, e))
+                });
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property test; failure reports the
+/// generated inputs instead of panicking on the spot.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                    __l, __r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n{}",
+                    __l,
+                    __r,
+                    format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `left != right`\n  both: {:?}",
+                    __l
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `left != right`\n  both: {:?}\n{}",
+                    __l,
+                    format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod self_tests {
+    use crate::prelude::*;
+
+    fn double(x: u8) -> u16 {
+        u16::from(x) * 2
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u8..10, y in 0u64..60_000) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 60_000);
+        }
+
+        #[test]
+        fn map_applies(x in (0u8..100).prop_map(double)) {
+            prop_assert_eq!(x % 2, 0);
+            prop_assert!(x < 200);
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in prop::collection::vec(any::<bool>(), 2..=5)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 5);
+        }
+
+        #[test]
+        fn select_only_yields_options(t in prop::sample::select(vec![1u8, 2, 3, 8, 24])) {
+            prop_assert!([1u8, 2, 3, 8, 24].contains(&t));
+        }
+
+        #[test]
+        fn index_is_in_range(ix in any::<prop::sample::Index>()) {
+            prop_assert!(ix.index(7) < 7);
+        }
+
+        #[test]
+        fn flat_map_composes(
+            v in (1usize..4).prop_flat_map(|n| prop::collection::vec(Just(n), n)),
+        ) {
+            prop_assert_eq!(v.len(), v[0]);
+        }
+
+        #[test]
+        fn string_patterns_bound_length(s in ".{0,16}") {
+            prop_assert!(s.chars().count() <= 16);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(crate::arbitrary::any::<u64>(), 1..12);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for out in [&mut a, &mut b] {
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(16));
+            runner.run_named("determinism_probe", |rng| {
+                out.push(strat.generate(rng));
+                Ok(())
+            });
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "determinism_probe_fail")]
+    fn failures_panic_with_context() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(4));
+        runner.run_named("determinism_probe_fail", |_rng| {
+            Err(("x = 1; ".to_string(), TestCaseError::fail("boom")))
+        });
+    }
+}

@@ -1,0 +1,62 @@
+//! Sampling strategies (`prop::sample::{select, Index}`).
+
+use crate::arbitrary::Arbitrary;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+
+/// Uniformly pick one of the given options.
+pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select from empty option list");
+    Select { options }
+}
+
+/// Strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.pick(self.options.len())].clone()
+    }
+}
+
+/// An arbitrary index usable against collections of any length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: usize,
+}
+
+impl Index {
+    /// Project onto a collection of length `len` (must be non-zero).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        self.raw % len
+    }
+}
+
+/// Function-backed strategy for [`Index`].
+#[derive(Debug, Clone, Copy)]
+pub struct IndexStrategy;
+
+impl Strategy for IndexStrategy {
+    type Value = Index;
+
+    fn generate(&self, rng: &mut TestRng) -> Index {
+        Index {
+            raw: rng.next_u64() as usize,
+        }
+    }
+}
+
+impl Arbitrary for Index {
+    type Strategy = IndexStrategy;
+
+    fn arbitrary() -> IndexStrategy {
+        IndexStrategy
+    }
+}

@@ -1,0 +1,144 @@
+//! Deterministic case generation and the test-loop runner.
+
+use std::fmt;
+
+/// Deterministic per-case random source (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded for one test case.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform pick in `[0, n)`. `n` must be non-zero.
+    pub fn pick(&mut self, n: usize) -> usize {
+        assert!(n > 0, "pick from empty range");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform value in the inclusive i128 range `[min, max]`.
+    pub fn in_range_i128(&mut self, min: i128, max: i128) -> i128 {
+        assert!(min <= max, "empty range {min}..={max}");
+        let width = (max - min + 1) as u128;
+        if width == 0 {
+            // Full-width range: any raw draw is uniform.
+            return self.next_u64() as i128;
+        }
+        min + (u128::from(self.next_u64()) % width) as i128
+    }
+}
+
+/// Runner configuration; mirrors `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The inputs were rejected (does not fail the test).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+            TestCaseError::Reject(msg) => write!(f, "input rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Drives one property over `config.cases` deterministic cases.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+fn fnv1a(text: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01B3);
+    }
+    hash
+}
+
+impl TestRunner {
+    /// A runner with the given configuration.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Run `case` once per configured case with a seed derived from
+    /// `name` and the case index. On `Fail`, panics with the rendered
+    /// inputs and the seed; `Reject` skips the case.
+    pub fn run_named(
+        &mut self,
+        name: &str,
+        mut case: impl FnMut(&mut TestRng) -> Result<(), (String, TestCaseError)>,
+    ) {
+        let base = fnv1a(name);
+        for i in 0..self.config.cases {
+            let seed = base.wrapping_add(u64::from(i).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = TestRng::new(seed);
+            match case(&mut rng) {
+                Ok(()) => {}
+                Err((_, TestCaseError::Reject(_))) => {}
+                Err((input, err)) => panic!(
+                    "property `{name}` failed at case {i} (seed {seed:#018x})\n\
+                     input: {input}\n{err}"
+                ),
+            }
+        }
+    }
+}
