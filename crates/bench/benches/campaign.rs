@@ -1,0 +1,62 @@
+//! Campaign engine throughput: complete simulations judged per
+//! second, and how that scales with the worker count.
+//!
+//! Two aspects are measured:
+//!
+//! * `campaign_workers` — the same 16-run matrix executed with 1, 2, 4
+//!   and 8 worker threads. The engine's determinism guarantee means
+//!   the *output* is identical across this group; only the wall clock
+//!   may differ, so the group directly exposes the parallel speed-up.
+//! * `campaign_oracle` — a single run executed and judged, isolating
+//!   the per-run cost of the simulation + invariant oracle pipeline
+//!   from the fan-out machinery.
+
+use can_types::BitTime;
+use canely_campaign::{execute, run_campaign, CampaignSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn matrix() -> CampaignSpec {
+    CampaignSpec {
+        name: "bench".into(),
+        nodes: vec![4],
+        seeds: (0, 8),
+        consistent_rates: vec![0.0, 0.01],
+        crash_budgets: vec![1],
+        until: BitTime::new(200_000),
+        settle: BitTime::new(100_000),
+        ..CampaignSpec::default()
+    }
+}
+
+/// The same 16-run campaign at increasing worker counts.
+fn bench_campaign_workers(c: &mut Criterion) {
+    let spec = matrix();
+    assert_eq!(spec.run_count(), 16);
+    let mut group = c.benchmark_group("campaign_workers");
+    group.sample_size(10);
+    for &workers in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                let result = run_campaign(&spec, w);
+                assert!(result.report.clean());
+                result.report.runs
+            });
+        });
+    }
+    group.finish();
+}
+
+/// One simulation + oracle judgement, the unit of campaign work.
+fn bench_single_run_with_oracle(c: &mut Criterion) {
+    let run = matrix().expand().remove(0);
+    c.bench_function("campaign_oracle", |b| {
+        b.iter(|| {
+            let outcome = execute(&run, false);
+            assert!(outcome.violations.is_empty());
+            outcome.events
+        });
+    });
+}
+
+criterion_group!(benches, bench_campaign_workers, bench_single_run_with_oracle);
+criterion_main!(benches);

@@ -189,6 +189,19 @@ pub struct MediaFault {
 
 /// Scripted plus stochastic fault injection with paper-model bounds.
 ///
+/// # Stochastic stability
+///
+/// Stochastic draws come from a **per-transmission independent
+/// stream**: each [`decide`](FaultPlan::decide) call derives a fresh
+/// [`SmallRng`] from the plan seed and the attempt's coordinates
+/// (instant, CAN identifier, retry count, transmitter set) instead of
+/// advancing one shared generator. Adding, removing, or re-ordering
+/// faults — scripted or stochastic — therefore never perturbs the
+/// draws of *unrelated* later transmissions: a transmission's fate
+/// depends only on the seed and on that transmission itself. Fault
+/// campaigns rely on this to shrink a failing schedule while keeping
+/// the surviving faults bit-identical.
+///
 /// # Examples
 ///
 /// A deterministic scenario: the first explicit life-sign of node 2 is
@@ -215,7 +228,7 @@ pub struct MediaFault {
 /// ```
 #[derive(Debug)]
 pub struct FaultPlan {
-    rng: SmallRng,
+    seed: u64,
     consistent_rate: f64,
     inconsistent_rate: f64,
     scripted: Vec<ScriptedEntry>,
@@ -243,7 +256,7 @@ impl FaultPlan {
     /// at zero; configure them with the `with_*` methods).
     pub fn seeded(seed: u64) -> Self {
         FaultPlan {
-            rng: SmallRng::seed_from_u64(seed),
+            seed,
             consistent_rate: 0.0,
             inconsistent_rate: 0.0,
             scripted: Vec::new(),
@@ -391,7 +404,14 @@ impl FaultPlan {
     }
 
     /// Decides the fate of one transmission.
+    ///
+    /// Stochastic decisions draw from a stream derived solely from the
+    /// plan seed and this attempt's coordinates (see *Stochastic
+    /// stability* on [`FaultPlan`]); the verdict for one transmission
+    /// is independent of how many other transmissions were decided
+    /// before it.
     pub fn decide(&mut self, attempt: &TxAttempt<'_>) -> Disposition {
+        let mut rng = self.attempt_stream(attempt);
         // Scripted faults take precedence and ignore stochastic caps.
         for entry in &mut self.scripted {
             if entry.fired >= entry.fault.count {
@@ -412,7 +432,7 @@ impl FaultPlan {
                     crash_sender,
                 } => {
                     let accepters = Self::resolve_accepters(
-                        &mut self.rng,
+                        &mut rng,
                         accepters,
                         attempt.listeners,
                     );
@@ -437,13 +457,13 @@ impl FaultPlan {
             let inconsistent_budget =
                 self.recent_inconsistent.len() < self.inconsistent_degree as usize;
             if inconsistent_budget
-                && self.rng.gen_bool(self.inconsistent_rate)
+                && rng.gen_bool(self.inconsistent_rate)
                 && !attempt.listeners.is_empty()
             {
                 self.recent_omissions.push_back(attempt.now);
                 self.recent_inconsistent.push_back(attempt.now);
                 let accepters = Self::resolve_accepters(
-                    &mut self.rng,
+                    &mut rng,
                     &AccepterSpec::RandomSubset,
                     attempt.listeners,
                 );
@@ -455,12 +475,38 @@ impl FaultPlan {
         }
         if omission_budget
             && self.consistent_rate > 0.0
-            && self.rng.gen_bool(self.consistent_rate)
+            && rng.gen_bool(self.consistent_rate)
         {
             self.recent_omissions.push_back(attempt.now);
             return Disposition::ConsistentOmission;
         }
         Disposition::Deliver
+    }
+
+    /// Derives the independent RNG stream for one transmission.
+    ///
+    /// The stream key folds in every coordinate that identifies the
+    /// attempt — instant, CAN identifier, retry count and transmitter
+    /// set — through a splitmix64-style finalizer, so distinct
+    /// attempts get statistically independent streams while the same
+    /// attempt under the same seed always draws identically.
+    fn attempt_stream(&self, attempt: &TxAttempt<'_>) -> SmallRng {
+        const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+        fn mix64(mut z: u64) -> u64 {
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let mut h = mix64(self.seed ^ GOLDEN);
+        for word in [
+            attempt.now.as_u64(),
+            u64::from(attempt.frame.id().raw()),
+            u64::from(attempt.attempt),
+            attempt.transmitters.bits(),
+        ] {
+            h = mix64(h.wrapping_add(GOLDEN) ^ word);
+        }
+        SmallRng::seed_from_u64(h)
     }
 
     fn expire(&mut self, now: BitTime) {
@@ -864,5 +910,93 @@ mod tests {
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn extra_transmission_does_not_perturb_later_draws() {
+        // Stability guarantee: deciding one additional (unrelated)
+        // transmission early must not shift the stochastic stream of
+        // every transmission after it.
+        let f = els_frame(1);
+        let decisions = |extra_first: bool| {
+            let mut plan = FaultPlan::seeded(77)
+                .with_consistent_rate(0.3)
+                .with_omission_bound(u32::MAX, BitTime::new(1));
+            if extra_first {
+                let _ = plan.decide(&attempt(&f, 0, 0));
+            }
+            (1..=64)
+                .map(|i| plan.decide(&attempt(&f, i, 0)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(decisions(false), decisions(true));
+    }
+
+    #[test]
+    fn scripted_fault_does_not_perturb_stochastic_draws() {
+        // Adding a scripted fault (which consumes RNG words for its
+        // random accepter subset) must leave every other
+        // transmission's stochastic verdict untouched.
+        let f = els_frame(1);
+        let decisions = |scripted: bool| {
+            let mut plan = FaultPlan::seeded(123)
+                .with_consistent_rate(0.25)
+                .with_inconsistent_rate(0.1)
+                .with_omission_bound(u32::MAX, BitTime::new(1))
+                .with_inconsistent_bound(u32::MAX);
+            if scripted {
+                plan.push_scripted(ScriptedFault {
+                    matcher: FaultMatcher {
+                        not_before: BitTime::new(32),
+                        ..FaultMatcher::default()
+                    },
+                    effect: FaultEffect::InconsistentOmission {
+                        accepters: AccepterSpec::RandomSubset,
+                        crash_sender: false,
+                    },
+                    count: 1,
+                });
+            }
+            (0..64)
+                .map(|i| plan.decide(&attempt(&f, i, 0)))
+                .enumerate()
+                .filter(|&(i, _)| i != 32) // the transmission the script hits
+                .map(|(_, d)| d)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(decisions(false), decisions(true));
+    }
+
+    #[test]
+    fn same_attempt_same_seed_draws_identically() {
+        // The per-attempt stream is a pure function of (seed, attempt
+        // coordinates): re-deciding the same transmission in a fresh
+        // plan reproduces the verdict exactly.
+        let f = els_frame(1);
+        for i in 0..32 {
+            let mut a = FaultPlan::seeded(5).with_consistent_rate(0.5);
+            let mut b = FaultPlan::seeded(5).with_consistent_rate(0.5);
+            assert_eq!(
+                a.decide(&attempt(&f, i * 1_000, 0)),
+                b.decide(&attempt(&f, i * 1_000, 0)),
+            );
+        }
+    }
+
+    #[test]
+    fn retry_attempts_use_distinct_streams() {
+        // Successive retries of the same frame at the same instant
+        // still see independent draws (the retry count is part of the
+        // stream key) — otherwise a rate < 1 could deterministically
+        // repeat for the whole retry ladder.
+        let f = els_frame(1);
+        let mut plan = FaultPlan::seeded(2024)
+            .with_consistent_rate(0.5)
+            .with_omission_bound(u32::MAX, BitTime::new(1));
+        let verdicts: Vec<_> = (0..16)
+            .map(|n| plan.decide(&attempt(&f, 500, n)) == Disposition::Deliver)
+            .collect();
+        assert!(verdicts.iter().any(|&d| d), "some retry must deliver");
+        assert!(verdicts.iter().any(|&d| !d), "some retry must be omitted");
     }
 }

@@ -88,6 +88,7 @@ pub struct Simulator {
     poweron_schedule: BinaryHeap<Reverse<(BitTime, NodeId)>>,
     guardian_wake: BinaryHeap<Reverse<(BitTime, NodeId)>>,
     restart_schedule: Vec<(BitTime, NodeId, Box<dyn Application>)>,
+    crash_log: Vec<(BitTime, NodeId)>,
 }
 
 impl Simulator {
@@ -109,6 +110,7 @@ impl Simulator {
             poweron_schedule: BinaryHeap::new(),
             guardian_wake: BinaryHeap::new(),
             restart_schedule: Vec::new(),
+            crash_log: Vec::new(),
         }
     }
 
@@ -256,6 +258,15 @@ impl Simulator {
     /// The bus transaction trace.
     pub fn trace(&self) -> &can_bus::BusTrace {
         self.medium.trace()
+    }
+
+    /// Every crash that occurred, in order: scheduled crashes,
+    /// fault-induced sender crashes (inconsistent omissions with
+    /// `crash_sender`), and the implicit crash half of power-cycling a
+    /// live node. Campaign oracles use this as ground truth for which
+    /// failures the membership service was required to detect.
+    pub fn crash_times(&self) -> &[(BitTime, NodeId)] {
+        &self.crash_log
     }
 
     /// The bus configuration.
@@ -440,6 +451,7 @@ impl Simulator {
         self.alive.remove(node);
         self.timers.cancel_node(node);
         self.medium.withdraw(node);
+        self.crash_log.push((self.now, node));
         if self.journal_enabled {
             self.journal.push(JournalEntry {
                 time: self.now,

@@ -109,6 +109,52 @@ impl ProtocolBounds {
         ((th.as_u64() as f64 * budget) / frame as f64).floor() as u32
     }
 
+    /// Bounds for an explicit protocol parameterization — the
+    /// constructor campaign oracles use, mapping a run's knobs
+    /// (`Th`, `Tm`, `Trha`, `j`, `f`) onto the paper's closed forms
+    /// with the default protocol-class `Tltm`.
+    pub fn for_params(
+        heartbeat_period: BitTime,
+        membership_cycle: BitTime,
+        rha_timeout: BitTime,
+        inconsistent_degree: u32,
+        max_crash_faults: u32,
+    ) -> Self {
+        ProtocolBounds {
+            heartbeat_period,
+            tltm: BitTime::new(340),
+            membership_cycle,
+            rha_timeout,
+            inconsistent_degree,
+            max_crash_faults,
+        }
+    }
+
+    /// Upper bound on the latency of the *view change* that removes a
+    /// crashed node: detection first
+    /// ([`Self::detection_latency`]), then the failure record
+    /// waits for the next cycle boundary and one RHA settles the
+    /// agreed view ([`Self::membership_change_latency`]).
+    pub fn view_change_latency(&self) -> BitTime {
+        self.detection_latency() + self.membership_change_latency()
+    }
+
+    /// Oracle predicate: is an observed crash-detection latency
+    /// admissible? `slack` absorbs effects outside the closed form —
+    /// per-observer timer skew, arbitration queuing behind application
+    /// traffic, and any bus inaccessibility overlapping the detection
+    /// window (the caller adds the scheduled window lengths).
+    pub fn admits_detection_latency(&self, observed: BitTime, slack: BitTime) -> bool {
+        observed <= self.detection_latency() + slack
+    }
+
+    /// Oracle predicate: is an observed crash-to-view-change latency
+    /// admissible (same `slack` semantics as
+    /// [`Self::admits_detection_latency`])?
+    pub fn admits_view_change_latency(&self, observed: BitTime, slack: BitTime) -> bool {
+        observed <= self.view_change_latency() + slack
+    }
+
     /// Default bounds matching `CanelyConfig::default()` at 1 Mbps
     /// with a moderate protocol-class `Tltm`.
     pub fn paper_defaults() -> Self {
@@ -178,6 +224,34 @@ mod tests {
         // The default 5 ms heartbeat saturates the whole bus at 64
         // silent nodes — the scale-test lesson.
         assert!(ProtocolBounds::max_population(BitTime::new(5_000), 1.0) < 64);
+    }
+
+    #[test]
+    fn latency_admission_predicates() {
+        let b = ProtocolBounds::paper_defaults();
+        let d = b.detection_latency();
+        assert!(b.admits_detection_latency(d, BitTime::ZERO));
+        assert!(!b.admits_detection_latency(d + BitTime::new(1), BitTime::ZERO));
+        // Slack shifts the admission boundary by exactly its length.
+        assert!(b.admits_detection_latency(d + BitTime::new(500), BitTime::new(500)));
+        let v = b.view_change_latency();
+        assert_eq!(v, d + b.membership_change_latency());
+        assert!(b.admits_view_change_latency(v, BitTime::ZERO));
+        assert!(!b.admits_view_change_latency(v + BitTime::new(1), BitTime::ZERO));
+    }
+
+    #[test]
+    fn for_params_matches_paper_defaults() {
+        let a = ProtocolBounds::paper_defaults();
+        let b = ProtocolBounds::for_params(
+            BitTime::new(5_000),
+            BitTime::new(30_000),
+            BitTime::new(5_000),
+            2,
+            4,
+        );
+        assert_eq!(a.detection_latency(), b.detection_latency());
+        assert_eq!(a.view_change_latency(), b.view_change_latency());
     }
 
     #[test]

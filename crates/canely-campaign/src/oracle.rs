@@ -1,0 +1,373 @@
+//! The invariant oracle: machine-checkable verdicts over a run's
+//! structured event trace.
+//!
+//! The oracle consumes the PR-1 observability record (`core::obs`
+//! [`TimedEvent`]s, including the externally injected
+//! `node.crashed` ground-truth markers) plus each node's final state,
+//! and checks the paper's agreement claims:
+//!
+//! * **false-suspicion** — no live, non-leaving node is ever suspected
+//!   (`fd.suspect`) or declared failed (`fd.notified`): MCAN4's `Ttd`
+//!   margin exists precisely so omission retries and inaccessibility
+//!   cannot masquerade as a crash;
+//! * **detection-latency** — every crash of an integrated member is
+//!   notified at every correct observer within the analytical bound of
+//!   `canely-analysis::bounds` (plus explicit slack and scheduled
+//!   blackout time);
+//! * **view-change-latency** — the view excluding the crashed node is
+//!   installed at every correct observer within the detection bound
+//!   plus one membership cycle and one RHA settlement;
+//! * **view-agreement** — once the system is quiescent, all correct
+//!   in-service nodes hold *identical* views (the paper's agreement
+//!   property, which FDA/RHA must preserve through up to `k` omissions
+//!   of degree-`j` inconsistency);
+//! * **view-validity** — the agreed view is the *right* one: initial
+//!   members minus crashed minus left.
+//!
+//! The oracle is a pure function of [`OracleInput`], so golden-trace
+//! tests can hand-build inputs with known violations and assert the
+//! exact verdicts.
+
+use can_types::{BitTime, NodeId, NodeSet};
+use canely::obs::{ProtocolEvent, TimedEvent};
+use std::collections::HashMap;
+
+/// The invariant classes the oracle can report against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum InvariantKind {
+    /// A live node was suspected or declared failed.
+    FalseSuspicion,
+    /// A crash was notified late (or never) at a correct observer.
+    DetectionLatency,
+    /// The view change removing a crashed node was late (or absent).
+    ViewChangeLatency,
+    /// Correct in-service nodes ended the run with diverging views.
+    ViewAgreement,
+    /// The agreed view differs from members − crashed − left.
+    ViewValidity,
+}
+
+impl InvariantKind {
+    /// The stable kebab-case label used in summaries and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            InvariantKind::FalseSuspicion => "false-suspicion",
+            InvariantKind::DetectionLatency => "detection-latency",
+            InvariantKind::ViewChangeLatency => "view-change-latency",
+            InvariantKind::ViewAgreement => "view-agreement",
+            InvariantKind::ViewValidity => "view-validity",
+        }
+    }
+}
+
+impl std::fmt::Display for InvariantKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One oracle verdict: which invariant broke, where, when, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The broken invariant.
+    pub invariant: InvariantKind,
+    /// The node the violation is attributed to (observer for latency
+    /// violations, the wrongly suspected node for false suspicion).
+    pub node: Option<NodeId>,
+    /// The instant the violation became observable, if point-like.
+    pub time: Option<BitTime>,
+    /// Human-readable diagnosis.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.invariant)?;
+        if let Some(node) = self.node {
+            write!(f, " at {node}")?;
+        }
+        if let Some(time) = self.time {
+            write!(f, " (t={time})")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// A node's end-of-run state, as read off the simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeFinal {
+    /// The node.
+    pub node: NodeId,
+    /// Powered and not crashed at the horizon.
+    pub alive: bool,
+    /// Alive *and* integrated in the membership service.
+    pub in_service: bool,
+    /// The node's current view.
+    pub view: NodeSet,
+}
+
+/// Everything the oracle judges: the merged event trace, final states,
+/// and the admission bounds the caller derived from
+/// `canely-analysis::bounds`.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleInput<'a> {
+    /// The run's protocol events (any order; the oracle sorts).
+    pub events: &'a [TimedEvent],
+    /// Final state of every node in the population.
+    pub finals: &'a [NodeFinal],
+    /// The run horizon.
+    pub horizon: BitTime,
+    /// The initial membership.
+    pub members: NodeSet,
+    /// Whether every scheduled disturbance settled before the horizon;
+    /// end-state view checks only run when true.
+    pub quiescent: bool,
+    /// When the population finished bootstrapping (views installed,
+    /// surveillance armed). Latency clocks for crashes before this
+    /// instant start here — a node that dies during integration is
+    /// only detectable once the detector exists.
+    pub operational_from: BitTime,
+    /// Admissible crash-to-`fd.notified` latency.
+    pub detection_bound: BitTime,
+    /// Admissible crash-to-view-change latency.
+    pub view_change_bound: BitTime,
+}
+
+/// Checks every invariant and returns all violations, ordered by
+/// (invariant, node, time).
+pub fn check(input: &OracleInput<'_>) -> Vec<Violation> {
+    let mut events: Vec<&TimedEvent> = input.events.iter().collect();
+    events.sort_by_key(|e| e.time);
+
+    // Ground truth: first crash marker and first leave request per node.
+    let mut crashed_at: HashMap<NodeId, BitTime> = HashMap::new();
+    let mut left_at: HashMap<NodeId, BitTime> = HashMap::new();
+    for e in &events {
+        match e.event {
+            ProtocolEvent::NodeCrashed => {
+                crashed_at.entry(e.node).or_insert(e.time);
+            }
+            ProtocolEvent::LeaveRequested => {
+                left_at.entry(e.node).or_insert(e.time);
+            }
+            _ => {}
+        }
+    }
+    let dead_or_leaving = |node: NodeId, t: BitTime| {
+        crashed_at.get(&node).is_some_and(|&tc| tc <= t)
+            || left_at.get(&node).is_some_and(|&tl| tl <= t)
+    };
+
+    let mut violations = Vec::new();
+
+    // ── false-suspicion ─────────────────────────────────────────────
+    // Report each wrongly targeted node once, at the first offence.
+    let mut flagged = NodeSet::EMPTY;
+    for e in &events {
+        let target = match e.event {
+            ProtocolEvent::SuspectRaised { suspect } => Some(suspect),
+            ProtocolEvent::FailureNotified { failed } => Some(failed),
+            _ => None,
+        };
+        let Some(target) = target else { continue };
+        if flagged.contains(target) || dead_or_leaving(target, e.time) {
+            continue;
+        }
+        flagged.insert(target);
+        violations.push(Violation {
+            invariant: InvariantKind::FalseSuspicion,
+            node: Some(target),
+            time: Some(e.time),
+            detail: format!(
+                "{} {target} at node {} while {target} was live ({})",
+                if matches!(e.event, ProtocolEvent::SuspectRaised { .. }) {
+                    "suspected"
+                } else {
+                    "declared failed"
+                },
+                e.node,
+                crashed_at
+                    .get(&target)
+                    .map_or_else(|| "never crashed".to_string(), |tc| format!(
+                        "crashed only at t={tc}"
+                    )),
+            ),
+        });
+    }
+
+    // ── per-crash latency bounds ────────────────────────────────────
+    // Observers: members that never crashed or left. A node must have
+    // shown activity before the crash to count (it has: every booted
+    // node arms timers from t = 0).
+    let observers: Vec<NodeId> = input
+        .members
+        .iter()
+        .filter(|n| !crashed_at.contains_key(n) && !left_at.contains_key(n))
+        .collect();
+    let mut crashes: Vec<(BitTime, NodeId)> = crashed_at
+        .iter()
+        .filter(|&(n, _)| input.members.contains(*n))
+        .map(|(&n, &t)| (t, n))
+        .collect();
+    crashes.sort();
+    for &(tc, victim) in &crashes {
+        // Latency clocks start when both the crash has happened and
+        // the detectors are armed.
+        let t0 = tc.max(input.operational_from);
+        for &o in &observers {
+            // Detection: first fd.notified(victim) at o after the crash.
+            let notified = events.iter().find(|e| {
+                e.node == o
+                    && e.time >= tc
+                    && matches!(e.event,
+                        ProtocolEvent::FailureNotified { failed } if failed == victim)
+            });
+            match notified {
+                Some(e) => {
+                    let latency = e.time.saturating_sub(t0);
+                    if latency > input.detection_bound {
+                        violations.push(Violation {
+                            invariant: InvariantKind::DetectionLatency,
+                            node: Some(o),
+                            time: Some(e.time),
+                            detail: format!(
+                                "crash of {victim} at t={tc} notified after {latency} \
+                                 (bound {})",
+                                input.detection_bound
+                            ),
+                        });
+                    }
+                }
+                None => {
+                    if input.horizon.saturating_sub(t0) > input.detection_bound {
+                        violations.push(Violation {
+                            invariant: InvariantKind::DetectionLatency,
+                            node: Some(o),
+                            time: None,
+                            detail: format!(
+                                "crash of {victim} at t={tc} never notified \
+                                 (bound {} expired before the horizon)",
+                                input.detection_bound
+                            ),
+                        });
+                    }
+                }
+            }
+            // View change: first installed/changed view excluding the
+            // victim at o after the crash.
+            let removed = events.iter().find(|e| {
+                e.node == o
+                    && e.time >= tc
+                    && match e.event {
+                        ProtocolEvent::ViewInstalled { view }
+                        | ProtocolEvent::ViewChanged { view, .. } => !view.contains(victim),
+                        _ => false,
+                    }
+            });
+            match removed {
+                Some(e) => {
+                    let latency = e.time.saturating_sub(t0);
+                    if latency > input.view_change_bound {
+                        violations.push(Violation {
+                            invariant: InvariantKind::ViewChangeLatency,
+                            node: Some(o),
+                            time: Some(e.time),
+                            detail: format!(
+                                "view excluding {victim} (crashed t={tc}) installed \
+                                 after {latency} (bound {})",
+                                input.view_change_bound
+                            ),
+                        });
+                    }
+                }
+                None => {
+                    if input.horizon.saturating_sub(t0) > input.view_change_bound {
+                        violations.push(Violation {
+                            invariant: InvariantKind::ViewChangeLatency,
+                            node: Some(o),
+                            time: None,
+                            detail: format!(
+                                "no view excluding {victim} (crashed t={tc}) installed \
+                                 (bound {} expired before the horizon)",
+                                input.view_change_bound
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // ── end-state agreement and validity (quiescent runs only) ──────
+    if input.quiescent {
+        let correct: Vec<&NodeFinal> = input
+            .finals
+            .iter()
+            .filter(|f| f.alive && f.in_service)
+            .collect();
+        if let Some(first) = correct.first() {
+            if correct.iter().any(|f| f.view != first.view) {
+                let mut detail = String::from("diverging final views:");
+                for f in &correct {
+                    detail.push_str(&format!(" {}={}", f.node, f.view));
+                }
+                violations.push(Violation {
+                    invariant: InvariantKind::ViewAgreement,
+                    node: None,
+                    time: None,
+                    detail,
+                });
+            }
+            let mut expected = input.members;
+            for &n in crashed_at.keys() {
+                expected.remove(n);
+            }
+            for &n in left_at.keys() {
+                expected.remove(n);
+            }
+            for f in &correct {
+                if f.view != expected {
+                    violations.push(Violation {
+                        invariant: InvariantKind::ViewValidity,
+                        node: Some(f.node),
+                        time: None,
+                        detail: format!(
+                            "final view {} differs from expected {expected} \
+                             (members − crashed − left)",
+                            f.view
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    violations.sort_by_key(|v| (v.invariant, v.node.map(NodeId::as_u8), v.time));
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(InvariantKind::FalseSuspicion.label(), "false-suspicion");
+        assert_eq!(InvariantKind::ViewAgreement.label(), "view-agreement");
+    }
+
+    #[test]
+    fn empty_input_is_clean() {
+        let input = OracleInput {
+            events: &[],
+            finals: &[],
+            horizon: BitTime::new(100_000),
+            members: NodeSet::first_n(4),
+            quiescent: true,
+            operational_from: BitTime::ZERO,
+            detection_bound: BitTime::new(10_000),
+            view_change_bound: BitTime::new(50_000),
+        };
+        assert!(check(&input).is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! Executing one [`RunSpec`]: build the simulation, run it to the
+//! horizon, and judge the trace with the oracle.
+//!
+//! A run is fully self-contained and single-threaded (the shared
+//! [`ObsLog`] is `Rc`-based by design), so the campaign runner can
+//! execute many runs concurrently by giving each its own thread-local
+//! world — determinism comes from the spec, not from scheduling.
+
+use crate::oracle::{self, NodeFinal, OracleInput, Violation};
+use crate::spec::RunSpec;
+use can_bus::{BusConfig, FaultPlan};
+use can_controller::Simulator;
+use can_types::{BitTime, NodeId};
+use canely::obs::{export_jsonl, ObsLog, ProtocolEvent};
+use canely::{CanelyStack, TrafficConfig};
+
+/// The judged result of one run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The run's matrix index.
+    pub id: usize,
+    /// Oracle verdicts (empty = all invariants held).
+    pub violations: Vec<Violation>,
+    /// Number of protocol events recorded.
+    pub events: usize,
+    /// The merged bus + protocol JSONL trace, when requested.
+    pub trace_jsonl: Option<String>,
+}
+
+/// Builds, runs and judges one simulation.
+///
+/// With `capture_trace` the full JSONL document (bus transactions
+/// merged with protocol events, time-ordered, byte-deterministic) is
+/// returned for counterexample emission; campaigns leave it off to
+/// keep the hot path allocation-light.
+pub fn execute(spec: &RunSpec, capture_trace: bool) -> RunOutcome {
+    let config = spec.config();
+    let mut faults = FaultPlan::seeded(spec.seed)
+        .with_consistent_rate(spec.consistent_rate)
+        .with_inconsistent_rate(spec.inconsistent_rate)
+        .with_omission_bound(spec.omission_degree, BitTime::new(100_000))
+        .with_inconsistent_bound(spec.inconsistent_degree);
+    for &(from, until) in &spec.inaccessibility {
+        faults.push_inaccessibility(from, until);
+    }
+
+    let log = ObsLog::new();
+    let mut sim = Simulator::new(BusConfig::default(), faults);
+    for id in 0..spec.nodes {
+        let mut stack = CanelyStack::new(config.clone()).with_obs(log.sink());
+        if let Some(period) = spec.traffic {
+            stack = stack.with_traffic(
+                TrafficConfig::periodic(period, 8)
+                    .with_offset(BitTime::new(u64::from(id) * 131 + 17)),
+            );
+        }
+        sim.add_node(NodeId::new(id), stack);
+    }
+    for &(node, at) in &spec.crashes {
+        sim.schedule_crash(NodeId::new(node), at);
+    }
+    sim.run_until(spec.until);
+
+    // Ground-truth crash markers come from the simulator's own crash
+    // funnel (covers scheduled *and* fault-induced crashes), so the
+    // oracle never trusts the schedule alone.
+    for &(t, node) in sim.crash_times() {
+        log.record(t, node, ProtocolEvent::NodeCrashed);
+    }
+
+    let events = log.events();
+    let finals: Vec<NodeFinal> = (0..spec.nodes)
+        .map(|id| {
+            let node = NodeId::new(id);
+            let alive = sim.alive().contains(node);
+            let stack = sim.app::<CanelyStack>(node);
+            NodeFinal {
+                node,
+                alive,
+                in_service: alive && !stack.is_out_of_service(),
+                view: stack.view(),
+            }
+        })
+        .collect();
+
+    let input = OracleInput {
+        events: &events,
+        finals: &finals,
+        horizon: spec.until,
+        members: spec.members(),
+        quiescent: spec.statically_quiescent(),
+        operational_from: spec.operational_from(),
+        detection_bound: spec.detection_bound(),
+        view_change_bound: spec.view_change_bound(),
+    };
+    let violations = oracle::check(&input);
+    let trace_jsonl = capture_trace.then(|| export_jsonl(&events, Some(sim.trace())));
+
+    RunOutcome {
+        id: spec.id,
+        violations,
+        events: events.len(),
+        trace_jsonl,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CampaignSpec;
+
+    fn base_run() -> RunSpec {
+        let spec = CampaignSpec {
+            seeds: (7, 8),
+            crash_budgets: vec![1],
+            ..CampaignSpec::default()
+        };
+        spec.expand().remove(0)
+    }
+
+    #[test]
+    fn clean_run_with_crash_has_no_violations() {
+        let outcome = execute(&base_run(), false);
+        assert!(
+            outcome.violations.is_empty(),
+            "violations: {:?}",
+            outcome.violations
+        );
+        assert!(outcome.events > 0);
+    }
+
+    #[test]
+    fn identical_specs_produce_identical_traces() {
+        let run = base_run();
+        let a = execute(&run, true);
+        let b = execute(&run, true);
+        assert_eq!(a.trace_jsonl, b.trace_jsonl);
+        assert!(a.trace_jsonl.as_deref().is_some_and(|t| !t.is_empty()));
+    }
+
+    #[test]
+    fn weakened_mutant_with_blackout_violates() {
+        let mut run = base_run();
+        run.weaken_fda = true;
+        run.crashes.clear();
+        // A 4 ms steady-state blackout stretches observed life-sign
+        // gaps to ~6 ms: inside the correct surveillance margin
+        // (Th + tx_delay_bound = 7.5 ms) but past the mutant's
+        // truncated one (Th + tx_delay_bound/4 = 5.625 ms), so only
+        // the mutant falsely suspects a live node.
+        run.inaccessibility = vec![(BitTime::new(90_000), BitTime::new(94_000))];
+        let outcome = execute(&run, false);
+        assert!(
+            !outcome.violations.is_empty(),
+            "the weakened mutant must be caught"
+        );
+    }
+
+    #[test]
+    fn correct_protocol_survives_the_mutant_trigger() {
+        // The exact blackout that catches the mutant must stay inside
+        // the correct protocol's margins — otherwise the oracle would
+        // be flagging the fault load, not the weakness.
+        let mut run = base_run();
+        run.crashes.clear();
+        run.inaccessibility = vec![(BitTime::new(90_000), BitTime::new(94_000))];
+        let outcome = execute(&run, false);
+        assert!(
+            outcome.violations.is_empty(),
+            "violations: {:?}",
+            outcome.violations
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! The parallel campaign runner: expand, fan out across worker
+//! threads, aggregate deterministically, and minimize the first
+//! counterexample.
+//!
+//! Worker threads pull run indices from a shared atomic cursor, so
+//! load-balancing is dynamic — but every run is executed from its
+//! self-contained [`RunSpec`] and results are re-ordered by matrix
+//! index before aggregation, so the campaign summary is **identical
+//! for any worker count** (the acceptance property `canelyctl
+//! campaign run --workers N` relies on).
+
+use crate::oracle::Violation;
+use crate::run::{self, RunOutcome};
+use crate::shrink;
+use crate::spec::{CampaignSpec, RunSpec};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Aggregated campaign results.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The campaign name.
+    pub name: String,
+    /// Number of runs executed.
+    pub runs: usize,
+    /// Total protocol events recorded across all runs.
+    pub events: u64,
+    /// Violating runs, by matrix index: `(run id, violations)`.
+    pub violating: Vec<(usize, Vec<Violation>)>,
+    /// Violation counts per invariant label.
+    pub per_invariant: BTreeMap<&'static str, usize>,
+}
+
+impl CampaignReport {
+    /// Whether every run satisfied every invariant.
+    pub fn clean(&self) -> bool {
+        self.violating.is_empty()
+    }
+
+    /// Renders the summary as one deterministic JSON object.
+    /// Deliberately excludes anything scheduling-dependent (worker
+    /// count, wall time), so two invocations of the same spec compare
+    /// byte-for-byte.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"campaign\":\"{}\",\"runs\":{},\"events\":{},\"violating_runs\":[",
+            self.name, self.runs, self.events
+        );
+        for (i, (id, violations)) in self.violating.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"run\":{id},\"invariants\":[");
+            for (j, v) in violations.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\"", v.invariant.label());
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"violations\":{");
+        for (i, (label, count)) in self.per_invariant.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{label}\":{count}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders a human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "campaign {}: {} runs, {} events, {} violating run(s)",
+            self.name,
+            self.runs,
+            self.events,
+            self.violating.len()
+        );
+        for (label, count) in &self.per_invariant {
+            let _ = writeln!(out, "  {label}: {count}");
+        }
+        for (id, violations) in self.violating.iter().take(5) {
+            let _ = writeln!(out, "  run {id}:");
+            for v in violations {
+                let _ = writeln!(out, "    {v}");
+            }
+        }
+        if self.violating.len() > 5 {
+            let _ = writeln!(out, "  … and {} more", self.violating.len() - 5);
+        }
+        out
+    }
+}
+
+/// A minimized, replayable reproducer of the first violating run.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// Matrix index of the originating run.
+    pub run_id: usize,
+    /// The original violating run.
+    pub original: RunSpec,
+    /// The minimized run (see [`shrink::minimize`]).
+    pub minimal: RunSpec,
+    /// The minimal run's violations.
+    pub violations: Vec<Violation>,
+    /// The minimal run as a replayable `.canely` document.
+    pub scenario: String,
+    /// The minimal run's merged JSONL trace.
+    pub trace_jsonl: String,
+}
+
+/// A completed campaign: the aggregate report plus, when any run
+/// violated, the minimized counterexample.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// The aggregate report.
+    pub report: CampaignReport,
+    /// Minimized reproducer of the first violating run, if any.
+    pub counterexample: Option<Counterexample>,
+}
+
+/// Expands and executes a whole campaign on `workers` threads.
+///
+/// The summary is deterministic for any `workers >= 1`; violating
+/// runs additionally get their first (lowest matrix index) member
+/// shrunk to a minimal reproducer.
+pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> CampaignResult {
+    let runs = spec.expand();
+    let outcomes = execute_all(&runs, workers);
+
+    let mut events: u64 = 0;
+    let mut violating = Vec::new();
+    let mut per_invariant: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for outcome in &outcomes {
+        events += outcome.events as u64;
+        if !outcome.violations.is_empty() {
+            for v in &outcome.violations {
+                *per_invariant.entry(v.invariant.label()).or_insert(0) += 1;
+            }
+            violating.push((outcome.id, outcome.violations.clone()));
+        }
+    }
+    let report = CampaignReport {
+        name: spec.name.clone(),
+        runs: outcomes.len(),
+        events,
+        violating,
+        per_invariant,
+    };
+
+    let counterexample = report.violating.first().map(|&(id, _)| {
+        let original = runs[id].clone();
+        let minimal = shrink::minimize(&original);
+        let judged = run::execute(&minimal, true);
+        Counterexample {
+            run_id: id,
+            scenario: minimal.to_scenario(),
+            trace_jsonl: judged.trace_jsonl.unwrap_or_default(),
+            violations: judged.violations,
+            original,
+            minimal,
+        }
+    });
+
+    CampaignResult {
+        report,
+        counterexample,
+    }
+}
+
+/// Executes every run, fanning out over `workers` threads, and
+/// returns the outcomes sorted by matrix index.
+fn execute_all(runs: &[RunSpec], workers: usize) -> Vec<RunOutcome> {
+    let workers = workers.clamp(1, 64);
+    let cursor = AtomicUsize::new(0);
+    let outcomes: Mutex<Vec<RunOutcome>> = Mutex::new(Vec::with_capacity(runs.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = runs.get(i) else { break };
+                let outcome = run::execute(spec, false);
+                outcomes.lock().expect("worker panicked").push(outcome);
+            });
+        }
+    });
+    let mut outcomes = outcomes.into_inner().expect("worker panicked");
+    outcomes.sort_by_key(|o| o.id);
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            name: "tiny".into(),
+            seeds: (0, 4),
+            crash_budgets: vec![0, 1],
+            ..CampaignSpec::default()
+        }
+    }
+
+    #[test]
+    fn summary_json_independent_of_worker_count() {
+        let spec = tiny_spec();
+        let one = run_campaign(&spec, 1);
+        let four = run_campaign(&spec, 4);
+        assert_eq!(one.report.to_json(), four.report.to_json());
+        assert!(one.report.clean(), "{}", one.report.render());
+    }
+
+    #[test]
+    fn weakened_campaign_produces_a_counterexample() {
+        let spec = CampaignSpec {
+            name: "mutant".into(),
+            seeds: (0, 2),
+            inaccessibility_lens: vec![can_types::BitTime::new(4_000)],
+            weaken_fda: true,
+            ..CampaignSpec::default()
+        };
+        let result = run_campaign(&spec, 2);
+        assert!(!result.report.clean());
+        let cx = result.counterexample.expect("must minimize a reproducer");
+        assert!(!cx.violations.is_empty());
+        assert!(cx.scenario.contains("weaken-fda"));
+        assert!(!cx.trace_jsonl.is_empty());
+        // The reproducer is replayable: parsing it back and executing
+        // reproduces a violation.
+        let replayed = crate::spec::RunSpec::from_scenario(&cx.scenario).unwrap();
+        assert!(!run::execute(&replayed, false).violations.is_empty());
+    }
+}

@@ -1,0 +1,840 @@
+//! Campaign specifications and their expansion into run matrices.
+//!
+//! A `.campaign` document is line-based (`keyword args…`, `#` starts a
+//! comment), mirroring the `.canely` scenario syntax one level up:
+//! instead of one concrete fault schedule it declares *dimensions*
+//! (node counts, cycle periods, error rates, crash budgets,
+//! inaccessibility window lengths, a seed range) whose Cartesian
+//! product [`CampaignSpec::expand`]s into concrete [`RunSpec`]s.
+//!
+//! ```text
+//! name smoke
+//! nodes 4 6            # matrix: population sizes
+//! tm 30ms              # matrix: membership cycle periods
+//! th 5ms
+//! seeds 0..8           # one run per seed per combination
+//! error-rate 0 0.02    # matrix: consistent omission probability
+//! inconsistent-rate 0 0.005
+//! crash-budget 0 2     # matrix: f crashed nodes per run
+//! inaccessibility 0 2ms  # matrix: blackout window length (0 = none)
+//! until 300ms
+//! settle 150ms
+//! ```
+//!
+//! Expansion is **deterministic**: the crash instants, crash victims
+//! and window placement of a run are derived purely from the run's
+//! seed and dimension values through a splitmix64-style key, so the
+//! same spec always yields byte-identical run schedules — on any
+//! machine, with any worker count.
+
+use can_types::{BitTime, NodeId, NodeSet, MAX_NODES};
+use canely::CanelyConfig;
+use canely_analysis::ProtocolBounds;
+use rand::rngs::SmallRng;
+use rand::{Rng as _, SeedableRng as _};
+use std::fmt::Write as _;
+
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Parses `30ms` / `2500us` / raw bit-times (1 µs = 1 bit-time at the
+/// simulated 1 Mbps).
+fn parse_duration(word: &str) -> Option<BitTime> {
+    let (digits, scale) = if let Some(d) = word.strip_suffix("ms") {
+        (d, 1_000)
+    } else if let Some(d) = word.strip_suffix("us") {
+        (d, 1)
+    } else {
+        (word, 1)
+    };
+    digits.parse::<u64>().ok().map(|v| BitTime::new(v * scale))
+}
+
+/// When a population booted at `t = 0` with `join_wait = 2·Tm + 10 ms`
+/// is fully operational: views bootstrapped, every surveillance timer
+/// armed. Faults scheduled before this instant probe the boot sequence
+/// rather than the failure-detection protocol.
+fn operational_from(tm: BitTime) -> BitTime {
+    tm * 2 + BitTime::new(20_000)
+}
+
+fn fmt_duration(t: BitTime) -> String {
+    let us = t.as_u64();
+    if us >= 1_000 && us.is_multiple_of(1_000) {
+        format!("{}ms", us / 1_000)
+    } else {
+        format!("{us}us")
+    }
+}
+
+/// A declarative fault-injection campaign: the matrix dimensions and
+/// the per-run constants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name (reported in summaries).
+    pub name: String,
+    /// Matrix: population sizes.
+    pub nodes: Vec<u8>,
+    /// Matrix: membership cycle periods (`Tm`).
+    pub tm: Vec<BitTime>,
+    /// Heartbeat period (`Th`).
+    pub th: BitTime,
+    /// Seed range `[start, end)`: one run per seed per combination.
+    pub seeds: (u64, u64),
+    /// Matrix: consistent omission probabilities.
+    pub consistent_rates: Vec<f64>,
+    /// Matrix: inconsistent omission probabilities (LCAN4 faults).
+    pub inconsistent_rates: Vec<f64>,
+    /// Matrix: crash budgets (`f` crashed nodes per run).
+    pub crash_budgets: Vec<u32>,
+    /// Matrix: inaccessibility window lengths (`BitTime::ZERO` = no
+    /// window).
+    pub inaccessibility_lens: Vec<BitTime>,
+    /// Omission degree bound `k` (MCAN3) for the stochastic injector.
+    pub omission_degree: u32,
+    /// Inconsistent omission degree bound `j` (LCAN4).
+    pub inconsistent_degree: u32,
+    /// Cyclic application traffic period on every node (implicit
+    /// heartbeats); `None` = silent population, ELS only.
+    pub traffic: Option<BitTime>,
+    /// Run horizon.
+    pub until: BitTime,
+    /// Quiescence margin: no scheduled disturbance may land within
+    /// `settle` of the horizon, so end-of-run view checks observe a
+    /// stable system. Must comfortably exceed the view-change bound.
+    pub settle: BitTime,
+    /// Oracle slack added to the analytical latency bounds (absorbs
+    /// per-observer timer skew, arbitration queuing and retry
+    /// ladders).
+    pub latency_slack: BitTime,
+    /// Run every simulation against the deliberately broken
+    /// failure-detection mutant (see `CanelyConfig::weakened_fda`).
+    pub weaken_fda: bool,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        CampaignSpec {
+            name: "campaign".to_string(),
+            nodes: vec![4],
+            tm: vec![BitTime::new(30_000)],
+            th: BitTime::new(5_000),
+            seeds: (0, 1),
+            consistent_rates: vec![0.0],
+            inconsistent_rates: vec![0.0],
+            crash_budgets: vec![0],
+            inaccessibility_lens: vec![BitTime::ZERO],
+            omission_degree: 16,
+            inconsistent_degree: 2,
+            traffic: Some(BitTime::new(2_000)),
+            until: BitTime::new(300_000),
+            settle: BitTime::new(150_000),
+            latency_slack: BitTime::new(4_000),
+            weaken_fda: false,
+        }
+    }
+}
+
+fn err<T>(line_no: usize, msg: impl std::fmt::Display) -> Result<T, String> {
+    Err(format!("line {line_no}: {msg}"))
+}
+
+impl CampaignSpec {
+    /// Parses a `.campaign` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic naming the offending line.
+    pub fn parse(text: &str) -> Result<CampaignSpec, String> {
+        let mut spec = CampaignSpec::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            let keyword = words.next().expect("non-empty line");
+            let rest: Vec<&str> = words.collect();
+            let durations = |rest: &[&str]| -> Result<Vec<BitTime>, String> {
+                if rest.is_empty() {
+                    return err(line_no, "expected at least one duration");
+                }
+                rest.iter()
+                    .map(|w| {
+                        parse_duration(w)
+                            .ok_or_else(|| format!("line {line_no}: bad duration `{w}`"))
+                    })
+                    .collect()
+            };
+            let duration = |rest: &[&str]| -> Result<BitTime, String> {
+                rest.first()
+                    .and_then(|w| parse_duration(w))
+                    .ok_or_else(|| format!("line {line_no}: bad duration"))
+            };
+            match keyword {
+                "name" => {
+                    spec.name = rest.join("-");
+                    if spec.name.is_empty() {
+                        return err(line_no, "empty name");
+                    }
+                }
+                "nodes" => {
+                    spec.nodes = rest
+                        .iter()
+                        .map(|w| {
+                            w.parse::<u8>()
+                                .ok()
+                                .filter(|&n| n >= 2 && (n as usize) <= MAX_NODES)
+                                .ok_or_else(|| format!("line {line_no}: bad node count `{w}`"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    if spec.nodes.is_empty() {
+                        return err(line_no, "expected at least one node count");
+                    }
+                }
+                "tm" => spec.tm = durations(&rest)?,
+                "th" => spec.th = duration(&rest)?,
+                "seeds" => {
+                    let range = rest
+                        .first()
+                        .ok_or_else(|| format!("line {line_no}: expected `start..end`"))?;
+                    let (start, end) = range
+                        .split_once("..")
+                        .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+                        .ok_or_else(|| format!("line {line_no}: expected `start..end`"))?;
+                    if end <= start {
+                        return err(line_no, "empty seed range");
+                    }
+                    spec.seeds = (start, end);
+                }
+                "error-rate" | "inconsistent-rate" => {
+                    let rates: Vec<f64> = rest
+                        .iter()
+                        .map(|w| {
+                            w.parse::<f64>()
+                                .ok()
+                                .filter(|r| (0.0..=1.0).contains(r))
+                                .ok_or_else(|| format!("line {line_no}: bad probability `{w}`"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    if rates.is_empty() {
+                        return err(line_no, "expected at least one probability");
+                    }
+                    if keyword == "error-rate" {
+                        spec.consistent_rates = rates;
+                    } else {
+                        spec.inconsistent_rates = rates;
+                    }
+                }
+                "crash-budget" => {
+                    spec.crash_budgets = rest
+                        .iter()
+                        .map(|w| {
+                            w.parse::<u32>()
+                                .map_err(|_| format!("line {line_no}: bad crash budget `{w}`"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    if spec.crash_budgets.is_empty() {
+                        return err(line_no, "expected at least one crash budget");
+                    }
+                }
+                "inaccessibility" => spec.inaccessibility_lens = durations(&rest)?,
+                "omission-degree" => {
+                    spec.omission_degree = rest
+                        .first()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| format!("line {line_no}: bad degree"))?;
+                }
+                "inconsistent-degree" => {
+                    spec.inconsistent_degree = rest
+                        .first()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| format!("line {line_no}: bad degree"))?;
+                }
+                "traffic" => {
+                    spec.traffic = match rest.first() {
+                        Some(&"none") => None,
+                        _ => Some(duration(&rest)?),
+                    };
+                }
+                "until" => spec.until = duration(&rest)?,
+                "settle" => spec.settle = duration(&rest)?,
+                "latency-slack" => spec.latency_slack = duration(&rest)?,
+                "weaken-fda" => spec.weaken_fda = true,
+                other => return err(line_no, format_args!("unknown keyword `{other}`")),
+            }
+        }
+        spec.validate().map_err(|e| format!("invalid campaign: {e}"))?;
+        Ok(spec)
+    }
+
+    /// Validates the spec's dimensional coherence.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.until <= self.settle {
+            return Err("horizon (until) must exceed the settle margin".into());
+        }
+        let active = self.until.saturating_sub(self.settle);
+        for &tm in &self.tm {
+            // Faults are only scheduled once the population is
+            // operational (views bootstrapped, surveillance armed).
+            let operational = operational_from(tm);
+            if active <= operational + BitTime::new(10_000) {
+                return Err(format!(
+                    "active phase (until - settle = {active}) must extend past \
+                     bootstrap ({operational} at tm={tm}) so faults land on an \
+                     operational system"
+                ));
+            }
+            for &len in &self.inaccessibility_lens {
+                if !len.is_zero() && operational + len >= active {
+                    return Err(format!(
+                        "inaccessibility window {len} does not fit the active \
+                         phase after bootstrap ({operational} at tm={tm})"
+                    ));
+                }
+            }
+        }
+        for &tm in &self.tm {
+            let config = CanelyConfig::default()
+                .with_membership_cycle(tm)
+                .with_heartbeat_period(self.th);
+            let config = CanelyConfig {
+                join_wait: tm * 2 + BitTime::new(10_000),
+                ..config
+            };
+            config.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Number of runs the spec expands into, without materializing
+    /// them.
+    pub fn run_count(&self) -> usize {
+        self.nodes.len()
+            * self.tm.len()
+            * self.consistent_rates.len()
+            * self.inconsistent_rates.len()
+            * self.crash_budgets.len()
+            * self.inaccessibility_lens.len()
+            * (self.seeds.1 - self.seeds.0) as usize
+    }
+
+    /// Expands the matrix into concrete, fully scheduled runs.
+    ///
+    /// Crash victims/instants and window placement are derived from
+    /// the run seed and dimension values only — never from expansion
+    /// order — so editing one dimension leaves the schedules of
+    /// unrelated combinations unchanged.
+    pub fn expand(&self) -> Vec<RunSpec> {
+        let mut runs = Vec::with_capacity(self.run_count());
+        for &nodes in &self.nodes {
+            for &tm in &self.tm {
+                for &consistent_rate in &self.consistent_rates {
+                    for &inconsistent_rate in &self.inconsistent_rates {
+                        for &budget in &self.crash_budgets {
+                            for &window_len in &self.inaccessibility_lens {
+                                for seed in self.seeds.0..self.seeds.1 {
+                                    runs.push(self.materialize(
+                                        runs.len(),
+                                        nodes,
+                                        tm,
+                                        consistent_rate,
+                                        inconsistent_rate,
+                                        budget,
+                                        window_len,
+                                        seed,
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        runs
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn materialize(
+        &self,
+        id: usize,
+        nodes: u8,
+        tm: BitTime,
+        consistent_rate: f64,
+        inconsistent_rate: f64,
+        budget: u32,
+        window_len: BitTime,
+        seed: u64,
+    ) -> RunSpec {
+        // Schedule key: seed + every dimension value, never the run
+        // index, so schedules are stable under spec edits.
+        let mut key = mix64(seed ^ GOLDEN);
+        for word in [
+            u64::from(nodes),
+            tm.as_u64(),
+            consistent_rate.to_bits(),
+            inconsistent_rate.to_bits(),
+            u64::from(budget),
+            window_len.as_u64(),
+        ] {
+            key = mix64(key.wrapping_add(GOLDEN) ^ word);
+        }
+        let mut rng = SmallRng::seed_from_u64(key);
+
+        // Crashes: `f` distinct victims, instants inside the active
+        // phase and after the population is operational — the campaign
+        // studies steady-state failures, not boot races.
+        let f = budget.min(u32::from(nodes).saturating_sub(2));
+        let lo = operational_from(tm).as_u64();
+        let hi = self.until.saturating_sub(self.settle).as_u64();
+        let mut victims = NodeSet::EMPTY;
+        let mut crashes = Vec::new();
+        while (crashes.len() as u32) < f {
+            let victim = NodeId::new((rng.next_u64() % u64::from(nodes)) as u8);
+            if victims.contains(victim) {
+                continue;
+            }
+            victims.insert(victim);
+            let at = lo + rng.next_u64() % (hi - lo).max(1);
+            crashes.push((victim.as_u8(), BitTime::new(at)));
+        }
+        crashes.sort_by_key(|&(_, at)| (at, 0));
+
+        // One inaccessibility window, placed after bootstrap.
+        let mut inaccessibility = Vec::new();
+        if !window_len.is_zero() {
+            let latest = hi.saturating_sub(window_len.as_u64());
+            let start = lo + rng.next_u64() % latest.saturating_sub(lo).max(1);
+            inaccessibility.push((BitTime::new(start), BitTime::new(start) + window_len));
+        }
+
+        RunSpec {
+            id,
+            nodes,
+            tm,
+            th: self.th,
+            until: self.until,
+            settle: self.settle,
+            seed,
+            consistent_rate,
+            inconsistent_rate,
+            omission_degree: self.omission_degree,
+            inconsistent_degree: self.inconsistent_degree,
+            traffic: self.traffic,
+            crashes,
+            inaccessibility,
+            weaken_fda: self.weaken_fda,
+            latency_slack: self.latency_slack,
+        }
+    }
+}
+
+/// One fully scheduled simulation: everything needed to reproduce the
+/// run bit-for-bit, in plain data (`Send`, hashable textual form).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Index within the expanded campaign matrix.
+    pub id: usize,
+    /// Population size (nodes `0..nodes`, all integrated at boot).
+    pub nodes: u8,
+    /// Membership cycle period (`Tm`).
+    pub tm: BitTime,
+    /// Heartbeat period (`Th`).
+    pub th: BitTime,
+    /// Run horizon.
+    pub until: BitTime,
+    /// Quiescence margin before the horizon.
+    pub settle: BitTime,
+    /// Fault-injector seed.
+    pub seed: u64,
+    /// Consistent omission probability per transmission.
+    pub consistent_rate: f64,
+    /// Inconsistent omission probability per transmission.
+    pub inconsistent_rate: f64,
+    /// MCAN3 omission degree bound `k`.
+    pub omission_degree: u32,
+    /// LCAN4 inconsistent omission degree bound `j`.
+    pub inconsistent_degree: u32,
+    /// Cyclic traffic period on every node, if any.
+    pub traffic: Option<BitTime>,
+    /// Scheduled fail-silent crashes `(node, instant)`.
+    pub crashes: Vec<(u8, BitTime)>,
+    /// Bus inaccessibility windows `[from, until)`.
+    pub inaccessibility: Vec<(BitTime, BitTime)>,
+    /// Run against the weakened failure-detection mutant.
+    pub weaken_fda: bool,
+    /// Oracle slack on latency bounds.
+    pub latency_slack: BitTime,
+}
+
+impl RunSpec {
+    /// The stack configuration of every node in this run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the derived configuration is invalid (prevented by
+    /// [`CampaignSpec::validate`]).
+    pub fn config(&self) -> CanelyConfig {
+        let mut config = CanelyConfig::default()
+            .with_membership_cycle(self.tm)
+            .with_heartbeat_period(self.th)
+            .with_inconsistent_degree(self.inconsistent_degree);
+        config.join_wait = self.tm * 2 + BitTime::new(10_000);
+        if self.weaken_fda {
+            config = config.with_weakened_fda();
+        }
+        config.validate().expect("run config must validate");
+        config
+    }
+
+    /// The closed-form bounds of the *correct* protocol at this run's
+    /// parameters — the oracle judges even mutant runs against these.
+    pub fn bounds(&self) -> ProtocolBounds {
+        let config = CanelyConfig::default()
+            .with_membership_cycle(self.tm)
+            .with_heartbeat_period(self.th);
+        ProtocolBounds::for_params(
+            self.th,
+            self.tm,
+            config.rha_timeout,
+            self.inconsistent_degree,
+            self.crashes.len() as u32,
+        )
+    }
+
+    /// Total scheduled bus blackout — added to latency bounds, since a
+    /// detection window may overlap any of it.
+    pub fn total_inaccessibility(&self) -> BitTime {
+        self.inaccessibility
+            .iter()
+            .fold(BitTime::ZERO, |acc, &(from, until)| {
+                acc + until.saturating_sub(from)
+            })
+    }
+
+    /// The admissible crash-detection latency for this run.
+    pub fn detection_bound(&self) -> BitTime {
+        self.bounds().detection_latency() + self.total_inaccessibility() + self.latency_slack
+    }
+
+    /// The admissible crash-to-view-change latency for this run.
+    pub fn view_change_bound(&self) -> BitTime {
+        self.detection_bound() + self.bounds().membership_change_latency() + self.latency_slack
+    }
+
+    /// The initial membership: nodes `0..nodes`.
+    pub fn members(&self) -> NodeSet {
+        NodeSet::first_n(self.nodes as usize)
+    }
+
+    /// When this run's population is fully operational (see the
+    /// module-level bootstrap discussion); the oracle starts latency
+    /// clocks no earlier than this.
+    pub fn operational_from(&self) -> BitTime {
+        operational_from(self.tm)
+    }
+
+    /// Whether every scheduled disturbance ends at least `settle`
+    /// before the horizon (end-of-run view checks are then sound).
+    pub fn statically_quiescent(&self) -> bool {
+        let mut last = BitTime::ZERO;
+        for &(_, at) in &self.crashes {
+            last = last.max(at);
+        }
+        for &(_, until) in &self.inaccessibility {
+            last = last.max(until);
+        }
+        last + self.settle <= self.until
+    }
+
+    /// Renders the run as a replayable `.canely` scenario document —
+    /// the exchange format for counterexamples. `canelyctl run`
+    /// replays the schedule; `canelyctl campaign replay` additionally
+    /// re-applies the oracle.
+    pub fn to_scenario(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# canely-campaign run {} (seed {})",
+            self.id, self.seed
+        );
+        let _ = writeln!(out, "nodes {}", self.nodes);
+        let _ = writeln!(out, "tm {}", fmt_duration(self.tm));
+        let _ = writeln!(out, "th {}", fmt_duration(self.th));
+        let _ = writeln!(out, "seed {}", self.seed);
+        if self.consistent_rate > 0.0 {
+            let _ = writeln!(out, "error-rate {}", self.consistent_rate);
+        }
+        if self.inconsistent_rate > 0.0 {
+            let _ = writeln!(out, "inconsistent-rate {}", self.inconsistent_rate);
+        }
+        let _ = writeln!(out, "omission-degree {}", self.omission_degree);
+        let _ = writeln!(out, "inconsistent-degree {}", self.inconsistent_degree);
+        if let Some(period) = self.traffic {
+            for id in 0..self.nodes {
+                let _ = writeln!(out, "traffic {id} {}", fmt_duration(period));
+            }
+        }
+        for &(node, at) in &self.crashes {
+            let _ = writeln!(out, "crash {node} {}", fmt_duration(at));
+        }
+        for &(from, until) in &self.inaccessibility {
+            let _ = writeln!(
+                out,
+                "inaccessible {} {}",
+                fmt_duration(from),
+                fmt_duration(until)
+            );
+        }
+        if self.weaken_fda {
+            let _ = writeln!(out, "weaken-fda");
+        }
+        let _ = writeln!(out, "until {}", fmt_duration(self.until));
+        let _ = writeln!(out, "settle {}", fmt_duration(self.settle));
+        let _ = writeln!(out, "latency-slack {}", fmt_duration(self.latency_slack));
+        out
+    }
+
+    /// Parses a `.canely` scenario document back into a run spec (the
+    /// inverse of [`RunSpec::to_scenario`]).
+    ///
+    /// Only the campaign subset of the scenario language is accepted:
+    /// `join`/`leave`/`restart` schedules have no oracle model and are
+    /// rejected; `expect-view` lines are ignored (the oracle computes
+    /// the expectation itself).
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic naming the offending line.
+    pub fn from_scenario(text: &str) -> Result<RunSpec, String> {
+        let mut spec = RunSpec {
+            id: 0,
+            nodes: 4,
+            tm: BitTime::new(30_000),
+            th: BitTime::new(5_000),
+            until: BitTime::new(300_000),
+            settle: BitTime::new(150_000),
+            seed: 0,
+            consistent_rate: 0.0,
+            inconsistent_rate: 0.0,
+            omission_degree: 16,
+            inconsistent_degree: 2,
+            traffic: None,
+            crashes: Vec::new(),
+            inaccessibility: Vec::new(),
+            weaken_fda: false,
+            latency_slack: BitTime::new(4_000),
+        };
+        let mut traffic_periods: Vec<BitTime> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            let keyword = words.next().expect("non-empty line");
+            let rest: Vec<&str> = words.collect();
+            let duration = |rest: &[&str]| -> Result<BitTime, String> {
+                rest.first()
+                    .and_then(|w| parse_duration(w))
+                    .ok_or_else(|| format!("line {line_no}: bad duration"))
+            };
+            let node_time = |rest: &[&str]| -> Result<(u8, BitTime), String> {
+                if rest.len() != 2 {
+                    return err(line_no, "expected `<node> <time>`");
+                }
+                let node: u8 = rest[0]
+                    .parse()
+                    .map_err(|_| format!("line {line_no}: bad node id"))?;
+                let time = parse_duration(rest[1])
+                    .ok_or_else(|| format!("line {line_no}: bad duration"))?;
+                Ok((node, time))
+            };
+            match keyword {
+                "nodes" => {
+                    spec.nodes = rest
+                        .first()
+                        .and_then(|w| w.parse::<u8>().ok())
+                        .filter(|&n| n >= 2 && (n as usize) <= MAX_NODES)
+                        .ok_or_else(|| format!("line {line_no}: bad node count"))?;
+                }
+                "tm" => spec.tm = duration(&rest)?,
+                "th" => spec.th = duration(&rest)?,
+                "until" => spec.until = duration(&rest)?,
+                "settle" => spec.settle = duration(&rest)?,
+                "latency-slack" => spec.latency_slack = duration(&rest)?,
+                "seed" => {
+                    spec.seed = rest
+                        .first()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| format!("line {line_no}: bad seed"))?;
+                }
+                "error-rate" => {
+                    spec.consistent_rate = rest
+                        .first()
+                        .and_then(|w| w.parse().ok())
+                        .filter(|r| (0.0..=1.0).contains(r))
+                        .ok_or_else(|| format!("line {line_no}: bad probability"))?;
+                }
+                "inconsistent-rate" => {
+                    spec.inconsistent_rate = rest
+                        .first()
+                        .and_then(|w| w.parse().ok())
+                        .filter(|r| (0.0..=1.0).contains(r))
+                        .ok_or_else(|| format!("line {line_no}: bad probability"))?;
+                }
+                "omission-degree" => {
+                    spec.omission_degree = rest
+                        .first()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| format!("line {line_no}: bad degree"))?;
+                }
+                "inconsistent-degree" => {
+                    spec.inconsistent_degree = rest
+                        .first()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| format!("line {line_no}: bad degree"))?;
+                }
+                "traffic" => {
+                    let (_, period) = node_time(&rest)?;
+                    traffic_periods.push(period);
+                }
+                "crash" => spec.crashes.push(node_time(&rest)?),
+                "inaccessible" => {
+                    if rest.len() != 2 {
+                        return err(line_no, "expected `<from> <until>`");
+                    }
+                    let from = parse_duration(rest[0])
+                        .ok_or_else(|| format!("line {line_no}: bad duration"))?;
+                    let until = parse_duration(rest[1])
+                        .ok_or_else(|| format!("line {line_no}: bad duration"))?;
+                    if until <= from {
+                        return err(line_no, "empty inaccessibility window");
+                    }
+                    spec.inaccessibility.push((from, until));
+                }
+                "weaken-fda" => spec.weaken_fda = true,
+                "expect-view" => {} // oracle computes the expectation
+                "join" | "leave" | "restart" => {
+                    return err(
+                        line_no,
+                        format_args!("`{keyword}` schedules have no campaign-oracle model"),
+                    );
+                }
+                other => return err(line_no, format_args!("unknown keyword `{other}`")),
+            }
+        }
+        // The campaign model drives every node with the same period.
+        if let Some(&period) = traffic_periods.first() {
+            spec.traffic = Some(period);
+        }
+        for &(node, _) in &spec.crashes {
+            if node >= spec.nodes {
+                return Err(format!("crash victim {node} outside population"));
+            }
+        }
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMOKE: &str = "\
+name unit
+nodes 4 5
+tm 30ms
+seeds 0..3
+error-rate 0 0.02
+crash-budget 1
+inaccessibility 0 2ms
+until 300ms
+settle 150ms
+";
+
+    #[test]
+    fn parse_and_expand_counts() {
+        let spec = CampaignSpec::parse(SMOKE).unwrap();
+        assert_eq!(spec.name, "unit");
+        // 2 node counts × 2 rates × 2 windows × 3 seeds.
+        assert_eq!(spec.run_count(), 24);
+        let runs = spec.expand();
+        assert_eq!(runs.len(), 24);
+        for (i, run) in runs.iter().enumerate() {
+            assert_eq!(run.id, i);
+            assert_eq!(run.crashes.len(), 1);
+            assert!(run.statically_quiescent());
+        }
+    }
+
+    #[test]
+    fn expansion_is_deterministic() {
+        let spec = CampaignSpec::parse(SMOKE).unwrap();
+        assert_eq!(spec.expand(), spec.expand());
+    }
+
+    #[test]
+    fn schedules_stable_under_dimension_edits() {
+        // Removing one dimension value must not change the schedule
+        // derived for the surviving combinations.
+        let spec = CampaignSpec::parse(SMOKE).unwrap();
+        let narrowed = CampaignSpec::parse(&SMOKE.replace("nodes 4 5", "nodes 4")).unwrap();
+        let wide: Vec<_> = spec.expand().into_iter().filter(|r| r.nodes == 4).collect();
+        let narrow = narrowed.expand();
+        assert_eq!(wide.len(), narrow.len());
+        for (a, b) in wide.iter().zip(&narrow) {
+            assert_eq!(a.crashes, b.crashes);
+            assert_eq!(a.inaccessibility, b.inaccessibility);
+            assert_eq!(a.seed, b.seed);
+        }
+    }
+
+    #[test]
+    fn scenario_round_trip() {
+        let spec = CampaignSpec::parse(SMOKE).unwrap();
+        for run in spec.expand() {
+            let mut back = RunSpec::from_scenario(&run.to_scenario()).unwrap();
+            back.id = run.id; // ids are not serialized state
+            assert_eq!(back, run, "round-trip of run {}", run.id);
+        }
+    }
+
+    #[test]
+    fn rejects_unmodelled_schedules() {
+        assert!(RunSpec::from_scenario("join 9 10ms").unwrap_err().contains("join"));
+        assert!(RunSpec::from_scenario("frobnicate").unwrap_err().contains("unknown"));
+    }
+
+    #[test]
+    fn validation_catches_bad_geometry() {
+        assert!(CampaignSpec::parse("until 100ms\nsettle 100ms").is_err());
+        assert!(CampaignSpec::parse("seeds 5..5").is_err());
+        assert!(CampaignSpec::parse("error-rate 1.5").is_err());
+        assert!(CampaignSpec::parse("nodes 1").is_err());
+    }
+
+    #[test]
+    fn bounds_scale_with_run_parameters() {
+        let spec = CampaignSpec::parse(SMOKE).unwrap();
+        let runs = spec.expand();
+        let windowed = runs.iter().find(|r| !r.inaccessibility.is_empty()).unwrap();
+        let clean = runs.iter().find(|r| r.inaccessibility.is_empty()).unwrap();
+        assert_eq!(
+            windowed.detection_bound(),
+            clean.detection_bound() + windowed.total_inaccessibility()
+        );
+        assert!(windowed.view_change_bound() > windowed.detection_bound());
+    }
+}

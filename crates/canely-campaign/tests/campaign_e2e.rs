@@ -1,0 +1,99 @@
+//! End-to-end campaign acceptance tests, mirroring the crate's
+//! contract:
+//!
+//! * a seeded campaign of **500+ runs** over the correct protocol
+//!   finishes with zero invariant violations;
+//! * the summary JSON is byte-identical for any worker count;
+//! * the deliberately weakened failure-detection mutant yields a
+//!   violation that shrinks to a **replayable** minimal `.canely`
+//!   counterexample.
+
+use can_types::BitTime;
+use canely_campaign::{execute, run_campaign, CampaignSpec, RunSpec};
+
+#[test]
+fn five_hundred_seeded_runs_on_the_correct_protocol_are_clean() {
+    // 2 populations × 2 error rates × 2 crash budgets × 63 seeds
+    // = 504 runs.
+    let spec = CampaignSpec {
+        name: "soak".into(),
+        nodes: vec![3, 4],
+        seeds: (0, 63),
+        consistent_rates: vec![0.0, 0.01],
+        crash_budgets: vec![0, 1],
+        until: BitTime::new(200_000),
+        settle: BitTime::new(100_000),
+        ..CampaignSpec::default()
+    };
+    spec.validate().expect("spec is coherent");
+    assert_eq!(spec.run_count(), 504);
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let result = run_campaign(&spec, workers);
+    assert_eq!(result.report.runs, 504);
+    assert!(
+        result.report.clean(),
+        "correct protocol must survive the matrix:\n{}",
+        result.report.render()
+    );
+    assert!(result.counterexample.is_none());
+}
+
+#[test]
+fn summary_json_is_identical_for_any_worker_count() {
+    let spec = CampaignSpec {
+        name: "determinism".into(),
+        seeds: (0, 6),
+        consistent_rates: vec![0.0, 0.02],
+        crash_budgets: vec![1],
+        inaccessibility_lens: vec![BitTime::ZERO, BitTime::new(2_000)],
+        ..CampaignSpec::default()
+    };
+    let one = run_campaign(&spec, 1).report.to_json();
+    let five = run_campaign(&spec, 5).report.to_json();
+    let sixteen = run_campaign(&spec, 16).report.to_json();
+    assert_eq!(one, five);
+    assert_eq!(one, sixteen);
+    assert!(one.contains("\"runs\":24"), "{one}");
+}
+
+#[test]
+fn weakened_mutant_shrinks_to_a_replayable_counterexample() {
+    let spec = CampaignSpec {
+        name: "mutant-e2e".into(),
+        seeds: (0, 3),
+        consistent_rates: vec![0.01],
+        crash_budgets: vec![1],
+        inaccessibility_lens: vec![BitTime::new(4_000)],
+        weaken_fda: true,
+        ..CampaignSpec::default()
+    };
+    let result = run_campaign(&spec, 4);
+    assert!(!result.report.clean(), "the mutant must be caught");
+    let cx = result.counterexample.expect("a minimized counterexample");
+
+    // Minimality: the shrinker strips the incidental fault load.
+    assert!(
+        cx.minimal.crashes.len() <= cx.original.crashes.len()
+            && cx.minimal.consistent_rate <= cx.original.consistent_rate,
+        "minimal spec must not grow: {:?} from {:?}",
+        cx.minimal,
+        cx.original
+    );
+    assert_eq!(
+        cx.minimal.inaccessibility.len(),
+        1,
+        "the blackout is the essential trigger"
+    );
+    assert!(!cx.violations.is_empty());
+    assert!(!cx.trace_jsonl.is_empty(), "offending trace ships along");
+
+    // Replayability: the emitted .canely document reproduces the
+    // violation after a parse round-trip.
+    assert!(cx.scenario.contains("weaken-fda"), "{}", cx.scenario);
+    let replayed = RunSpec::from_scenario(&cx.scenario).expect("scenario parses back");
+    let outcome = execute(&replayed, false);
+    assert!(
+        !outcome.violations.is_empty(),
+        "replayed counterexample must still violate"
+    );
+}

@@ -155,6 +155,13 @@ impl Args {
         }
     }
 
+    /// A free-form string option (e.g. a file path); `None` when the
+    /// option was not given.
+    pub fn str_opt(&mut self, name: &str) -> Option<String> {
+        self.take(name)
+            .map(|values| values.last().expect("non-empty").clone())
+    }
+
     /// A duration option (`30ms`, `2500us`, or raw bit-times).
     ///
     /// # Errors

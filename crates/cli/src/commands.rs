@@ -454,6 +454,156 @@ pub fn metrics(args: &mut Args) -> CmdResult {
     Ok(out)
 }
 
+/// `canelyctl campaign <run|report|replay>` — deterministic parallel
+/// fault-injection campaigns driven by `.campaign` specs (see the
+/// `canely-campaign` crate).
+pub fn campaign(args: &mut Args) -> CmdResult {
+    match args.subcommand() {
+        Some("run") => campaign_run(args),
+        Some("report") => campaign_report(args),
+        Some("replay") => campaign_replay(args),
+        _ => Err("error: campaign requires a subcommand: run | report | replay".into()),
+    }
+}
+
+fn campaign_spec(args: &mut Args) -> Result<canely_campaign::CampaignSpec, String> {
+    let path = args
+        .str_opt("spec")
+        .ok_or("error: --spec <file.campaign> is required")?;
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("error: cannot read `{path}`: {e}"))?;
+    canely_campaign::CampaignSpec::parse(&text).map_err(|e| format!("error: {path}: {e}"))
+}
+
+fn campaign_run(args: &mut Args) -> CmdResult {
+    let spec = campaign_spec(args)?;
+    let workers = args.usize_opt("workers", 4).map_err(fail)?;
+    let json = args.flag("json");
+    let emit = args.str_opt("emit-counterexample");
+    let result = canely_campaign::run_campaign(&spec, workers);
+
+    let mut out = if json {
+        let mut s = result.report.to_json();
+        s.push('\n');
+        s
+    } else {
+        result.report.render()
+    };
+    if let Some(cx) = &result.counterexample {
+        if let Some(dir) = emit {
+            let base = std::path::Path::new(&dir);
+            std::fs::create_dir_all(base)
+                .map_err(|e| format!("error: cannot create `{dir}`: {e}"))?;
+            let scenario_path = base.join("counterexample.canely");
+            std::fs::write(&scenario_path, &cx.scenario)
+                .map_err(|e| format!("error: cannot write counterexample: {e}"))?;
+            std::fs::write(base.join("counterexample.trace.jsonl"), &cx.trace_jsonl)
+                .map_err(|e| format!("error: cannot write trace: {e}"))?;
+            if !json {
+                let _ = writeln!(
+                    out,
+                    "counterexample: run {} minimized → {}",
+                    cx.run_id,
+                    scenario_path.display()
+                );
+            }
+        } else if !json {
+            let _ = writeln!(
+                out,
+                "counterexample (run {} minimized; replay with \
+                 `canelyctl campaign replay --scenario <file>`):",
+                cx.run_id
+            );
+            out.push_str(&cx.scenario);
+        }
+    }
+    // Mirror `run`'s expect-view contract: a violating campaign exits
+    // nonzero so the command can gate CI directly.
+    if result.report.clean() {
+        Ok(out)
+    } else {
+        Err(out.trim_end().to_string())
+    }
+}
+
+fn campaign_report(args: &mut Args) -> CmdResult {
+    let spec = campaign_spec(args)?;
+    let runs = spec.expand();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "campaign {}: {} runs (nodes ×{}, tm ×{}, error-rate ×{}, \
+         inconsistent-rate ×{}, crash-budget ×{}, inaccessibility ×{}, seeds ×{})",
+        spec.name,
+        runs.len(),
+        spec.nodes.len(),
+        spec.tm.len(),
+        spec.consistent_rates.len(),
+        spec.inconsistent_rates.len(),
+        spec.crash_budgets.len(),
+        spec.inaccessibility_lens.len(),
+        spec.seeds.1 - spec.seeds.0,
+    );
+    for run in &runs {
+        let _ = write!(
+            out,
+            "  run {:>3}: {} nodes, tm {}, seed {}",
+            run.id,
+            run.nodes,
+            render::ms(run.tm),
+            run.seed
+        );
+        for &(node, at) in &run.crashes {
+            let _ = write!(out, ", crash n{node}@{}", render::ms(at));
+        }
+        for &(from, until) in &run.inaccessibility {
+            let _ = write!(out, ", blackout {}–{}", render::ms(from), render::ms(until));
+        }
+        let _ = writeln!(
+            out,
+            ", bounds: detect ≤ {}, view-change ≤ {}",
+            render::ms(run.detection_bound()),
+            render::ms(run.view_change_bound()),
+        );
+    }
+    Ok(out)
+}
+
+fn campaign_replay(args: &mut Args) -> CmdResult {
+    let path = args
+        .str_opt("scenario")
+        .ok_or("error: --scenario <file.canely> is required")?;
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("error: cannot read `{path}`: {e}"))?;
+    let run = canely_campaign::RunSpec::from_scenario(&text)
+        .map_err(|e| format!("error: {path}: {e}"))?;
+    let outcome = canely_campaign::execute(&run, false);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "replay: {} nodes, tm {}, seed {}, horizon {}{}",
+        run.nodes,
+        render::ms(run.tm),
+        run.seed,
+        render::ms(run.until),
+        if run.weaken_fda {
+            " (weakened-FDA mutant)"
+        } else {
+            ""
+        },
+    );
+    if outcome.violations.is_empty() {
+        let _ = writeln!(out, "verdict: clean — every invariant held");
+        Ok(out)
+    } else {
+        let _ = writeln!(out, "verdict: {} violation(s)", outcome.violations.len());
+        for v in &outcome.violations {
+            let _ = writeln!(out, "  {v}");
+        }
+        Err(out.trim_end().to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::run;
@@ -624,5 +774,97 @@ mod tests {
     fn help_prints_usage() {
         let out = run(&argv(&["help"])).unwrap();
         assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn campaign_run_is_worker_count_independent_and_clean() {
+        let dir = std::env::temp_dir().join("canelyctl-campaign-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("unit.campaign");
+        std::fs::write(
+            &spec,
+            "name unit\nnodes 3\nseeds 0..2\ncrash-budget 1\nuntil 300ms\nsettle 150ms\n",
+        )
+        .unwrap();
+        let path = spec.to_string_lossy().to_string();
+        let one = run(&argv(&[
+            "campaign", "run", "--spec", &path, "--workers", "1", "--json",
+        ]))
+        .unwrap();
+        let three = run(&argv(&[
+            "campaign", "run", "--spec", &path, "--workers", "3", "--json",
+        ]))
+        .unwrap();
+        assert_eq!(one, three);
+        assert!(one.contains("\"violating_runs\":[]"), "{one}");
+    }
+
+    #[test]
+    fn campaign_report_lists_the_matrix_without_running() {
+        let dir = std::env::temp_dir().join("canelyctl-campaign-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("report.campaign");
+        std::fs::write(
+            &spec,
+            "name matrix\nnodes 3 4\nseeds 0..2\ncrash-budget 1\nuntil 300ms\nsettle 150ms\n",
+        )
+        .unwrap();
+        let path = spec.to_string_lossy().to_string();
+        let out = run(&argv(&["campaign", "report", "--spec", &path])).unwrap();
+        assert!(out.contains("campaign matrix: 4 runs"), "{out}");
+        assert!(out.contains("bounds: detect ≤"), "{out}");
+    }
+
+    #[test]
+    fn campaign_replay_judges_a_scenario() {
+        let dir = std::env::temp_dir().join("canelyctl-campaign-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("replay.canely");
+        std::fs::write(
+            &file,
+            "nodes 3\ntm 30ms\nth 5ms\nseed 0\ntraffic 0 2ms\ntraffic 1 2ms\n\
+             traffic 2 2ms\ncrash 2 100ms\nuntil 300ms\nsettle 150ms\n",
+        )
+        .unwrap();
+        let path = file.to_string_lossy().to_string();
+        let out = run(&argv(&["campaign", "replay", "--scenario", &path])).unwrap();
+        assert!(out.contains("verdict: clean"), "{out}");
+    }
+
+    #[test]
+    fn violating_campaign_and_replay_exit_nonzero() {
+        let dir = std::env::temp_dir().join("canelyctl-campaign-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("mutant.campaign");
+        std::fs::write(
+            &spec,
+            "name mutant\nnodes 4\nseeds 1..2\nerror-rate 0.01\ncrash-budget 1\n\
+             inaccessibility 4ms\nuntil 300ms\nsettle 150ms\nweaken-fda\n",
+        )
+        .unwrap();
+        let path = spec.to_string_lossy().to_string();
+        let dest = dir.join("cx");
+        let err = run(&argv(&[
+            "campaign",
+            "run",
+            "--spec",
+            &path,
+            "--workers",
+            "2",
+            "--emit-counterexample",
+            &dest.to_string_lossy(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("violating run(s)"), "{err}");
+        let cx = dest.join("counterexample.canely").to_string_lossy().to_string();
+        let verdict = run(&argv(&["campaign", "replay", "--scenario", &cx])).unwrap_err();
+        assert!(verdict.contains("verdict:"), "{verdict}");
+        assert!(verdict.contains("violation(s)"), "{verdict}");
+    }
+
+    #[test]
+    fn campaign_requires_a_subcommand() {
+        let err = run(&argv(&["campaign"])).unwrap_err();
+        assert!(err.contains("run | report | replay"), "{err}");
     }
 }

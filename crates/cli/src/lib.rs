@@ -43,6 +43,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "analyze" => commands::analyze(&mut args),
         "trace" => commands::trace(&mut args),
         "metrics" => commands::metrics(&mut args),
+        "campaign" => commands::campaign(&mut args),
         "run" => {
             let path = args
                 .subcommand()
@@ -111,9 +112,26 @@ COMMANDS:
 
   run FILE       execute a scenario file (line-based DSL: nodes, tm,
                  th, traffic, crash, join, leave, restart, until,
-                 seed, error-rate, expect-view — see the `scenario`
-                 module docs); `expect-view` turns the file into an
-                 executable regression test
+                 seed, error-rate, inconsistent-rate, omission-degree,
+                 inconsistent-degree, inaccessible, weaken-fda,
+                 expect-view — see the `scenario` module docs);
+                 `expect-view` turns the file into an executable
+                 regression test
+
+  campaign <run|report|replay>   deterministic parallel fault-injection
+                 campaigns with an invariant oracle (canely-campaign)
+    campaign run --spec FILE     expand + execute a .campaign matrix
+      --workers N         worker threads (summary is identical
+                          for any N)                        [default 4]
+      --json              machine-readable deterministic summary
+      --emit-counterexample DIR  write the minimized reproducer
+                          (.canely + offending .trace.jsonl) to DIR
+    campaign report --spec FILE  print the expanded run matrix and
+                          per-run latency bounds without executing
+    campaign replay --scenario FILE  re-execute a (counterexample)
+                          scenario under the invariant oracle and
+                          report the verdict
+    (run and replay exit nonzero when any invariant is violated)
 
   help           this text
 "

@@ -19,6 +19,16 @@
 //! Lines are `keyword args…`; `#` starts a comment. The optional
 //! `expect-view` assertion makes scenario files usable as executable
 //! regression tests.
+//!
+//! The fault-injection vocabulary of `canely-campaign` counterexamples
+//! is a superset of the original language and replays here untouched:
+//! `inaccessible FROM UNTIL` schedules a bus blackout,
+//! `inconsistent-rate P` / `omission-degree K` / `inconsistent-degree J`
+//! configure the stochastic injector (MCAN3/LCAN4 bounds), and
+//! `weaken-fda` opts into the deliberately broken failure-detection
+//! mutant. The campaign-oracle knobs `settle` and `latency-slack` are
+//! validated but ignored by `run` — `canelyctl campaign replay`
+//! re-judges them.
 
 use crate::args::{parse_duration, ArgError};
 use crate::render;
@@ -38,11 +48,16 @@ pub struct Scenario {
     until: Option<BitTime>,
     seed: u64,
     error_rate: f64,
+    inconsistent_rate: f64,
+    omission_degree: Option<u32>,
+    inconsistent_degree: Option<u32>,
+    weaken_fda: bool,
     traffic: Vec<(u8, BitTime)>,
     crashes: Vec<(u8, BitTime)>,
     joins: Vec<(u8, BitTime)>,
     leaves: Vec<(u8, BitTime)>,
     restarts: Vec<(u8, BitTime)>,
+    inaccessibility: Vec<(BitTime, BitTime)>,
     expect_view: Option<NodeSet>,
 }
 
@@ -112,7 +127,7 @@ impl Scenario {
                         .and_then(|w| w.parse().ok())
                         .ok_or_else(|| ArgError(format!("line {line_no}: bad seed")))?;
                 }
-                "error-rate" => {
+                "error-rate" | "inconsistent-rate" => {
                     let rate: f64 = rest
                         .first()
                         .and_then(|w| w.parse().ok())
@@ -120,7 +135,44 @@ impl Scenario {
                     if !(0.0..=1.0).contains(&rate) {
                         return err(line_no, "rate must be a probability");
                     }
-                    scenario.error_rate = rate;
+                    if keyword == "error-rate" {
+                        scenario.error_rate = rate;
+                    } else {
+                        scenario.inconsistent_rate = rate;
+                    }
+                }
+                "omission-degree" | "inconsistent-degree" => {
+                    let degree: u32 = rest
+                        .first()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| ArgError(format!("line {line_no}: bad degree")))?;
+                    if keyword == "omission-degree" {
+                        scenario.omission_degree = Some(degree);
+                    } else {
+                        scenario.inconsistent_degree = Some(degree);
+                    }
+                }
+                "inaccessible" => {
+                    if rest.len() != 2 {
+                        return err(line_no, "expected `<from> <until>`");
+                    }
+                    let from = parse_duration(rest[0])
+                        .ok_or_else(|| ArgError(format!("line {line_no}: bad duration")))?;
+                    let until = parse_duration(rest[1])
+                        .ok_or_else(|| ArgError(format!("line {line_no}: bad duration")))?;
+                    if until <= from {
+                        return err(line_no, "empty inaccessibility window");
+                    }
+                    scenario.inaccessibility.push((from, until));
+                }
+                "weaken-fda" => scenario.weaken_fda = true,
+                // Campaign-oracle knobs (`canelyctl campaign replay`
+                // re-judges them); `run` validates and ignores them so
+                // counterexample scenarios replay unmodified.
+                "settle" | "latency-slack" => {
+                    rest.first()
+                        .and_then(|w| parse_duration(w))
+                        .ok_or_else(|| ArgError(format!("line {line_no}: bad duration")))?;
                 }
                 "traffic" => scenario.traffic.push(node_time(line_no, &rest)?),
                 "crash" => scenario.crashes.push(node_time(line_no, &rest)?),
@@ -161,7 +213,13 @@ impl Scenario {
         if let Some(th) = self.th {
             config = config.with_heartbeat_period(th);
         }
+        if let Some(j) = self.inconsistent_degree {
+            config = config.with_inconsistent_degree(j);
+        }
         config.join_wait = config.membership_cycle * 2 + BitTime::new(10_000);
+        if self.weaken_fda {
+            config = config.with_weakened_fda();
+        }
         config
             .validate()
             .map_err(|e| ArgError(format!("invalid configuration: {e}")))?;
@@ -194,7 +252,18 @@ impl Scenario {
 
     fn run_traced(&self, obs: Option<&ObsLog>) -> Result<(Simulator, BitTime), ArgError> {
         let config = self.config()?;
-        let faults = FaultPlan::seeded(self.seed).with_consistent_rate(self.error_rate);
+        let mut faults = FaultPlan::seeded(self.seed)
+            .with_consistent_rate(self.error_rate)
+            .with_inconsistent_rate(self.inconsistent_rate);
+        if let Some(k) = self.omission_degree {
+            faults = faults.with_omission_bound(k, BitTime::new(100_000));
+        }
+        if let Some(j) = self.inconsistent_degree {
+            faults = faults.with_inconsistent_bound(j);
+        }
+        for &(from, until) in &self.inaccessibility {
+            faults.push_inaccessibility(from, until);
+        }
         let mut sim = Simulator::new(BusConfig::default(), faults);
         let joiner_ids: Vec<u8> = self.joins.iter().map(|&(n, _)| n).collect();
         let build_stack = |id: u8| {
@@ -337,6 +406,34 @@ expect-view {0,1,2,3,9}
             let err = Scenario::parse(text).unwrap_err();
             assert!(err.0.contains(needle), "{text}: {err}");
         }
+    }
+
+    #[test]
+    fn campaign_vocabulary_parses_and_runs() {
+        // The full counterexample vocabulary must replay under plain
+        // `run` without modification.
+        let text = "\
+nodes 4
+tm 30ms
+traffic 0 2ms
+traffic 1 2ms
+inconsistent-rate 0.01
+omission-degree 16
+inconsistent-degree 2
+inaccessible 90ms 92ms
+settle 150ms
+latency-slack 4ms
+until 300ms
+expect-view {0,1,2,3}
+";
+        let out = Scenario::parse(text).unwrap().execute().unwrap();
+        assert!(out.contains("expect-view: ok"), "{out}");
+    }
+
+    #[test]
+    fn empty_inaccessibility_window_is_rejected() {
+        let err = Scenario::parse("inaccessible 20ms 10ms").unwrap_err();
+        assert!(err.0.contains("empty"), "{err}");
     }
 
     #[test]

@@ -63,6 +63,18 @@ pub struct CanelyConfig {
     /// period much higher than Tm" after removal. `None` keeps
     /// expulsion terminal.
     pub expulsion_rejoin_delay: Option<BitTime>,
+    /// **Fault-injection mutant — never enable in a correct stack.**
+    /// Weakens the failure-detection path in two paper-violating ways:
+    /// remote surveillance margins drop the inaccessibility term
+    /// `Tina` from `Ttd` (an MCAN4 violation — margins then cover only
+    /// `Tltm`-scale queuing, so any inaccessibility period of
+    /// millisecond order produces a *false suspicion* of a live node),
+    /// and FDA stops eagerly rebroadcasting failure signs on first
+    /// reception (Fig. 5, line r04). The campaign oracle uses this
+    /// mutant to prove it can catch and shrink real protocol bugs.
+    /// Defaults to `false`; the `weakened-fda` cargo feature flips the
+    /// default for whole-tree mutation runs.
+    pub weakened_fda: bool,
 }
 
 impl CanelyConfig {
@@ -80,6 +92,7 @@ impl CanelyConfig {
             activity_from_all_rtr: false,
             rejoin_on_failed_join: true,
             expulsion_rejoin_delay: Some(BitTime::from_ms(240, rate)),
+            weakened_fda: cfg!(feature = "weakened-fda"),
         }
     }
 
@@ -105,6 +118,27 @@ impl CanelyConfig {
     pub fn without_implicit_heartbeats(mut self) -> Self {
         self.implicit_heartbeats = false;
         self
+    }
+
+    /// Enables the deliberately broken failure-detection mutant (see
+    /// [`CanelyConfig::weakened_fda`]). For fault-injection campaigns
+    /// only.
+    pub fn with_weakened_fda(mut self) -> Self {
+        self.weakened_fda = true;
+        self
+    }
+
+    /// The remote surveillance margin actually granted beyond `Th`.
+    /// The correct protocol grants the full `Ttd = Tltm + Tina`; the
+    /// weakened mutant grants a quarter of it (`Tltm`-scale: enough
+    /// for queuing/arbitration jitter, but the `Tina` allowance for
+    /// bus inaccessibility is forgotten).
+    pub fn surveillance_margin(&self) -> BitTime {
+        if self.weakened_fda {
+            BitTime::new(self.tx_delay_bound.as_u64() / 4)
+        } else {
+            self.tx_delay_bound
+        }
     }
 
     /// The bound on node crash detection latency at a remote node:
@@ -192,6 +226,22 @@ mod tests {
             ..CanelyConfig::default()
         };
         assert!(cfg.validate().unwrap_err().contains("Th"));
+    }
+
+    #[test]
+    fn weakened_mutant_shrinks_surveillance_margin() {
+        let correct = CanelyConfig::default();
+        let broken = CanelyConfig::default().with_weakened_fda();
+        assert_eq!(correct.surveillance_margin(), correct.tx_delay_bound);
+        // The mutant's margin covers Tltm-scale queuing but not the
+        // CANELy inaccessibility bound Tina = 2160 bit-times.
+        assert_eq!(
+            broken.surveillance_margin(),
+            BitTime::new(correct.tx_delay_bound.as_u64() / 4)
+        );
+        assert!(broken.surveillance_margin() < BitTime::new(2_160));
+        // Still a valid configuration: the mutant must run, not panic.
+        broken.validate().expect("mutant config must validate");
     }
 
     #[test]

@@ -39,16 +39,37 @@ struct FdaState {
 /// Drive it with [`Fda::invoke`] (the `fda-can.req` primitive) and
 /// [`Fda::on_rtr_ind`] (arrivals of FDA remote frames); the latter
 /// returns the `fda-can.nty` deliveries due to the layer above.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Fda {
     state: HashMap<NodeId, FdaState>,
     obs: EventSink,
+    eager_diffusion: bool,
+}
+
+impl Default for Fda {
+    fn default() -> Self {
+        Fda::new()
+    }
 }
 
 impl Fda {
     /// A fresh FDA entity.
     pub fn new() -> Self {
-        Fda::default()
+        Fda {
+            state: HashMap::new(),
+            obs: EventSink::disabled(),
+            eager_diffusion: true,
+        }
+    }
+
+    /// Disables the eager diffusion step (Fig. 5, r04–r07): the entity
+    /// still delivers and deduplicates failure signs but never joins
+    /// the rebroadcast. This is the FDA half of the `weakened_fda`
+    /// mutation knob — without diffusion the protocol loses its
+    /// inconsistent-omission masking redundancy. Fault-injection use
+    /// only.
+    pub fn set_eager_diffusion(&mut self, eager: bool) {
+        self.eager_diffusion = eager;
     }
 
     /// Installs the structured-event sink (see [`crate::obs`]).
@@ -107,7 +128,7 @@ impl Fda {
         // First copy: deliver upstairs (r03) and, in the absence of an
         // equivalent transmit request, join the diffusion (r04–r07).
         st.nreq += 1;
-        let diffuse = st.nreq == 1;
+        let diffuse = st.nreq == 1 && self.eager_diffusion;
         self.obs.emit(
             ctx.now(),
             ctx.me(),

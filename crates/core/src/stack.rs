@@ -91,10 +91,15 @@ impl CanelyStack {
     /// [`CanelyConfig::validate`]).
     pub fn new(config: CanelyConfig) -> Self {
         config.validate().expect("invalid CANELy configuration");
+        let mut fda = Fda::new();
+        // The weakened mutant forgets the Tina term in surveillance
+        // margins and stops FDA eager diffusion (see
+        // `CanelyConfig::weakened_fda`).
+        fda.set_eager_diffusion(!config.weakened_fda);
         CanelyStack {
-            fda: Fda::new(),
+            fda,
             rha: Rha::new(config.rha_timeout, config.inconsistent_degree),
-            fd: FailureDetector::new(config.heartbeat_period, config.tx_delay_bound),
+            fd: FailureDetector::new(config.heartbeat_period, config.surveillance_margin()),
             msh: Membership::new(
                 config.membership_cycle,
                 config.join_wait,

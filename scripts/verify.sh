@@ -21,4 +21,24 @@ run cargo test --workspace --offline -q
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline -q
 run cargo clippy --workspace --all-targets --offline -q -- -D warnings
 
+# Bounded smoke campaign (fixed seeds, finishes in seconds): the
+# invariant oracle must come back clean, and the summary must be
+# byte-identical across worker counts (the engine's determinism
+# guarantee).
+echo "==> target/release/canelyctl campaign run --spec scenarios/smoke.campaign"
+summary="$(target/release/canelyctl campaign run --spec scenarios/smoke.campaign --workers 4 --json)"
+echo "$summary"
+case "$summary" in
+*'"violating_runs":[]'*) ;;
+*)
+    echo "verify: smoke campaign reported invariant violations" >&2
+    exit 1
+    ;;
+esac
+resummary="$(target/release/canelyctl campaign run --spec scenarios/smoke.campaign --workers 2 --json)"
+if [ "$summary" != "$resummary" ]; then
+    echo "verify: campaign summary differs across worker counts" >&2
+    exit 1
+fi
+
 echo "==> verify: all green"
