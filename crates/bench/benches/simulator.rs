@@ -40,6 +40,7 @@ fn bench_medium_throughput(c: &mut Criterion) {
                     for round in 0..100u16 {
                         for node in 0..contenders {
                             medium.offer(
+                                now,
                                 NodeId::new(node),
                                 Frame::data(
                                     Mid::new(MsgType::AppData, round, NodeId::new(node)),

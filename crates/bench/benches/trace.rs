@@ -1,0 +1,66 @@
+//! Trace-analysis pipeline cost: parsing a JSONL trace document into
+//! the causal model, reconstructing a suspicion's causal chain,
+//! decomposing detections into phase latencies, and exporting the
+//! Chrome trace-event form.
+//!
+//! The input document is a real crash episode (4 nodes, one crash,
+//! 500 ms horizon) regenerated deterministically at bench start, so
+//! the numbers track the exporter and analyzer together.
+
+use can_bus::{BusConfig, FaultPlan};
+use can_controller::Simulator;
+use can_types::{BitTime, NodeId};
+use canely::obs::ObsLog;
+use canely::{CanelyConfig, CanelyStack, ProtocolEvent};
+use canely_trace::{chain_for, chrome_trace, PhaseProfile, TraceModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// A deterministic crash-episode trace document.
+fn crash_trace() -> (String, u8) {
+    let config = CanelyConfig::default();
+    let log = ObsLog::new();
+    let mut sim = Simulator::new(BusConfig::default(), FaultPlan::none());
+    for id in 0..4u8 {
+        sim.add_node(
+            NodeId::new(id),
+            CanelyStack::new(config.clone()).with_obs(log.sink()),
+        );
+    }
+    let victim = NodeId::new(3);
+    let crash_at = config.join_wait + config.membership_cycle * 2;
+    sim.schedule_crash(victim, crash_at);
+    log.record(crash_at, victim, ProtocolEvent::NodeCrashed);
+    sim.run_until(BitTime::new(500_000));
+    (log.export_jsonl(Some(sim.trace())), victim.as_u8())
+}
+
+fn bench_trace_pipeline(c: &mut Criterion) {
+    let (doc, victim) = crash_trace();
+    let model = TraceModel::parse(&doc).expect("own export parses");
+    assert!(
+        chain_for(&model, victim, None).is_some_and(|chain| chain.complete),
+        "bench trace must contain a complete causal chain"
+    );
+
+    let mut group = c.benchmark_group("trace");
+    group.sample_size(30);
+    group.bench_function("parse", |b| {
+        b.iter(|| TraceModel::parse(&doc).unwrap().lines.len());
+    });
+    group.bench_function("chain", |b| {
+        b.iter(|| chain_for(&model, victim, None).unwrap().steps.len());
+    });
+    group.bench_function("phases", |b| {
+        b.iter(|| PhaseProfile::of(&model).detections.len());
+    });
+    group.bench_function("chrome", |b| {
+        b.iter(|| chrome_trace(&model).len());
+    });
+    group.bench_function("reexport", |b| {
+        b.iter(|| model.to_jsonl().len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_pipeline);
+criterion_main!(benches);

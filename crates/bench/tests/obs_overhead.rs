@@ -10,7 +10,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use can_types::{BitTime, NodeId};
-use canely::obs::ObsLog;
+use canely::obs::{Cause, ObsLog};
 use canely::{EventSink, ProtocolEvent};
 
 struct CountingAllocator;
@@ -42,6 +42,12 @@ fn disabled_sink_is_allocation_free() {
 
     let before = allocations();
     for i in 0..100_000u64 {
+        // Cause-ID threading and the timer-linking resolution path
+        // must stay free as well: the dispatcher stamps an ambient
+        // cause around every delivery even when tracing is off.
+        disabled.set_cause(Cause::Bus {
+            deliver_at: BitTime::new(i),
+        });
         disabled.emit(
             BitTime::new(i),
             NodeId::new((i % 4) as u8),
@@ -55,6 +61,14 @@ fn disabled_sink_is_allocation_free() {
                 duplicate: false,
             },
         );
+        disabled.emit(
+            BitTime::new(i),
+            NodeId::new(0),
+            ProtocolEvent::TimerExpired {
+                timer: canely::obs::ObsTimer::Surveillance(NodeId::new(3)),
+            },
+        );
+        disabled.clear_cause();
     }
     let disabled_delta = allocations() - before;
     assert_eq!(

@@ -63,6 +63,13 @@ pub struct Transaction {
     pub bus_free: BitTime,
     /// Instant receivers deliver the frame (end of frame proper).
     pub deliver_at: BitTime,
+    /// Earliest instant any of the transmitters queued this frame
+    /// (profiling: `start - queued_at` is the queueing + arbitration
+    /// delay the frame experienced, retransmissions included).
+    pub queued_at: BitTime,
+    /// Largest number of arbitration rounds any transmitter of this
+    /// frame lost before winning the bus (profiling).
+    pub arb_losses: u32,
     /// The frame on the wire.
     pub frame: Frame,
     /// Nodes that transmitted (clustered transmissions have several).
@@ -78,6 +85,11 @@ struct Offer {
     /// Earliest instant this offer may compete again (ACK-error
     /// suspension with exponential backoff; zero otherwise).
     not_before: BitTime,
+    /// Instant the controller queued this frame (for queue-delay
+    /// profiling; survives retransmissions and lost arbitrations).
+    queued_at: BitTime,
+    /// Arbitration rounds this offer competed in and lost.
+    arb_losses: u32,
 }
 
 /// Suspension applied after the `attempts`-th consecutive ACK error:
@@ -107,8 +119,8 @@ fn ack_backoff(attempts: u32) -> BitTime {
 /// let els = Frame::remote(Mid::new(MsgType::Els, 0, NodeId::new(1)));
 ///
 /// // Nodes 1 and 2 offer the *same* life-sign: they cluster.
-/// bus.offer(NodeId::new(1), els);
-/// bus.offer(NodeId::new(2), els);
+/// bus.offer(BitTime::ZERO, NodeId::new(1), els);
+/// bus.offer(BitTime::ZERO, NodeId::new(2), els);
 /// let alive = NodeSet::first_n(4);
 /// let tx = bus.resolve(BitTime::ZERO, alive, &mut faults).unwrap();
 /// assert_eq!(tx.transmitters.len(), 2);
@@ -137,14 +149,17 @@ impl Medium {
         &self.config
     }
 
-    /// Registers (or replaces) `node`'s pending transmission.
-    pub fn offer(&mut self, node: NodeId, frame: Frame) {
+    /// Registers (or replaces) `node`'s pending transmission, queued
+    /// at instant `now` (the queue-delay profiling origin).
+    pub fn offer(&mut self, now: BitTime, node: NodeId, frame: Frame) {
         self.offers.insert(
             node,
             Offer {
                 frame,
                 attempts: 0,
                 not_before: BitTime::ZERO,
+                queued_at: now,
+                arb_losses: 0,
             },
         );
     }
@@ -239,6 +254,25 @@ impl Medium {
             .map(|o| o.attempts)
             .min()
             .unwrap_or(0);
+        let queued_at = transmitters
+            .iter()
+            .filter_map(|n| self.offers.get(&n))
+            .map(|o| o.queued_at)
+            .min()
+            .unwrap_or(now);
+        let arb_losses = transmitters
+            .iter()
+            .filter_map(|n| self.offers.get(&n))
+            .map(|o| o.arb_losses)
+            .max()
+            .unwrap_or(0);
+        // Profiling: every eligible offer that competed in this
+        // arbitration round and lost records the loss.
+        for (&node, offer) in self.offers.iter_mut() {
+            if offer.not_before <= now && !transmitters.contains(node) {
+                offer.arb_losses += 1;
+            }
+        }
 
         let (outcome, deliver_at, bus_free) = if collision {
             // Bit error surfaces quickly; conservatively charge the
@@ -346,6 +380,8 @@ impl Medium {
             start: now,
             bus_free,
             deliver_at,
+            queued_at,
+            arb_losses,
             frame: winner_frame,
             transmitters,
             outcome,
@@ -389,8 +425,8 @@ mod tests {
     fn lowest_id_wins_arbitration() {
         let mut bus = Medium::new(BusConfig::default());
         let mut faults = FaultPlan::none();
-        bus.offer(n(0), data(0, &[1]));
-        bus.offer(n(1), els(1)); // ELS type outranks AppData
+        bus.offer(BitTime::ZERO, n(0), data(0, &[1]));
+        bus.offer(BitTime::ZERO, n(1), els(1)); // ELS type outranks AppData
         let tx = bus
             .resolve(BitTime::ZERO, NodeSet::first_n(4), &mut faults)
             .unwrap();
@@ -404,7 +440,7 @@ mod tests {
     fn delivery_includes_own_transmission() {
         let mut bus = Medium::new(BusConfig::default());
         let mut faults = FaultPlan::none();
-        bus.offer(n(2), els(2));
+        bus.offer(BitTime::ZERO, n(2), els(2));
         let alive = NodeSet::first_n(5);
         let tx = bus.resolve(BitTime::ZERO, alive, &mut faults).unwrap();
         match tx.outcome {
@@ -418,9 +454,9 @@ mod tests {
         let mut bus = Medium::new(BusConfig::default());
         let mut faults = FaultPlan::none();
         let fda = Frame::remote(Mid::new(MsgType::Fda, 0, n(7)));
-        bus.offer(n(0), fda);
-        bus.offer(n(1), fda);
-        bus.offer(n(2), fda);
+        bus.offer(BitTime::ZERO, n(0), fda);
+        bus.offer(BitTime::ZERO, n(1), fda);
+        bus.offer(BitTime::ZERO, n(2), fda);
         let tx = bus
             .resolve(BitTime::ZERO, NodeSet::first_n(8), &mut faults)
             .unwrap();
@@ -432,8 +468,8 @@ mod tests {
     fn different_frames_same_id_is_collision() {
         let mut bus = Medium::new(BusConfig::default());
         let mut faults = FaultPlan::none();
-        bus.offer(n(0), data(3, &[1]));
-        bus.offer(n(1), data(3, &[2])); // same mid, different payload
+        bus.offer(BitTime::ZERO, n(0), data(3, &[1]));
+        bus.offer(BitTime::ZERO, n(1), data(3, &[2])); // same mid, different payload
         let tx = bus
             .resolve(BitTime::ZERO, NodeSet::first_n(4), &mut faults)
             .unwrap();
@@ -452,7 +488,7 @@ mod tests {
             effect: FaultEffect::ConsistentOmission,
             count: 1,
         });
-        bus.offer(n(0), els(0));
+        bus.offer(BitTime::ZERO, n(0), els(0));
         let alive = NodeSet::first_n(3);
         let tx1 = bus.resolve(BitTime::ZERO, alive, &mut faults).unwrap();
         assert_eq!(tx1.outcome, TxOutcome::ConsistentError);
@@ -478,7 +514,7 @@ mod tests {
             },
             count: 1,
         });
-        bus.offer(n(0), els(0));
+        bus.offer(BitTime::ZERO, n(0), els(0));
         let tx = bus
             .resolve(BitTime::ZERO, NodeSet::first_n(4), &mut faults)
             .unwrap();
@@ -510,7 +546,7 @@ mod tests {
             },
             count: 1,
         });
-        bus.offer(n(0), els(0));
+        bus.offer(BitTime::ZERO, n(0), els(0));
         let alive = NodeSet::first_n(4);
         let tx = bus.resolve(BitTime::ZERO, alive, &mut faults).unwrap();
         assert!(matches!(tx.outcome, TxOutcome::InconsistentError { .. }));
@@ -524,7 +560,7 @@ mod tests {
     #[test]
     fn withdraw_implements_abort() {
         let mut bus = Medium::new(BusConfig::default());
-        bus.offer(n(0), els(0));
+        bus.offer(BitTime::ZERO, n(0), els(0));
         assert_eq!(bus.withdraw(n(0)), Some(els(0)));
         assert_eq!(bus.withdraw(n(0)), None);
     }
@@ -533,8 +569,8 @@ mod tests {
     fn dead_nodes_do_not_transmit() {
         let mut bus = Medium::new(BusConfig::default());
         let mut faults = FaultPlan::none();
-        bus.offer(n(0), els(0));
-        bus.offer(n(1), els(1));
+        bus.offer(BitTime::ZERO, n(0), els(0));
+        bus.offer(BitTime::ZERO, n(1), els(1));
         // Node 0 is dead.
         let alive = NodeSet::from_bits(0b1110);
         let tx = bus.resolve(BitTime::ZERO, alive, &mut faults).unwrap();
@@ -546,13 +582,50 @@ mod tests {
     fn trace_records_every_transaction() {
         let mut bus = Medium::new(BusConfig::default());
         let mut faults = FaultPlan::none();
-        bus.offer(n(0), els(0));
+        bus.offer(BitTime::ZERO, n(0), els(0));
         let t1 = bus
             .resolve(BitTime::ZERO, NodeSet::first_n(2), &mut faults)
             .unwrap();
-        bus.offer(n(1), els(1));
+        bus.offer(BitTime::ZERO, n(1), els(1));
         let _t2 = bus.resolve(t1.bus_free, NodeSet::first_n(2), &mut faults);
         assert_eq!(bus.trace().len(), 2);
+    }
+
+    #[test]
+    fn profiling_records_queue_delay_and_arb_losses() {
+        let mut bus = Medium::new(BusConfig::default());
+        let mut faults = FaultPlan::none();
+        let alive = NodeSet::first_n(4);
+        bus.offer(BitTime::ZERO, n(0), data(0, &[1]));
+        bus.offer(BitTime::new(10), n(1), els(1)); // ELS outranks AppData
+        let t1 = bus.resolve(BitTime::new(20), alive, &mut faults).unwrap();
+        assert_eq!(t1.frame, els(1));
+        assert_eq!(t1.queued_at, BitTime::new(10));
+        assert_eq!(t1.arb_losses, 0);
+        // The loser waited for the whole first transaction and records
+        // the lost arbitration round.
+        let t2 = bus.resolve(t1.bus_free, alive, &mut faults).unwrap();
+        assert_eq!(t2.frame, data(0, &[1]));
+        assert_eq!(t2.queued_at, BitTime::ZERO);
+        assert_eq!(t2.arb_losses, 1);
+        let rec = bus.trace().iter().last().unwrap();
+        assert_eq!(rec.queue_delay(), t2.start - BitTime::ZERO);
+        assert_eq!(rec.arb_losses, 1);
+        assert_eq!(rec.deliver_at, t2.deliver_at);
+    }
+
+    #[test]
+    fn clustered_offers_keep_earliest_queue_instant() {
+        let mut bus = Medium::new(BusConfig::default());
+        let mut faults = FaultPlan::none();
+        let fda = Frame::remote(Mid::new(MsgType::Fda, 0, n(7)));
+        bus.offer(BitTime::new(5), n(0), fda);
+        bus.offer(BitTime::new(9), n(1), fda);
+        let tx = bus
+            .resolve(BitTime::new(9), NodeSet::first_n(8), &mut faults)
+            .unwrap();
+        assert_eq!(tx.transmitters.len(), 2);
+        assert_eq!(tx.queued_at, BitTime::new(5));
     }
 
     #[test]
@@ -561,8 +634,8 @@ mod tests {
         // node gives lower id, wins.
         let mut bus = Medium::new(BusConfig::default());
         let mut faults = FaultPlan::none();
-        bus.offer(n(5), els(5));
-        bus.offer(n(3), els(3));
+        bus.offer(BitTime::ZERO, n(5), els(5));
+        bus.offer(BitTime::ZERO, n(3), els(3));
         let tx = bus
             .resolve(BitTime::ZERO, NodeSet::first_n(8), &mut faults)
             .unwrap();

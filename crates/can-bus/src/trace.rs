@@ -17,6 +17,15 @@ pub struct TxRecord {
     /// Instant the bus became free again (error signalling and
     /// intermission included).
     pub bus_free: BitTime,
+    /// Instant receivers delivered the frame (end of frame proper;
+    /// equals the delivery instant seen by the controllers, so causal
+    /// references from protocol events resolve against this field).
+    pub deliver_at: BitTime,
+    /// Earliest instant any transmitter queued this frame (profiling).
+    pub queued_at: BitTime,
+    /// Largest number of arbitration rounds any transmitter of this
+    /// frame lost before winning the bus (profiling).
+    pub arb_losses: u32,
     /// The frame on the wire.
     pub frame: Frame,
     /// Who transmitted.
@@ -42,6 +51,9 @@ impl TxRecord {
         TxRecord {
             start: tx.start,
             bus_free: tx.bus_free,
+            deliver_at: tx.deliver_at,
+            queued_at: tx.queued_at,
+            arb_losses: tx.arb_losses,
             frame: tx.frame,
             transmitters: tx.transmitters,
             delivered,
@@ -52,6 +64,12 @@ impl TxRecord {
     /// Bus occupancy of this transaction in bit-times.
     pub fn occupancy(&self) -> BitTime {
         self.bus_free - self.start
+    }
+
+    /// Queue + arbitration delay this frame experienced before its
+    /// transmission began (retransmissions included).
+    pub fn queue_delay(&self) -> BitTime {
+        self.start - self.queued_at
     }
 
     /// The decoded message control field, if the identifier carries one.
@@ -123,6 +141,8 @@ impl BusTrace {
                 let slot = &mut stats.per_type[mid.msg_type().code() as usize];
                 slot.frames += 1;
                 slot.busy += occupancy;
+                slot.queue_delay += rec.queue_delay();
+                slot.arb_losses += u64::from(rec.arb_losses);
             }
         }
         stats
@@ -206,6 +226,24 @@ pub struct TypeStats {
     pub frames: usize,
     /// Bus occupancy attributable to this type.
     pub busy: BitTime,
+    /// Summed queue + arbitration delay of this type's frames
+    /// (per-priority queue-delay profiling; divide by `frames` for the
+    /// mean).
+    pub queue_delay: BitTime,
+    /// Summed arbitration losses of this type's frames.
+    pub arb_losses: u64,
+}
+
+impl TypeStats {
+    /// Mean queue + arbitration delay per frame of this type, in
+    /// bit-times (zero when no frame was recorded).
+    pub fn mean_queue_delay(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.queue_delay.as_u64() as f64 / self.frames as f64
+        }
+    }
 }
 
 /// Aggregate bus statistics over a window.
@@ -283,6 +321,9 @@ mod tests {
         TxRecord {
             start: BitTime::new(start),
             bus_free: BitTime::new(free),
+            deliver_at: BitTime::new(free),
+            queued_at: BitTime::new(start),
+            arb_losses: 0,
             frame: Frame::remote(Mid::new(t, 0, NodeId::new(1))),
             transmitters: NodeSet::singleton(NodeId::new(1)),
             delivered: !errored,

@@ -57,7 +57,7 @@ proptest! {
             std::collections::HashMap::new();
         for spec in &offers {
             let frame = build(spec);
-            medium.offer(NodeId::new(spec.node), frame);
+            medium.offer(BitTime::ZERO, NodeId::new(spec.node), frame);
             latest_frame_of.insert(spec.node, frame);
         }
         for frame in latest_frame_of.values() {
@@ -89,7 +89,7 @@ proptest! {
             std::collections::HashMap::new();
         for spec in &offers {
             let frame = build(spec);
-            medium.offer(NodeId::new(spec.node), frame);
+            medium.offer(BitTime::ZERO, NodeId::new(spec.node), frame);
             latest_frame_of.insert(spec.node, frame);
         }
         let alive = NodeSet::first_n(16);
@@ -132,7 +132,7 @@ proptest! {
         let mut medium = Medium::new(BusConfig::default());
         let mut faults = FaultPlan::none();
         for spec in &offers {
-            medium.offer(NodeId::new(spec.node), build(spec));
+            medium.offer(BitTime::ZERO, NodeId::new(spec.node), build(spec));
         }
         let alive = NodeSet::first_n(16);
         let mut now = BitTime::ZERO;

@@ -539,7 +539,7 @@ impl Simulator {
         }
         match (head, self.medium.current_offer(node).copied()) {
             (Some(want), Some(cur)) if want == cur => {}
-            (Some(want), _) => self.medium.offer(node, want),
+            (Some(want), _) => self.medium.offer(self.now, node, want),
             (None, Some(_)) => {
                 self.medium.withdraw(node);
             }

@@ -61,6 +61,9 @@ pub mod shrink;
 pub mod spec;
 
 pub use oracle::{check, InvariantKind, NodeFinal, OracleInput, Violation};
-pub use run::{execute, RunOutcome};
-pub use runner::{run_campaign, CampaignReport, CampaignResult, Counterexample};
+pub use run::{execute, latency_samples, RunOutcome};
+pub use runner::{
+    run_campaign, run_campaign_analytics, CampaignReport, CampaignResult, Counterexample,
+    RunLatency,
+};
 pub use spec::{CampaignSpec, RunSpec};

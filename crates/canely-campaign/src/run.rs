@@ -23,8 +23,63 @@ pub struct RunOutcome {
     pub violations: Vec<Violation>,
     /// Number of protocol events recorded.
     pub events: usize,
+    /// Measured crash-to-notification latencies (bit-times), one per
+    /// crash × surviving observer.
+    pub detection: Vec<u64>,
+    /// Measured crash-to-view-install latencies (bit-times).
+    pub view_change: Vec<u64>,
     /// The merged bus + protocol JSONL trace, when requested.
     pub trace_jsonl: Option<String>,
+}
+
+/// Measures raw detection and view-change latency samples from the
+/// event trace: for every crash marker, each other node's first
+/// failure notification and first view install excluding the victim.
+/// Restarts (and re-crashes) of the victim close the measurement
+/// window.
+pub fn latency_samples(events: &[canely::obs::TimedEvent]) -> (Vec<u64>, Vec<u64>) {
+    let mut detection = Vec::new();
+    let mut view_change = Vec::new();
+    for marker in events
+        .iter()
+        .filter(|e| matches!(e.event, ProtocolEvent::NodeCrashed))
+    {
+        let victim = marker.node;
+        let at = marker.time;
+        let horizon = events
+            .iter()
+            .filter(|e| {
+                e.node == victim
+                    && e.time > at
+                    && matches!(
+                        e.event,
+                        ProtocolEvent::NodeCrashed | ProtocolEvent::NodeRestarted
+                    )
+            })
+            .map(|e| e.time)
+            .min()
+            .unwrap_or(BitTime::new(u64::MAX));
+        let mut notified = Vec::new();
+        let mut installed = Vec::new();
+        for e in events.iter().filter(|e| e.time >= at && e.time < horizon) {
+            match e.event {
+                ProtocolEvent::FailureNotified { failed }
+                    if failed == victim && !notified.contains(&e.node) =>
+                {
+                    notified.push(e.node);
+                    detection.push((e.time - at).as_u64());
+                }
+                ProtocolEvent::ViewInstalled { view }
+                    if !view.contains(victim) && !installed.contains(&e.node) =>
+                {
+                    installed.push(e.node);
+                    view_change.push((e.time - at).as_u64());
+                }
+                _ => {}
+            }
+        }
+    }
+    (detection, view_change)
 }
 
 /// Builds, runs and judges one simulation.
@@ -95,11 +150,14 @@ pub fn execute(spec: &RunSpec, capture_trace: bool) -> RunOutcome {
     };
     let violations = oracle::check(&input);
     let trace_jsonl = capture_trace.then(|| export_jsonl(&events, Some(sim.trace())));
+    let (detection, view_change) = latency_samples(&events);
 
     RunOutcome {
         id: spec.id,
         violations,
         events: events.len(),
+        detection,
+        view_change,
         trace_jsonl,
     }
 }
@@ -127,6 +185,19 @@ mod tests {
             outcome.violations
         );
         assert!(outcome.events > 0);
+        assert!(
+            !outcome.detection.is_empty(),
+            "a crashed node must yield detection-latency samples"
+        );
+        assert!(!outcome.view_change.is_empty());
+        let worst_detection = outcome.detection.iter().max().unwrap();
+        let worst_view_change = outcome.view_change.iter().max().unwrap();
+        assert!(
+            worst_detection <= worst_view_change,
+            "detection precedes the view change: {:?} vs {:?}",
+            outcome.detection,
+            outcome.view_change
+        );
     }
 
     #[test]

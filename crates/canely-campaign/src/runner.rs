@@ -13,10 +13,23 @@ use crate::oracle::Violation;
 use crate::run::{self, RunOutcome};
 use crate::shrink;
 use crate::spec::{CampaignSpec, RunSpec};
+use canely_trace::{CampaignAnalytics, PhaseProfile, RunAnalytics, Summary, TraceModel};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Per-run latency summary carried in the campaign report, so clean
+/// campaigns still report useful numbers.
+#[derive(Debug, Clone)]
+pub struct RunLatency {
+    /// The run's matrix index.
+    pub run: usize,
+    /// Crash-to-notification latency summary (`None`: no crashes).
+    pub detection: Option<Summary>,
+    /// Crash-to-view-install latency summary.
+    pub view_change: Option<Summary>,
+}
 
 /// Aggregated campaign results.
 #[derive(Debug, Clone)]
@@ -31,6 +44,8 @@ pub struct CampaignReport {
     pub violating: Vec<(usize, Vec<Violation>)>,
     /// Violation counts per invariant label.
     pub per_invariant: BTreeMap<&'static str, usize>,
+    /// Per-run measured latency summaries, by matrix index.
+    pub latency: Vec<RunLatency>,
 }
 
 impl CampaignReport {
@@ -70,7 +85,23 @@ impl CampaignReport {
             }
             let _ = write!(out, "\"{label}\":{count}");
         }
-        out.push_str("}}");
+        out.push_str("},\"latency\":[");
+        for (i, lat) in self.latency.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let json = |s: &Option<Summary>| {
+                s.as_ref().map_or("null".to_string(), Summary::to_json)
+            };
+            let _ = write!(
+                out,
+                "{{\"run\":{},\"detection\":{},\"view_change\":{}}}",
+                lat.run,
+                json(&lat.detection),
+                json(&lat.view_change)
+            );
+        }
+        out.push_str("]}");
         out
     }
 
@@ -87,6 +118,22 @@ impl CampaignReport {
         );
         for (label, count) in &self.per_invariant {
             let _ = writeln!(out, "  {label}: {count}");
+        }
+        let measured = self.latency.iter().filter(|l| l.detection.is_some());
+        for lat in measured {
+            let fmt = |s: &Option<Summary>| {
+                s.as_ref().map_or_else(
+                    || "no samples".to_string(),
+                    |s| format!("min/p50/p99/max {}/{}/{}/{}", s.min, s.p50, s.p99, s.max),
+                )
+            };
+            let _ = writeln!(
+                out,
+                "  run {:>3}: detection {}, view-change {} (bit-times)",
+                lat.run,
+                fmt(&lat.detection),
+                fmt(&lat.view_change)
+            );
         }
         for (id, violations) in self.violating.iter().take(5) {
             let _ = writeln!(out, "  run {id}:");
@@ -135,11 +182,12 @@ pub struct CampaignResult {
 /// shrunk to a minimal reproducer.
 pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> CampaignResult {
     let runs = spec.expand();
-    let outcomes = execute_all(&runs, workers);
+    let outcomes = execute_all(&runs, workers, false);
 
     let mut events: u64 = 0;
     let mut violating = Vec::new();
     let mut per_invariant: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut latency = Vec::new();
     for outcome in &outcomes {
         events += outcome.events as u64;
         if !outcome.violations.is_empty() {
@@ -148,6 +196,11 @@ pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> CampaignResult {
             }
             violating.push((outcome.id, outcome.violations.clone()));
         }
+        latency.push(RunLatency {
+            run: outcome.id,
+            detection: Summary::of(&outcome.detection),
+            view_change: Summary::of(&outcome.view_change),
+        });
     }
     let report = CampaignReport {
         name: spec.name.clone(),
@@ -155,6 +208,7 @@ pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> CampaignResult {
         events,
         violating,
         per_invariant,
+        latency,
     };
 
     let counterexample = report.violating.first().map(|&(id, _)| {
@@ -177,9 +231,33 @@ pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> CampaignResult {
     }
 }
 
+/// Expands and executes a whole campaign with full trace capture and
+/// rolls every run's phase profile into a [`CampaignAnalytics`]: phase
+/// latency histograms plus measured-vs-bound headroom per run.
+pub fn run_campaign_analytics(spec: &CampaignSpec, workers: usize) -> CampaignAnalytics {
+    let runs = spec.expand();
+    let outcomes = execute_all(&runs, workers, true);
+    let mut analytics = CampaignAnalytics::default();
+    for outcome in &outcomes {
+        let run = &runs[outcome.id];
+        let Ok(model) = TraceModel::parse(outcome.trace_jsonl.as_deref().unwrap_or(""))
+        else {
+            continue; // our own export always parses
+        };
+        let profile = PhaseProfile::of(&model);
+        analytics.runs.push(RunAnalytics::from_profile(
+            format!("run {} (seed {})", run.id, run.seed),
+            &profile,
+            run.detection_bound().as_u64(),
+            run.view_change_bound().as_u64(),
+        ));
+    }
+    analytics
+}
+
 /// Executes every run, fanning out over `workers` threads, and
 /// returns the outcomes sorted by matrix index.
-fn execute_all(runs: &[RunSpec], workers: usize) -> Vec<RunOutcome> {
+fn execute_all(runs: &[RunSpec], workers: usize, capture_trace: bool) -> Vec<RunOutcome> {
     let workers = workers.clamp(1, 64);
     let cursor = AtomicUsize::new(0);
     let outcomes: Mutex<Vec<RunOutcome>> = Mutex::new(Vec::with_capacity(runs.len()));
@@ -188,7 +266,7 @@ fn execute_all(runs: &[RunSpec], workers: usize) -> Vec<RunOutcome> {
             scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(spec) = runs.get(i) else { break };
-                let outcome = run::execute(spec, false);
+                let outcome = run::execute(spec, capture_trace);
                 outcomes.lock().expect("worker panicked").push(outcome);
             });
         }
@@ -218,6 +296,52 @@ mod tests {
         let four = run_campaign(&spec, 4);
         assert_eq!(one.report.to_json(), four.report.to_json());
         assert!(one.report.clean(), "{}", one.report.render());
+        // Clean campaigns still report measured latency: the crashing
+        // half of the matrix has detection/view-change summaries.
+        assert!(
+            one.report
+                .latency
+                .iter()
+                .any(|l| l.detection.is_some() && l.view_change.is_some()),
+            "{}",
+            one.report.render()
+        );
+        assert!(one.report.to_json().contains("\"latency\":["));
+        assert!(one.report.render().contains("detection min/p50/p99/max"));
+    }
+
+    #[test]
+    fn analytics_cover_every_run_with_bounds() {
+        let spec = tiny_spec();
+        let analytics = run_campaign_analytics(&spec, 2);
+        let runs = spec.expand();
+        assert_eq!(analytics.runs.len(), runs.len());
+        for (run, spec_run) in analytics.runs.iter().zip(&runs) {
+            assert_eq!(run.detection_bound, spec_run.detection_bound().as_u64());
+            assert!(run.view_change_bound > 0);
+        }
+        // Crashing runs have positive headroom (the campaign is clean).
+        let with_crash = analytics
+            .runs
+            .iter()
+            .filter_map(canely_trace::RunAnalytics::detection_headroom)
+            .collect::<Vec<_>>();
+        assert!(!with_crash.is_empty());
+        assert!(with_crash.iter().all(|&h| h > 0), "{with_crash:?}");
+        let view_change = analytics
+            .runs
+            .iter()
+            .filter_map(canely_trace::RunAnalytics::view_change_headroom)
+            .collect::<Vec<_>>();
+        assert!(!view_change.is_empty(), "view installs must be profiled");
+        assert!(view_change.iter().all(|&h| h > 0), "{view_change:?}");
+        // Deterministic regardless of worker count.
+        assert_eq!(
+            run_campaign_analytics(&spec, 1).to_json(),
+            analytics.to_json()
+        );
+        let md = analytics.to_markdown();
+        assert!(md.contains("Phase latency across the campaign"), "{md}");
     }
 
     #[test]

@@ -16,11 +16,7 @@ fn t(us: u64) -> BitTime {
 }
 
 fn ev(time: u64, node: u8, event: ProtocolEvent) -> TimedEvent {
-    TimedEvent {
-        time: t(time),
-        node: n(node),
-        event,
-    }
+    TimedEvent::new(t(time), n(node), event)
 }
 
 fn finals(views: &[(u8, NodeSet)]) -> Vec<NodeFinal> {

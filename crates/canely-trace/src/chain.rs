@@ -1,0 +1,293 @@
+//! Causal-chain reconstruction: for any suspicion, the full story
+//! from the suspect's last observed life-sign, through the
+//! surveillance expiry, failure-sign diffusion and reception-history
+//! agreement, to the view install — each step justified by a recorded
+//! `cause` reference or a schema-level correlation.
+
+use crate::model::{parse_node_set, BusTx, Event, Parent, TraceModel};
+
+/// One step of a causal chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainStep {
+    /// Step instant, bit-times.
+    pub t: u64,
+    /// The node the step happened at; `None` for bus transactions.
+    pub node: Option<u8>,
+    /// The record kind (`bus.tx` or a protocol event kind).
+    pub label: String,
+    /// Human-oriented rendering of the record's salient fields.
+    pub detail: String,
+}
+
+/// The reconstructed causal chain of one suspicion.
+#[derive(Debug, Clone)]
+pub struct SuspicionChain {
+    /// The suspected node.
+    pub suspect: u8,
+    /// The node that raised the suspicion.
+    pub observer: u8,
+    /// The suspicion instant.
+    pub suspected_at: u64,
+    /// The steps, in chronological order.
+    pub steps: Vec<ChainStep>,
+    /// Whether the chain reached a view install excluding the suspect.
+    pub complete: bool,
+}
+
+/// Maximum backward-walk depth: defends against malformed traces with
+/// cause cycles (the real schema is acyclic — causes point backwards).
+const MAX_BACK_STEPS: usize = 16;
+
+fn event_step(model: &TraceModel, event: &Event) -> ChainStep {
+    let mut detail = String::new();
+    for (key, value) in &model.line_of(event).display_fields() {
+        detail.push_str(&format!("{key}={value} "));
+    }
+    ChainStep {
+        t: event.t,
+        node: Some(event.node),
+        label: event.kind.clone(),
+        detail: detail.trim_end().to_string(),
+    }
+}
+
+fn bus_step(tx: &BusTx, note: &str) -> ChainStep {
+    ChainStep {
+        t: tx.start,
+        node: None,
+        label: "bus.tx".to_string(),
+        detail: format!(
+            "{} queued={} start={} deliver={} arb_losses={}{}{}",
+            tx.mid,
+            tx.queued,
+            tx.start,
+            tx.deliver,
+            tx.arb_losses,
+            if note.is_empty() { "" } else { " — " },
+            note
+        ),
+    }
+}
+
+/// Every suspicion in the trace, as `(suspect, observer, instant)`.
+pub fn suspicions(model: &TraceModel) -> Vec<(u8, u8, u64)> {
+    model
+        .events
+        .iter()
+        .filter(|e| e.kind == "fd.suspect")
+        .filter_map(|e| {
+            model
+                .line_of(e)
+                .u64("suspect")
+                .map(|s| (s as u8, e.node, e.t))
+        })
+        .collect()
+}
+
+/// Reconstructs the chain for the first suspicion of `suspect`
+/// (optionally restricted to one observing node). `None` when the
+/// trace contains no such suspicion.
+pub fn chain_for(
+    model: &TraceModel,
+    suspect: u8,
+    observer: Option<u8>,
+) -> Option<SuspicionChain> {
+    let suspicion = model.events.iter().find(|e| {
+        e.kind == "fd.suspect"
+            && model.line_of(e).u64("suspect") == Some(u64::from(suspect))
+            && observer.is_none_or(|o| e.node == o)
+    })?;
+    let observer = suspicion.node;
+    let mut chain = SuspicionChain {
+        suspect,
+        observer,
+        suspected_at: suspicion.t,
+        steps: Vec::new(),
+        complete: false,
+    };
+
+    // Backward: suspicion → expiry → arming → triggering delivery.
+    let mut backward = vec![event_step(model, suspicion)];
+    let mut cursor = Some(suspicion);
+    for _ in 0..MAX_BACK_STEPS {
+        let Some(event) = cursor else { break };
+        match model.parent(event) {
+            Some(Parent::Event(parent)) => {
+                backward.push(event_step(model, parent));
+                cursor = Some(parent);
+            }
+            Some(Parent::Bus(tx)) => {
+                let note = if tx.transmitters.contains(&suspect) {
+                    format!("last activity of n{suspect} on the bus")
+                } else {
+                    String::new()
+                };
+                backward.push(bus_step(tx, &note));
+                cursor = None;
+            }
+            None => cursor = None,
+        }
+    }
+    backward.reverse();
+    chain.steps = backward;
+
+    // Forward: diffusion, agreement, view install — correlated by the
+    // observer's own records and the diffused frame's deliveries.
+    let after = |kind: &str, from: u64, node: u8| {
+        let needs_failed = matches!(kind, "fda.invoked" | "fda.sign.tx" | "fd.notified");
+        model.events.iter().find(|e| {
+            e.kind == kind
+                && e.node == node
+                && e.t >= from
+                && (!needs_failed
+                    || model.line_of(e).u64("failed") == Some(u64::from(suspect)))
+        })
+    };
+    let mut from = suspicion.t;
+    for kind in ["fda.invoked", "fda.sign.tx"] {
+        if let Some(e) = after(kind, from, observer) {
+            chain.steps.push(event_step(model, e));
+            from = e.t;
+        }
+    }
+    let frame = model.bus.iter().find(|tx| {
+        tx.delivered
+            && tx.msg_type() == "FDA"
+            && tx.subject() == Some(suspect)
+            && tx.start >= from
+    });
+    if let Some(tx) = frame {
+        chain.steps.push(bus_step(tx, "failure-sign diffusion"));
+        let delivered_at: Vec<String> = model
+            .events
+            .iter()
+            .filter(|e| {
+                e.kind == "fda.delivered"
+                    && e.cause == Some(crate::model::CauseRef::Bus(tx.deliver))
+            })
+            .map(|e| format!("n{}", e.node))
+            .collect();
+        if !delivered_at.is_empty() {
+            chain.steps.push(ChainStep {
+                t: tx.deliver,
+                node: None,
+                label: "fda.delivered".to_string(),
+                detail: format!("failed=n{suspect} at {}", delivered_at.join(",")),
+            });
+        }
+        from = tx.deliver;
+    }
+    if let Some(e) = after("fd.notified", from, observer) {
+        chain.steps.push(event_step(model, e));
+        from = e.t;
+    }
+    for kind in ["rha.started", "rha.settled"] {
+        if let Some(e) = after(kind, from, observer) {
+            chain.steps.push(event_step(model, e));
+            from = e.t;
+        }
+    }
+    let install = model.events.iter().find(|e| {
+        (e.kind == "view.installed" || e.kind == "view.bootstrap")
+            && e.node == observer
+            && e.t >= from
+            && model
+                .line_of(e)
+                .str("view")
+                .is_some_and(|v| !parse_node_set(v).contains(&suspect))
+    });
+    if let Some(e) = install {
+        chain.steps.push(event_step(model, e));
+        chain.complete = true;
+    }
+    // Stable sort: steps were appended in causal order, so same-instant
+    // steps keep it.
+    chain.steps.sort_by_key(|step| step.t);
+    Some(chain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TraceModel;
+
+    /// A complete crash story with recorded causes: node 2's last
+    /// life-sign arms the surveillance timer at node 0, the expiry
+    /// raises the suspicion, FDA diffuses it, RHA agrees and the view
+    /// installs.
+    const DOC: &str = "\
+{\"t\":0,\"kind\":\"bus.tx\",\"mid\":\"ELS[0,n2]\",\"frame\":\"rtr\",\"transmitters\":\"{2}\",\"bus_free\":58,\"deliver\":55,\"queued\":0,\"arb_losses\":0,\"delivered\":true,\"errored\":false}\n\
+{\"t\":0,\"seq\":0,\"node\":2,\"kind\":\"fd.lifesign.tx\"}\n\
+{\"t\":55,\"seq\":1,\"node\":0,\"kind\":\"fd.lifesign.rx\",\"of\":2,\"cause\":\"bus:55\"}\n\
+{\"t\":55,\"seq\":2,\"node\":0,\"kind\":\"timer.armed\",\"timer\":\"surveillance:2\",\"deadline\":6000,\"cause\":\"bus:55\"}\n\
+{\"t\":1000,\"seq\":3,\"node\":2,\"kind\":\"node.crashed\"}\n\
+{\"t\":6000,\"seq\":4,\"node\":0,\"kind\":\"timer.expired\",\"timer\":\"surveillance:2\",\"cause\":\"event:2\"}\n\
+{\"t\":6000,\"seq\":5,\"node\":0,\"kind\":\"fd.suspect\",\"suspect\":2,\"cause\":\"event:4\"}\n\
+{\"t\":6000,\"seq\":6,\"node\":0,\"kind\":\"fda.invoked\",\"failed\":2,\"cause\":\"event:4\"}\n\
+{\"t\":6000,\"seq\":7,\"node\":0,\"kind\":\"fda.sign.tx\",\"failed\":2,\"diffusion\":false,\"cause\":\"event:4\"}\n\
+{\"t\":6100,\"kind\":\"bus.tx\",\"mid\":\"FDA[0,n2]\",\"frame\":\"data\",\"transmitters\":\"{0}\",\"bus_free\":6160,\"deliver\":6155,\"queued\":6000,\"arb_losses\":0,\"delivered\":true,\"errored\":false}\n\
+{\"t\":6155,\"seq\":8,\"node\":0,\"kind\":\"fda.delivered\",\"failed\":2,\"cause\":\"bus:6155\"}\n\
+{\"t\":6155,\"seq\":9,\"node\":1,\"kind\":\"fda.delivered\",\"failed\":2,\"cause\":\"bus:6155\"}\n\
+{\"t\":6155,\"seq\":10,\"node\":0,\"kind\":\"fd.notified\",\"failed\":2,\"cause\":\"bus:6155\"}\n\
+{\"t\":7000,\"seq\":11,\"node\":0,\"kind\":\"rha.started\",\"proposal\":\"{0,1}\",\"full_member\":true}\n\
+{\"t\":7500,\"seq\":12,\"node\":0,\"kind\":\"rha.settled\",\"vector\":\"{0,1}\",\"broadcasts\":1}\n\
+{\"t\":7600,\"seq\":13,\"node\":0,\"kind\":\"view.installed\",\"view\":\"{0,1}\"}\n";
+
+    #[test]
+    fn chain_runs_from_life_sign_to_view_install() {
+        let model = TraceModel::parse(DOC).unwrap();
+        let chain = chain_for(&model, 2, None).unwrap();
+        assert_eq!(chain.observer, 0);
+        assert_eq!(chain.suspected_at, 6_000);
+        assert!(chain.complete, "{chain:?}");
+        let labels: Vec<&str> = chain.steps.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "bus.tx",        // last life-sign of n2
+                "timer.armed",   // surveillance armed by its delivery
+                "timer.expired", // the expiry that raised the suspicion
+                "fd.suspect",
+                "fda.invoked",
+                "fda.sign.tx",
+                "bus.tx", // failure-sign diffusion frame
+                "fda.delivered",
+                "fd.notified",
+                "rha.started",
+                "rha.settled",
+                "view.installed",
+            ],
+            "{chain:#?}"
+        );
+        assert!(chain.steps[0].detail.contains("last activity of n2"));
+        assert!(chain.steps[7].detail.contains("n0,n1"));
+        let times: Vec<u64> = chain.steps.iter().map(|s| s.t).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "steps are chronological");
+    }
+
+    #[test]
+    fn suspicions_enumerate_suspect_observer_pairs() {
+        let model = TraceModel::parse(DOC).unwrap();
+        assert_eq!(suspicions(&model), vec![(2, 0, 6_000)]);
+    }
+
+    #[test]
+    fn missing_suspect_yields_no_chain() {
+        let model = TraceModel::parse(DOC).unwrap();
+        assert!(chain_for(&model, 7, None).is_none());
+        assert!(chain_for(&model, 2, Some(1)).is_none());
+    }
+
+    #[test]
+    fn truncated_trace_yields_an_incomplete_chain() {
+        // Drop everything after the suspicion: the backward part still
+        // resolves, the forward part is absent, complete=false.
+        let cut: String = DOC.lines().take(7).map(|l| format!("{l}\n")).collect();
+        let model = TraceModel::parse(&cut).unwrap();
+        let chain = chain_for(&model, 2, None).unwrap();
+        assert!(!chain.complete);
+        assert_eq!(chain.steps.last().unwrap().label, "fd.suspect");
+    }
+}

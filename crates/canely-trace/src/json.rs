@@ -1,0 +1,389 @@
+//! A minimal, dependency-free parser and renderer for the flat JSON
+//! objects of the trace schema (`docs/TRACE_SCHEMA.md`).
+//!
+//! The schema promises one *flat* object per line — no nesting, no
+//! arrays — with string, boolean and unsigned-integer values only.
+//! Parsing preserves field order and numeric spelling, so a parsed
+//! document re-renders byte-identically: the lossless round-trip
+//! guaranteed by `scripts/verify.sh`.
+
+use std::fmt::Write as _;
+
+/// A JSON scalar as it appears in a trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A number, kept as its original spelling for lossless
+    /// re-rendering.
+    Num(String),
+    /// A boolean.
+    Bool(bool),
+    /// A string (decoded; re-rendering re-applies the canonical
+    /// escaping of the exporter).
+    Str(String),
+}
+
+impl Value {
+    /// The value as an unsigned integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn render(&self, out: &mut String) {
+        match self {
+            Value::Num(raw) => out.push_str(raw),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Str(s) => {
+                out.push('"');
+                escape_into(s, out);
+                out.push('"');
+            }
+        }
+    }
+}
+
+/// Appends `s` with the canonical escaping of the trace exporter
+/// (quote, backslash and control characters only).
+pub fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// A parse failure, with a human-readable reason and the byte offset
+/// it was detected at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub reason: String,
+    /// Byte offset within the line.
+    pub at: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (at byte {})", self.reason, self.at)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One parsed trace line: an ordered list of `(field, value)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Line {
+    /// The fields, in document order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Line {
+    /// The value of a field, if present.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// An unsigned-integer field.
+    pub fn u64(&self, name: &str) -> Option<u64> {
+        self.get(name).and_then(Value::as_u64)
+    }
+
+    /// A string field.
+    pub fn str(&self, name: &str) -> Option<&str> {
+        self.get(name).and_then(Value::as_str)
+    }
+
+    /// A boolean field.
+    pub fn bool(&self, name: &str) -> Option<bool> {
+        self.get(name).and_then(Value::as_bool)
+    }
+
+    /// The variant-specific fields — everything except the envelope
+    /// (`t`, `seq`, `node`, `kind`, `cause`) — rendered as display
+    /// strings for human-oriented output.
+    pub fn display_fields(&self) -> Vec<(String, String)> {
+        self.fields
+            .iter()
+            .filter(|(k, _)| {
+                !matches!(k.as_str(), "t" | "seq" | "node" | "kind" | "cause")
+            })
+            .map(|(k, v)| {
+                let rendered = match v {
+                    Value::Num(raw) => raw.clone(),
+                    Value::Bool(b) => b.to_string(),
+                    Value::Str(s) => s.clone(),
+                };
+                (k.clone(), rendered)
+            })
+            .collect()
+    }
+
+    /// Renders the line back to its canonical JSON spelling (no
+    /// trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push('{');
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(key, &mut out);
+            out.push_str("\":");
+            value.render(&mut out);
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one flat JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on malformed input or on nesting
+    /// (objects and arrays are outside the trace schema).
+    pub fn parse(text: &str) -> Result<Line, ParseError> {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+        .object()
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn fail<T>(&self, reason: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            reason: reason.into(),
+            at: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.fail(format!("expected `{}`", byte as char))
+        }
+    }
+
+    fn object(&mut self) -> Result<Line, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return self.end(fields);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return self.end(fields);
+                }
+                _ => return self.fail("expected `,` or `}`"),
+            }
+        }
+    }
+
+    fn end(&mut self, fields: Vec<(String, Value)>) -> Result<Line, ParseError> {
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return self.fail("trailing characters after object");
+        }
+        Ok(Line { fields })
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Value::Bool(true)),
+            Some(b'f') => self.keyword("false", Value::Bool(false)),
+            Some(b'{') | Some(b'[') => {
+                self.fail("nested values are outside the flat trace schema")
+            }
+            Some(b) if b.is_ascii_digit() || *b == b'-' => {
+                let start = self.pos;
+                while self.bytes.get(self.pos).is_some_and(|b| {
+                    b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+                }) {
+                    self.pos += 1;
+                }
+                Ok(Value::Num(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .expect("ASCII digits")
+                        .to_string(),
+                ))
+            }
+            _ => self.fail("expected a value"),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.fail(format!("expected `{word}`"))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return self.fail("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32);
+                            match hex {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return self.fail("bad \\u escape"),
+                            }
+                        }
+                        _ => return self.fail("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences
+                    // are copied verbatim).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| ParseError {
+                            reason: "invalid UTF-8".into(),
+                            at: self.pos,
+                        })?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_protocol_line() {
+        let text = "{\"t\":1234,\"seq\":7,\"node\":3,\"kind\":\"fda.sign.rx\",\
+                    \"failed\":7,\"duplicate\":true,\"cause\":\"bus:1230\"}";
+        let line = Line::parse(text).unwrap();
+        assert_eq!(line.u64("t"), Some(1234));
+        assert_eq!(line.u64("seq"), Some(7));
+        assert_eq!(line.str("kind"), Some("fda.sign.rx"));
+        assert_eq!(line.bool("duplicate"), Some(true));
+        assert_eq!(line.str("cause"), Some("bus:1230"));
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical() {
+        let lines = [
+            "{\"t\":0,\"kind\":\"bus.tx\",\"mid\":\"ELS[0,n1]\",\"frame\":\"rtr\",\
+             \"transmitters\":\"{1}\",\"bus_free\":58,\"deliver\":55,\"queued\":0,\
+             \"arb_losses\":0,\"delivered\":true,\"errored\":false}",
+            "{\"t\":55,\"seq\":0,\"node\":2,\"kind\":\"fd.lifesign.rx\",\"of\":1,\
+             \"cause\":\"bus:55\"}",
+            "{}",
+        ];
+        for text in lines {
+            assert_eq!(Line::parse(text).unwrap().render(), text);
+        }
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let text = "{\"a\":\"x\\\"y\\\\z\\u000a\"}";
+        let line = Line::parse(text).unwrap();
+        assert_eq!(line.str("a"), Some("x\"y\\z\n"));
+        assert_eq!(line.render(), text);
+    }
+
+    #[test]
+    fn nesting_is_rejected() {
+        assert!(Line::parse("{\"a\":{\"b\":1}}").is_err());
+        assert!(Line::parse("{\"a\":[1]}").is_err());
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        assert!(Line::parse("").is_err());
+        assert!(Line::parse("{\"a\":1").is_err());
+        assert!(Line::parse("{\"a\" 1}").is_err());
+        assert!(Line::parse("{\"a\":1}x").is_err());
+        assert!(Line::parse("{\"a\":\"unterminated}").is_err());
+    }
+}

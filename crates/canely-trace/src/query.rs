@@ -1,0 +1,298 @@
+//! Deterministic renderers behind the `canely tq` subcommand: same
+//! trace in, byte-identical report out.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::chain::{chain_for, suspicions};
+use crate::model::TraceModel;
+use crate::phases::PhaseProfile;
+use crate::stats::Summary;
+
+/// Line filters for [`filter`].
+#[derive(Debug, Clone, Default)]
+pub struct Filter {
+    /// Only records of (or transmitted by) this node.
+    pub node: Option<u8>,
+    /// Only records whose kind starts with this prefix (`bus` matches
+    /// `bus.tx`; `fda` matches the whole FDA family).
+    pub kind: Option<String>,
+    /// Only records mentioning this view/vector rendering, e.g.
+    /// `{0,1}`.
+    pub view: Option<String>,
+    /// Only records at or after this instant.
+    pub since: Option<u64>,
+    /// Only records strictly before this instant.
+    pub until: Option<u64>,
+}
+
+/// Re-renders the records matching `filter`, one canonical JSON line
+/// each, in document order.
+pub fn filter(model: &TraceModel, filter: &Filter) -> String {
+    let mut out = String::new();
+    for line in &model.lines {
+        let t = line.u64("t").unwrap_or(0);
+        if filter.since.is_some_and(|s| t < s) || filter.until.is_some_and(|u| t >= u) {
+            continue;
+        }
+        if let Some(kind) = &filter.kind {
+            if !line.str("kind").unwrap_or("").starts_with(kind.as_str()) {
+                continue;
+            }
+        }
+        if let Some(node) = filter.node {
+            let of_node = line.u64("node") == Some(u64::from(node))
+                || line
+                    .str("transmitters")
+                    .is_some_and(|t| crate::model::parse_node_set(t).contains(&node));
+            if !of_node {
+                continue;
+            }
+        }
+        if let Some(view) = &filter.view {
+            let mentions = line
+                .fields
+                .iter()
+                .any(|(k, v)| {
+                    matches!(k.as_str(), "view" | "vector" | "proposal")
+                        && v.as_str() == Some(view.as_str())
+                });
+            if !mentions {
+                continue;
+            }
+        }
+        out.push_str(&line.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders kind counts and bus occupancy statistics.
+pub fn summary(model: &TraceModel) -> String {
+    let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
+    for event in &model.events {
+        *counts.entry(event.kind.as_str()).or_default() += 1;
+    }
+    let mut out = String::from("trace summary\n");
+    let _ = writeln!(out, "  protocol events: {}", model.events.len());
+    for (kind, count) in &counts {
+        let _ = writeln!(out, "    {kind:<16} {count}");
+    }
+    let delivered = model.bus.iter().filter(|tx| tx.delivered).count();
+    let errored = model.bus.iter().filter(|tx| tx.errored).count();
+    let _ = writeln!(
+        out,
+        "  bus: {} transactions, {delivered} delivered, {errored} errored",
+        model.bus.len()
+    );
+    let busy: u64 = model
+        .bus
+        .iter()
+        .map(|tx| tx.bus_free.saturating_sub(tx.start))
+        .sum();
+    let horizon = model
+        .bus
+        .iter()
+        .map(|tx| tx.bus_free)
+        .chain(model.events.iter().map(|e| e.t))
+        .max()
+        .unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "  bus busy: {busy} of {horizon} bit-times{}",
+        (busy * 100)
+            .checked_div(horizon)
+            .map(|pct| format!(" ({pct}%)"))
+            .unwrap_or_default()
+    );
+    let queue_delay: u64 = model.bus.iter().map(|tx| tx.queue_delay()).sum();
+    let arb_losses: u64 = model.bus.iter().map(|tx| tx.arb_losses).sum();
+    let _ = writeln!(
+        out,
+        "  queueing: {queue_delay} bit-times total delay, {arb_losses} arbitration losses"
+    );
+    out
+}
+
+/// Renders the causal chain of the first suspicion of `suspect`.
+///
+/// # Errors
+///
+/// Returns a message listing the available suspicions when none
+/// matches.
+pub fn render_chain(
+    model: &TraceModel,
+    suspect: u8,
+    observer: Option<u8>,
+) -> Result<String, String> {
+    let Some(chain) = chain_for(model, suspect, observer) else {
+        let all = suspicions(model);
+        return Err(if all.is_empty() {
+            "no suspicions in this trace".to_string()
+        } else {
+            let list: Vec<String> = all
+                .iter()
+                .map(|(s, o, t)| format!("n{s} by n{o} at t={t}"))
+                .collect();
+            format!(
+                "no matching suspicion; the trace contains: {}",
+                list.join(", ")
+            )
+        });
+    };
+    let mut out = format!(
+        "causal chain: suspicion of n{} raised by n{} at t={}\n",
+        chain.suspect, chain.observer, chain.suspected_at
+    );
+    for step in &chain.steps {
+        let place = step
+            .node
+            .map_or_else(|| "bus".to_string(), |n| format!("n{n}"));
+        let _ = writeln!(
+            out,
+            "  t={:<10} {place:<4} {:<16} {}",
+            step.t, step.label, step.detail
+        );
+    }
+    if chain.complete {
+        let _ = writeln!(
+            out,
+            "chain complete: view installed without n{}",
+            chain.suspect
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "chain incomplete: no view install without n{} found",
+            chain.suspect
+        );
+    }
+    Ok(out)
+}
+
+/// Renders the phase-latency table, with headroom against the analytic
+/// bounds when given (in bit-times; 0 = unknown).
+pub fn render_phases(
+    model: &TraceModel,
+    detection_bound: u64,
+    view_change_bound: u64,
+) -> String {
+    let profile = PhaseProfile::of(model);
+    let mut out = String::from("phase latencies (bit-times)\n");
+    let _ = writeln!(
+        out,
+        "  {:<14} {:>6} {:>10} {:>10} {:>10} {:>10}",
+        "phase", "count", "min", "p50", "p99", "max"
+    );
+    for (name, s) in profile.summaries() {
+        let _ = writeln!(
+            out,
+            "  {name:<14} {:>6} {:>10} {:>10} {:>10} {:>10}",
+            s.count, s.min, s.p50, s.p99, s.max
+        );
+    }
+    let mut total = |label: &str, samples: &[u64], bound: u64| {
+        let Some(s) = Summary::of(samples) else {
+            let _ = writeln!(out, "{label}: no samples");
+            return;
+        };
+        let _ = write!(
+            out,
+            "{label}: count={} min={} p50={} p99={} max={}",
+            s.count, s.min, s.p50, s.p99, s.max
+        );
+        if bound > 0 {
+            let _ = write!(
+                out,
+                " bound={bound} headroom={}",
+                bound as i64 - s.max as i64
+            );
+        }
+        out.push('\n');
+    };
+    total("detection", &profile.detection_samples(), detection_bound);
+    total(
+        "view-change",
+        &profile.view_change_samples(),
+        view_change_bound,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "\
+{\"t\":0,\"kind\":\"bus.tx\",\"mid\":\"ELS[0,n2]\",\"frame\":\"rtr\",\"transmitters\":\"{2}\",\"bus_free\":58,\"deliver\":55,\"queued\":0,\"arb_losses\":0,\"delivered\":true,\"errored\":false}\n\
+{\"t\":55,\"seq\":0,\"node\":0,\"kind\":\"fd.lifesign.rx\",\"of\":2,\"cause\":\"bus:55\"}\n\
+{\"t\":60,\"seq\":1,\"node\":1,\"kind\":\"rha.started\",\"proposal\":\"{0,1}\",\"full_member\":true}\n";
+
+    #[test]
+    fn filters_compose_and_preserve_bytes() {
+        let model = TraceModel::parse(DOC).unwrap();
+        let all = filter(&model, &Filter::default());
+        assert_eq!(all, DOC, "no filter = lossless re-render");
+        let only_node2 = filter(
+            &model,
+            &Filter {
+                node: Some(2),
+                ..Filter::default()
+            },
+        );
+        assert_eq!(only_node2.lines().count(), 1, "transmitter match:\n{only_node2}");
+        let only_rha = filter(
+            &model,
+            &Filter {
+                kind: Some("rha".to_string()),
+                ..Filter::default()
+            },
+        );
+        assert!(only_rha.contains("rha.started"));
+        assert_eq!(only_rha.lines().count(), 1);
+        let view = filter(
+            &model,
+            &Filter {
+                view: Some("{0,1}".to_string()),
+                ..Filter::default()
+            },
+        );
+        assert_eq!(view.lines().count(), 1);
+        let window = filter(
+            &model,
+            &Filter {
+                since: Some(56),
+                until: Some(61),
+                ..Filter::default()
+            },
+        );
+        assert_eq!(window.lines().count(), 1);
+    }
+
+    #[test]
+    fn summary_counts_kinds_and_bus_occupancy() {
+        let model = TraceModel::parse(DOC).unwrap();
+        let text = summary(&model);
+        assert!(text.contains("protocol events: 2"));
+        assert!(text.contains("fd.lifesign.rx   1"));
+        assert!(text.contains("bus: 1 transactions, 1 delivered, 0 errored"));
+        assert!(text.contains("bus busy: 58 of 60 bit-times (96%)"));
+    }
+
+    #[test]
+    fn chain_errors_list_available_suspicions() {
+        let model = TraceModel::parse(DOC).unwrap();
+        let err = render_chain(&model, 5, None).unwrap_err();
+        assert_eq!(err, "no suspicions in this trace");
+    }
+
+    #[test]
+    fn renders_are_deterministic() {
+        let model = TraceModel::parse(DOC).unwrap();
+        assert_eq!(summary(&model), summary(&model));
+        assert_eq!(
+            render_phases(&model, 0, 0),
+            render_phases(&model, 0, 0)
+        );
+    }
+}

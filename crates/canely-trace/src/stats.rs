@@ -1,0 +1,176 @@
+//! Small integer statistics shared by the phase profiler, the query
+//! engine and the campaign analytics: nearest-rank percentiles and
+//! power-of-two latency histograms. Everything stays in integer
+//! bit-times so that reports are byte-deterministic.
+
+/// A five-number summary of a latency sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum.
+    pub min: u64,
+    /// Median (nearest-rank).
+    pub p50: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl Summary {
+    /// Summarises `samples`; `None` when empty.
+    pub fn of(samples: &[u64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        Some(Summary {
+            count: sorted.len(),
+            min: sorted[0],
+            p50: nearest_rank(&sorted, 50),
+            p99: nearest_rank(&sorted, 99),
+            max: *sorted.last().expect("non-empty"),
+        })
+    }
+
+    /// Renders the summary as a JSON object fragment.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"min\":{},\"p50\":{},\"p99\":{},\"max\":{}}}",
+            self.count, self.min, self.p50, self.p99, self.max
+        )
+    }
+}
+
+/// Nearest-rank percentile of an already sorted, non-empty slice.
+pub fn nearest_rank(sorted: &[u64], pct: u32) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (sorted.len() as u64 * u64::from(pct)).div_ceil(100);
+    sorted[(rank.max(1) as usize - 1).min(sorted.len() - 1)]
+}
+
+/// A power-of-two latency histogram: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))`, with bucket 0 covering `[0, 2)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Bucket counts, lowest bucket first; trailing zeros trimmed.
+    pub buckets: Vec<u64>,
+    /// Total number of samples.
+    pub count: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram over `samples`.
+    pub fn of(samples: &[u64]) -> Histogram {
+        let mut hist = Histogram::default();
+        for &s in samples {
+            hist.add(s);
+        }
+        hist
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, sample: u64) {
+        let bucket = (64 - sample.max(1).leading_zeros() - 1) as usize;
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+        self.count += 1;
+    }
+
+    /// The inclusive-exclusive bounds of bucket `i`.
+    pub fn bounds(i: usize) -> (u64, u64) {
+        if i == 0 {
+            (0, 2)
+        } else {
+            (1 << i, 1 << (i + 1))
+        }
+    }
+
+    /// Renders the histogram as a JSON array of
+    /// `{"lo":..,"hi":..,"count":..}` objects (non-empty buckets only).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        let mut first = true;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let (lo, hi) = Histogram::bounds(i);
+            out.push_str(&format!("{{\"lo\":{lo},\"hi\":{hi},\"count\":{count}}}"));
+        }
+        out.push(']');
+        out
+    }
+
+    /// Renders an ASCII bar chart, one row per non-empty bucket.
+    pub fn to_ascii(&self) -> String {
+        let peak = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &count) in self.buckets.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let (lo, hi) = Histogram::bounds(i);
+            let width = (count * 40).div_ceil(peak) as usize;
+            out.push_str(&format!(
+                "  [{lo:>9}, {hi:>9})  {count:>6}  {}\n",
+                "#".repeat(width)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_samples() {
+        let s = Summary::of(&[5, 1, 9, 3, 7]).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.p50, 5);
+        assert_eq!(s.p99, 9);
+        assert_eq!(s.max, 9);
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(nearest_rank(&sorted, 50), 50);
+        assert_eq!(nearest_rank(&sorted, 99), 99);
+        assert_eq!(nearest_rank(&sorted, 100), 100);
+        assert_eq!(nearest_rank(&[42], 50), 42);
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        let hist = Histogram::of(&[0, 1, 2, 3, 4, 1000]);
+        assert_eq!(hist.count, 6);
+        assert_eq!(hist.buckets[0], 2, "0 and 1 share the first bucket");
+        assert_eq!(hist.buckets[1], 2, "2 and 3");
+        assert_eq!(hist.buckets[2], 1, "4");
+        assert_eq!(hist.buckets[9], 1, "1000 lands in [512, 1024)");
+        assert_eq!(Histogram::bounds(0), (0, 2));
+        assert_eq!(Histogram::bounds(9), (512, 1024));
+    }
+
+    #[test]
+    fn histogram_json_skips_empty_buckets() {
+        let hist = Histogram::of(&[1, 1000]);
+        assert_eq!(
+            hist.to_json(),
+            "[{\"lo\":0,\"hi\":2,\"count\":1},{\"lo\":512,\"hi\":1024,\"count\":1}]"
+        );
+    }
+}

@@ -394,17 +394,25 @@ pub fn analyze(args: &mut Args) -> CmdResult {
 pub fn trace(args: &mut Args) -> CmdResult {
     let csv = args.flag("csv");
     let jsonl = args.flag("jsonl");
-    if csv && jsonl {
-        return Err("error: --csv and --jsonl are mutually exclusive".into());
+    let chrome = args.flag("chrome");
+    if usize::from(csv) + usize::from(jsonl) + usize::from(chrome) > 1 {
+        return Err("error: --csv, --jsonl and --chrome are mutually exclusive".into());
     }
     let scenario = MembershipScenario::from_args(args).map_err(fail)?;
-    if jsonl {
+    if jsonl || chrome {
         // Merged protocol + bus trace, one JSON object per line (see
         // docs/TRACE_SCHEMA.md).
         let log = ObsLog::new();
         let mut sim = scenario.build(Some(&log)).map_err(fail)?;
         sim.run_until(scenario.until);
-        return Ok(log.export_jsonl(Some(sim.trace())));
+        let doc = log.export_jsonl(Some(sim.trace()));
+        if chrome {
+            // Chrome/Perfetto trace-event JSON: per-node instant
+            // tracks, bus frame spans and derived phase spans.
+            let model = canely_trace::TraceModel::parse(&doc).map_err(|e| format!("error: {e}"))?;
+            return Ok(canely_trace::chrome_trace(&model));
+        }
+        return Ok(doc);
     }
     let mut sim = scenario.build(None).map_err(fail)?;
     sim.run_until(scenario.until);
@@ -452,6 +460,92 @@ pub fn metrics(args: &mut Args) -> CmdResult {
     );
     render::metrics_report(&mut out, &snapshot);
     Ok(out)
+}
+
+/// Sources the [`canely_trace::TraceModel`] behind a `tq` query: a
+/// pre-recorded `--trace file.jsonl`, or `--scenario file.canely` run
+/// deterministically on the spot.
+fn tq_model(args: &mut Args) -> Result<canely_trace::TraceModel, String> {
+    let jsonl = if let Some(path) = args.str_opt("trace") {
+        std::fs::read_to_string(&path).map_err(|e| format!("error: cannot read `{path}`: {e}"))?
+    } else if let Some(path) = args.str_opt("scenario") {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("error: cannot read `{path}`: {e}"))?;
+        let scenario = crate::scenario::Scenario::parse(&text).map_err(|e| e.to_string())?;
+        let (sim, _until, log) = scenario.run_with_obs().map_err(fail)?;
+        log.export_jsonl(Some(sim.trace()))
+    } else {
+        return Err("error: tq requires --scenario <file.canely> or --trace <file.jsonl>".into());
+    };
+    canely_trace::TraceModel::parse(&jsonl).map_err(|e| format!("error: {e}"))
+}
+
+/// Parses an optional `--name N` / `--name nN` node-id option.
+fn node_opt(args: &mut Args, name: &str) -> Result<Option<u8>, String> {
+    match args.str_opt(name) {
+        None => Ok(None),
+        Some(s) => s
+            .trim_start_matches('n')
+            .parse::<u8>()
+            .map(Some)
+            .map_err(|_| format!("error: --{name} expects a node id, got `{s}`")),
+    }
+}
+
+/// `canelyctl tq <chain|phases|filter|summary|reexport>` — query a
+/// causal trace: explain a suspicion's full causal chain, profile
+/// phase-level latency against the analytic bounds, filter records, or
+/// round-trip the document.
+pub fn tq(args: &mut Args) -> CmdResult {
+    let sub = args
+        .subcommand()
+        .ok_or("error: tq requires a subcommand: chain | phases | filter | summary | reexport")?
+        .to_string();
+    let model = tq_model(args)?;
+    match sub.as_str() {
+        "chain" => {
+            let suspect =
+                node_opt(args, "suspect")?.ok_or("error: --suspect <node> is required")?;
+            let observer = node_opt(args, "observer")?;
+            canely_trace::query::render_chain(&model, suspect, observer)
+                .map_err(|e| format!("error: {e}"))
+        }
+        "phases" => {
+            // Default bounds come from the paper's operating point;
+            // override them to match a non-default scenario.
+            let bounds = ProtocolBounds::paper_defaults();
+            let detection = args
+                .duration_opt("detection-bound", bounds.detection_latency())
+                .map_err(fail)?;
+            let view_change = args
+                .duration_opt(
+                    "view-change-bound",
+                    bounds.detection_latency() + bounds.membership_change_latency(),
+                )
+                .map_err(fail)?;
+            Ok(canely_trace::query::render_phases(
+                &model,
+                detection.as_u64(),
+                view_change.as_u64(),
+            ))
+        }
+        "filter" => {
+            let window = |t: BitTime| (!t.is_zero()).then(|| t.as_u64());
+            let filter = canely_trace::query::Filter {
+                node: node_opt(args, "node")?,
+                kind: args.str_opt("kind"),
+                view: args.str_opt("view"),
+                since: window(args.duration_opt("since", BitTime::ZERO).map_err(fail)?),
+                until: window(args.duration_opt("until", BitTime::ZERO).map_err(fail)?),
+            };
+            Ok(canely_trace::query::filter(&model, &filter))
+        }
+        "summary" => Ok(canely_trace::query::summary(&model)),
+        "reexport" => Ok(model.to_jsonl()),
+        other => Err(format!(
+            "error: unknown tq subcommand `{other}` (chain | phases | filter | summary | reexport)"
+        )),
+    }
 }
 
 /// `canelyctl campaign <run|report|replay>` — deterministic parallel
@@ -528,6 +622,19 @@ fn campaign_run(args: &mut Args) -> CmdResult {
 
 fn campaign_report(args: &mut Args) -> CmdResult {
     let spec = campaign_spec(args)?;
+    if args.flag("analytics") {
+        // Execute the matrix with full trace capture and report
+        // phase-latency histograms plus measured-vs-bound headroom.
+        let workers = args.usize_opt("workers", 4).map_err(fail)?;
+        let analytics = canely_campaign::run_campaign_analytics(&spec, workers);
+        return Ok(if args.flag("json") {
+            let mut out = analytics.to_json();
+            out.push('\n');
+            out
+        } else {
+            analytics.to_markdown()
+        });
+    }
     let runs = spec.expand();
     let mut out = String::new();
     let _ = writeln!(
@@ -866,5 +973,155 @@ mod tests {
     fn campaign_requires_a_subcommand() {
         let err = run(&argv(&["campaign"])).unwrap_err();
         assert!(err.contains("run | report | replay"), "{err}");
+    }
+
+    /// Repo-root scenario file, resolved independently of the test cwd.
+    fn scenario_path(name: &str) -> String {
+        format!("{}/../../scenarios/{name}", env!("CARGO_MANIFEST_DIR"))
+    }
+
+    #[test]
+    fn tq_chain_explains_the_partition_heal_suspicion() {
+        let out = run(&argv(&[
+            "tq",
+            "chain",
+            "--scenario",
+            &scenario_path("partition_heal.canely"),
+            "--suspect",
+            "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("causal chain: suspicion of n3"), "{out}");
+        // Life-sign silence → surveillance expiry → suspicion →
+        // failure-sign diffusion → agreement → view install.
+        for label in [
+            "last activity of n3",
+            "timer.expired",
+            "fd.suspect",
+            "fda.sign.tx",
+            "failure-sign diffusion",
+            "fda.delivered",
+            "fd.notified",
+            "view.installed",
+        ] {
+            assert!(out.contains(label), "missing {label} in:\n{out}");
+        }
+        assert!(
+            out.contains("chain complete: view installed without n3"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn tq_phases_reports_headroom_against_bounds() {
+        let out = run(&argv(&[
+            "tq",
+            "phases",
+            "--scenario",
+            &scenario_path("partition_heal.canely"),
+        ]))
+        .unwrap();
+        assert!(out.contains("phase latencies (bit-times)"), "{out}");
+        assert!(out.contains("surveillance"), "{out}");
+        assert!(out.contains("diffusion"), "{out}");
+        assert!(out.contains("cycle-wait"), "{out}");
+        assert!(out.contains("detection: count="), "{out}");
+        assert!(out.contains("view-change: count="), "{out}");
+        assert!(out.contains("bound="), "{out}");
+        assert!(out.contains("headroom="), "{out}");
+    }
+
+    #[test]
+    fn tq_outputs_are_byte_deterministic_and_reexport_is_lossless() {
+        let scenario = scenario_path("partition_heal.canely");
+        let summary = |_: ()| {
+            run(&argv(&["tq", "summary", "--scenario", &scenario])).unwrap()
+        };
+        assert_eq!(summary(()), summary(()));
+
+        // A recorded trace parses and re-renders byte-identically.
+        let jsonl = run(&argv(&[
+            "trace", "--nodes", "3", "--crash", "2@250ms", "--until", "400ms", "--jsonl",
+        ]))
+        .unwrap();
+        let dir = std::env::temp_dir().join("canelyctl-tq-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("roundtrip.trace.jsonl");
+        std::fs::write(&file, &jsonl).unwrap();
+        let reexported = run(&argv(&[
+            "tq", "reexport", "--trace", &file.to_string_lossy(),
+        ]))
+        .unwrap();
+        assert_eq!(jsonl, reexported, "tq reexport must be byte-lossless");
+    }
+
+    #[test]
+    fn tq_filter_narrows_by_kind_and_node() {
+        let scenario = scenario_path("partition_heal.canely");
+        let out = run(&argv(&[
+            "tq", "filter", "--scenario", &scenario, "--kind", "fd.suspect",
+        ]))
+        .unwrap();
+        assert!(!out.is_empty());
+        assert!(
+            out.lines().all(|l| l.contains("\"kind\":\"fd.suspect\"")),
+            "{out}"
+        );
+        let windowed = run(&argv(&[
+            "tq", "filter", "--scenario", &scenario, "--node", "3", "--until", "50ms",
+        ]))
+        .unwrap();
+        assert!(!windowed.is_empty());
+    }
+
+    #[test]
+    fn tq_requires_a_source_and_a_subcommand() {
+        let err = run(&argv(&["tq"])).unwrap_err();
+        assert!(err.contains("chain | phases"), "{err}");
+        let err = run(&argv(&["tq", "summary"])).unwrap_err();
+        assert!(err.contains("--scenario"), "{err}");
+    }
+
+    #[test]
+    fn trace_chrome_exports_trace_event_json() {
+        let out = run(&argv(&[
+            "trace", "--nodes", "3", "--crash", "2@250ms", "--until", "400ms", "--chrome",
+        ]))
+        .unwrap();
+        assert!(out.starts_with("{\"traceEvents\":["), "{out}");
+        assert!(out.contains("\"ph\":\"M\""), "process metadata: {out}");
+        assert!(out.contains("\"ph\":\"X\""), "frame/phase spans expected");
+        assert!(out.contains("\"ph\":\"i\""), "protocol instants expected");
+        assert!(out.trim_end().ends_with("\"displayTimeUnit\":\"ms\"}"), "{out}");
+        let err = run(&argv(&["trace", "--chrome", "--jsonl"])).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn campaign_report_analytics_profiles_the_matrix() {
+        let dir = std::env::temp_dir().join("canelyctl-campaign-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("analytics.campaign");
+        std::fs::write(
+            &spec,
+            "name analytics\nnodes 3\nseeds 0..2\ncrash-budget 1\nuntil 300ms\nsettle 150ms\n",
+        )
+        .unwrap();
+        let path = spec.to_string_lossy().to_string();
+        let md = run(&argv(&[
+            "campaign", "report", "--spec", &path, "--analytics",
+        ]))
+        .unwrap();
+        assert!(md.contains("Phase latency across the campaign"), "{md}");
+        assert!(md.contains("headroom"), "{md}");
+        let one = run(&argv(&[
+            "campaign", "report", "--spec", &path, "--analytics", "--json", "--workers", "1",
+        ]))
+        .unwrap();
+        let three = run(&argv(&[
+            "campaign", "report", "--spec", &path, "--analytics", "--json", "--workers", "3",
+        ]))
+        .unwrap();
+        assert_eq!(one, three, "analytics JSON is worker-count independent");
     }
 }

@@ -42,6 +42,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "baseline" => commands::baseline(&mut args),
         "analyze" => commands::analyze(&mut args),
         "trace" => commands::trace(&mut args),
+        "tq" => commands::tq(&mut args),
         "metrics" => commands::metrics(&mut args),
         "campaign" => commands::campaign(&mut args),
         "run" => {
@@ -103,6 +104,29 @@ COMMANDS:
       --csv               machine-readable CSV output (bus only)
       --jsonl             merged protocol + bus trace, one JSON object
                           per line (schema: docs/TRACE_SCHEMA.md)
+      --chrome            Chrome/Perfetto trace-event JSON: per-node
+                          instant tracks, bus frame spans and derived
+                          phase spans (open in ui.perfetto.dev)
+
+  tq <chain|phases|filter|summary|reexport>   query a causal trace
+      --scenario FILE     run a .canely scenario and query its trace, or
+      --trace FILE        query a pre-recorded JSONL trace document
+    tq chain --suspect N [--observer N]   full causal chain behind the
+                          first suspicion of node N: last life-sign,
+                          timer expiry, failure-sign diffusion, RHA
+                          rounds, view install
+    tq phases             phase-level latency table (surveillance,
+                          queuing, arbitration, diffusion, cycle-wait,
+                          agreement, install) plus detection and
+                          view-change totals with headroom vs the
+                          analytic bounds
+      --detection-bound DUR    override the paper-default bound
+      --view-change-bound DUR  override the paper-default bound
+    tq filter [--node N] [--kind PREFIX] [--view SET]
+              [--since DUR] [--until DUR]   re-render matching records
+    tq summary            event-kind counts and bus occupancy
+    tq reexport           parse + re-render the full document (the
+                          round-trip is byte-lossless)
 
   metrics        run a scenario with structured tracing on and report
                  derived metrics: per-node event counters plus
@@ -128,6 +152,10 @@ COMMANDS:
                           (.canely + offending .trace.jsonl) to DIR
     campaign report --spec FILE  print the expanded run matrix and
                           per-run latency bounds without executing
+      --analytics         execute with trace capture and report
+                          campaign-wide phase-latency histograms and
+                          measured-vs-bound headroom per run (Markdown;
+                          --json for the deterministic JSON form)
     campaign replay --scenario FILE  re-execute a (counterexample)
                           scenario under the invariant oracle and
                           report the verdict

@@ -1,0 +1,201 @@
+//! End-to-end properties of the causal trace pipeline, driven through
+//! the CLI and the checked-in scenario files:
+//!
+//! * every protocol event that is not a boot action or a harness
+//!   marker carries a `cause` reference, and every reference resolves
+//!   to a real parent record (bus delivery or earlier event);
+//! * the Chrome trace-event export is byte-deterministic and matches a
+//!   checked-in golden on a fixed configuration;
+//! * `tq` renders are byte-deterministic across invocations.
+
+use canely_cli::run;
+use canely_cli::scenario::Scenario;
+use canely_trace::{CauseRef, TraceModel};
+use proptest::prelude::*;
+
+fn argv(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| s.to_string()).collect()
+}
+
+fn scenario_path(name: &str) -> String {
+    format!("{}/../../scenarios/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Runs a checked-in scenario file and returns its JSONL trace.
+fn scenario_trace(name: &str) -> String {
+    let text = std::fs::read_to_string(scenario_path(name)).unwrap();
+    let scenario = Scenario::parse(&text).unwrap();
+    let (sim, _until, log) = scenario.run_with_obs().unwrap();
+    log.export_jsonl(Some(sim.trace()))
+}
+
+/// The causal-completeness property: in `doc`, every non-boot,
+/// non-marker event has a cause, and every cause resolves. A node
+/// "boots" at t=0, at its join time (its first event in the trace) or
+/// at a power-cycle (`node.restarted` marker at the same instant).
+fn assert_causally_complete(doc: &str) {
+    let model = TraceModel::parse(doc).unwrap();
+    let mut first_seen: std::collections::HashMap<u8, u64> = std::collections::HashMap::new();
+    let mut restarts: std::collections::HashSet<(u8, u64)> = std::collections::HashSet::new();
+    for event in &model.events {
+        first_seen.entry(event.node).or_insert(event.t);
+        if event.kind == "node.restarted" {
+            restarts.insert((event.node, event.t));
+        }
+    }
+    let mut bus_refs = 0usize;
+    let mut event_refs = 0usize;
+    for event in &model.events {
+        match event.cause {
+            Some(cause) => {
+                let parent = model.parent(event);
+                assert!(
+                    parent.is_some(),
+                    "unresolvable cause {:?} on {} at t={}",
+                    cause,
+                    event.kind,
+                    event.t
+                );
+                match cause {
+                    CauseRef::Bus(_) => bus_refs += 1,
+                    CauseRef::Event(_) => event_refs += 1,
+                }
+            }
+            None => {
+                let boot = event.t == 0
+                    || first_seen.get(&event.node) == Some(&event.t)
+                    || restarts.contains(&(event.node, event.t));
+                // Crash/restart markers and scheduled leaves are
+                // external stimuli: nothing on the bus causes them.
+                let external = matches!(
+                    event.kind.as_str(),
+                    "node.crashed" | "node.restarted" | "msh.leave.tx"
+                );
+                assert!(
+                    boot || external,
+                    "non-boot event without a cause: {} of n{} at t={}",
+                    event.kind,
+                    event.node,
+                    event.t
+                );
+            }
+        }
+    }
+    assert!(bus_refs > 0, "no bus-delivery causes in the trace");
+    assert!(event_refs > 0, "no event causes in the trace");
+}
+
+#[test]
+fn checked_in_scenarios_are_causally_complete() {
+    for name in [
+        "partition_heal.canely",
+        "lifecycle.canely",
+        "noisy_storm.canely",
+    ] {
+        assert_causally_complete(&scenario_trace(name));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any crash scenario the CLI can produce stays causally complete:
+    /// the suspicion, diffusion and view-change records all chain back
+    /// to a resolvable parent.
+    #[test]
+    fn random_crash_scenarios_are_causally_complete(
+        nodes in 2u8..6,
+        victim_offset in 0u8..6,
+        crash_ms in 90u64..300,
+        seed in 0u64..1000,
+        noise in 0u32..3,
+    ) {
+        let victim = victim_offset % nodes;
+        let doc = run(&argv(&[
+            "trace",
+            "--nodes", &nodes.to_string(),
+            "--crash", &format!("{victim}@{crash_ms}ms"),
+            "--error-rate", &format!("{}", f64::from(noise) * 0.005),
+            "--seed", &seed.to_string(),
+            "--until", "450ms",
+            "--jsonl",
+        ])).unwrap();
+        assert_causally_complete(&doc);
+    }
+}
+
+#[test]
+fn chrome_export_matches_the_checked_in_golden() {
+    let out = run(&argv(&["trace", "--nodes", "2", "--until", "80ms", "--chrome"])).unwrap();
+    let golden = include_str!("golden/chrome_2node_80ms.json");
+    assert_eq!(
+        out, golden,
+        "regenerate with `canelyctl trace --nodes 2 --until 80ms --chrome \
+         > crates/cli/tests/golden/chrome_2node_80ms.json` if the schema \
+         changed intentionally"
+    );
+}
+
+#[test]
+fn chrome_export_of_a_crash_episode_is_structurally_valid() {
+    let argv_chrome = argv(&[
+        "trace", "--nodes", "3", "--crash", "2@250ms", "--until", "300ms", "--chrome",
+    ]);
+    let out = run(&argv_chrome).unwrap();
+    assert_eq!(out, run(&argv_chrome).unwrap(), "export is deterministic");
+
+    let mut lines = out.lines();
+    assert_eq!(lines.next(), Some("{\"traceEvents\":["));
+    let mut saw = (false, false, false); // (metadata, span, instant)
+    let mut phase_span = false;
+    for line in lines {
+        if line.starts_with("],") {
+            assert_eq!(line, "],\"displayTimeUnit\":\"ms\"}");
+            break;
+        }
+        let body = line.strip_suffix(',').unwrap_or(line);
+        assert!(
+            body.starts_with('{') && body.ends_with('}'),
+            "not an object: {line}"
+        );
+        assert_eq!(
+            body.matches('{').count(),
+            body.matches('}').count(),
+            "unbalanced braces: {line}"
+        );
+        assert!(body.contains("\"pid\":"), "no pid: {line}");
+        if body.contains("\"ph\":\"M\"") {
+            saw.0 = true;
+        } else if body.contains("\"ph\":\"X\"") {
+            saw.1 = true;
+            assert!(body.contains("\"dur\":"), "span without dur: {line}");
+            phase_span |= body.contains("\"cat\":\"phase\"");
+        } else if body.contains("\"ph\":\"i\"") {
+            saw.2 = true;
+            assert!(body.contains("\"ts\":"), "instant without ts: {line}");
+        } else {
+            panic!("unexpected event phase: {line}");
+        }
+    }
+    assert!(saw.0 && saw.1 && saw.2, "missing event classes: {saw:?}");
+    assert!(phase_span, "crash episode must export phase spans");
+}
+
+#[test]
+fn tq_renders_are_byte_deterministic() {
+    let scenario = scenario_path("partition_heal.canely");
+    for sub in ["summary", "phases", "reexport"] {
+        let a = run(&argv(&["tq", sub, "--scenario", &scenario])).unwrap();
+        let b = run(&argv(&["tq", sub, "--scenario", &scenario])).unwrap();
+        assert_eq!(a, b, "tq {sub} differs across invocations");
+    }
+    let a = run(&argv(&[
+        "tq", "chain", "--scenario", &scenario, "--suspect", "3",
+    ]))
+    .unwrap();
+    let b = run(&argv(&[
+        "tq", "chain", "--scenario", &scenario, "--suspect", "3",
+    ]))
+    .unwrap();
+    assert_eq!(a, b, "tq chain differs across invocations");
+}

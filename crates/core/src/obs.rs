@@ -335,6 +335,50 @@ impl ProtocolEvent {
     }
 }
 
+/// The causal provenance of a protocol event: what triggered it.
+///
+/// Threaded through the stack so that every emitted event records the
+/// bus delivery or prior event (typically a timer expiry) it reacts
+/// to, letting `canely-trace` reconstruct end-to-end causal chains
+/// (life-sign → surveillance expiry → failure-sign diffusion → RHA →
+/// view install).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Cause {
+    /// No recorded trigger: power-on bootstrap, a scripted harness
+    /// action, or tracing switched off when the trigger happened.
+    #[default]
+    Boot,
+    /// The bus transaction whose frame was delivered at this instant.
+    /// Delivery instants identify transactions uniquely because the
+    /// bus is globally serialized.
+    Bus {
+        /// Delivery instant of the triggering transaction.
+        deliver_at: BitTime,
+    },
+    /// A prior protocol event, referenced by its log sequence number
+    /// (the `seq` field of the JSONL export).
+    Event {
+        /// Sequence number of the triggering event.
+        seq: u64,
+    },
+}
+
+impl Cause {
+    /// Appends the `cause` JSON field (preceded by a comma) — nothing
+    /// for [`Cause::Boot`], which is encoded as field absence.
+    fn write_json_field(&self, out: &mut String) {
+        match *self {
+            Cause::Boot => {}
+            Cause::Bus { deliver_at } => {
+                let _ = write!(out, ",\"cause\":\"bus:{}\"", deliver_at.as_u64());
+            }
+            Cause::Event { seq } => {
+                let _ = write!(out, ",\"cause\":\"event:{seq}\"");
+            }
+        }
+    }
+}
+
 /// A protocol event stamped with its instant and emitting node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimedEvent {
@@ -345,22 +389,92 @@ pub struct TimedEvent {
     pub node: NodeId,
     /// What happened.
     pub event: ProtocolEvent,
+    /// What triggered it.
+    pub cause: Cause,
 }
 
 impl TimedEvent {
+    /// An event with no recorded trigger ([`Cause::Boot`]).
+    pub fn new(time: BitTime, node: NodeId, event: ProtocolEvent) -> Self {
+        TimedEvent {
+            time,
+            node,
+            event,
+            cause: Cause::Boot,
+        }
+    }
+
     /// Renders the event as one JSONL object (no trailing newline).
     pub fn to_json(&self) -> String {
+        self.to_json_seq(None)
+    }
+
+    /// Renders the event as one JSONL object, including its log
+    /// sequence number (the target of `event:<seq>` cause references).
+    pub fn to_json_seq(&self, seq: Option<u64>) -> String {
         let mut out = String::with_capacity(96);
+        let _ = write!(out, "{{\"t\":{}", self.time.as_u64());
+        if let Some(seq) = seq {
+            let _ = write!(out, ",\"seq\":{seq}");
+        }
         let _ = write!(
             out,
-            "{{\"t\":{},\"node\":{},\"kind\":\"{}\"",
-            self.time.as_u64(),
+            ",\"node\":{},\"kind\":\"{}\"",
             self.node.as_u8(),
             self.event.kind()
         );
         self.event.write_json_fields(&mut out);
+        self.cause.write_json_field(&mut out);
         out.push('}');
         out
+    }
+}
+
+/// The shared state behind [`ObsLog`] / enabled [`EventSink`]s: the
+/// event vector plus the causal-threading bookkeeping.
+#[derive(Debug, Default)]
+struct LogInner {
+    events: Vec<TimedEvent>,
+    /// Ambient cause stamped onto subsequently emitted events (set by
+    /// the stack's dispatch layer at every bus delivery / timer fire).
+    cause: Cause,
+    /// Last `timer.armed` sequence number per (node, timer), so a
+    /// `timer.expired` links back to the arming that scheduled it.
+    armed: HashMap<(u8, u8, u8), u64>,
+}
+
+/// Key of the timer-arming map: (owning node, timer class, timer arg).
+fn timer_key(node: NodeId, timer: ObsTimer) -> (u8, u8, u8) {
+    match timer {
+        ObsTimer::Surveillance(r) => (node.as_u8(), 0, r.as_u8()),
+        ObsTimer::RhaTermination => (node.as_u8(), 1, 0),
+        ObsTimer::MembershipCycle => (node.as_u8(), 2, 0),
+    }
+}
+
+impl LogInner {
+    /// Appends one event, resolving its cause: timer expiries link to
+    /// their arming, everything else carries the ambient cause.
+    /// Returns the event's sequence number.
+    fn push(&mut self, time: BitTime, node: NodeId, event: ProtocolEvent) -> u64 {
+        let seq = self.events.len() as u64;
+        let cause = match event {
+            ProtocolEvent::TimerExpired { timer } => self
+                .armed
+                .get(&timer_key(node, timer))
+                .map_or(self.cause, |&armed_seq| Cause::Event { seq: armed_seq }),
+            _ => self.cause,
+        };
+        if let ProtocolEvent::TimerArmed { timer, .. } = event {
+            self.armed.insert(timer_key(node, timer), seq);
+        }
+        self.events.push(TimedEvent {
+            time,
+            node,
+            event,
+            cause,
+        });
+        seq
     }
 }
 
@@ -371,7 +485,7 @@ impl TimedEvent {
 /// Handles produced by [`ObsLog::sink`] append to the shared log.
 #[derive(Debug, Clone, Default)]
 pub struct EventSink {
-    log: Option<Rc<RefCell<Vec<TimedEvent>>>>,
+    log: Option<Rc<RefCell<LogInner>>>,
 }
 
 impl EventSink {
@@ -386,11 +500,29 @@ impl EventSink {
     }
 
     /// Records one event. A no-op (and allocation-free) when disabled.
+    /// Returns the event's log sequence number when recorded, so the
+    /// dispatcher can chain downstream causes onto it.
     #[inline]
-    pub fn emit(&self, time: BitTime, node: NodeId, event: ProtocolEvent) {
+    pub fn emit(&self, time: BitTime, node: NodeId, event: ProtocolEvent) -> Option<u64> {
+        self.log
+            .as_ref()
+            .map(|log| log.borrow_mut().push(time, node, event))
+    }
+
+    /// Sets the ambient cause stamped onto subsequently emitted
+    /// events. A no-op (and allocation-free) when disabled.
+    #[inline]
+    pub fn set_cause(&self, cause: Cause) {
         if let Some(log) = &self.log {
-            log.borrow_mut().push(TimedEvent { time, node, event });
+            log.borrow_mut().cause = cause;
         }
+    }
+
+    /// Resets the ambient cause to [`Cause::Boot`]. A no-op (and
+    /// allocation-free) when disabled.
+    #[inline]
+    pub fn clear_cause(&self) {
+        self.set_cause(Cause::Boot);
     }
 }
 
@@ -401,7 +533,7 @@ impl EventSink {
 /// back with [`ObsLog::events`] / [`ObsLog::export_jsonl`].
 #[derive(Debug, Clone, Default)]
 pub struct ObsLog {
-    log: Rc<RefCell<Vec<TimedEvent>>>,
+    log: Rc<RefCell<LogInner>>,
 }
 
 impl ObsLog {
@@ -420,30 +552,35 @@ impl ObsLog {
     /// Records an event from outside the stack — used by harnesses to
     /// inject the externally known crash/restart markers
     /// ([`ProtocolEvent::NodeCrashed`] / [`ProtocolEvent::NodeRestarted`])
-    /// that anchor the latency metrics.
+    /// that anchor the latency metrics. Recorded with [`Cause::Boot`]:
+    /// scripted actions have no in-protocol trigger.
     pub fn record(&self, time: BitTime, node: NodeId, event: ProtocolEvent) {
-        self.log.borrow_mut().push(TimedEvent { time, node, event });
+        let mut inner = self.log.borrow_mut();
+        let ambient = inner.cause;
+        inner.cause = Cause::Boot;
+        inner.push(time, node, event);
+        inner.cause = ambient;
     }
 
     /// A snapshot of all recorded events.
     pub fn events(&self) -> Vec<TimedEvent> {
-        self.log.borrow().clone()
+        self.log.borrow().events.clone()
     }
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.log.borrow().len()
+        self.log.borrow().events.len()
     }
 
     /// Whether the log is empty.
     pub fn is_empty(&self) -> bool {
-        self.log.borrow().is_empty()
+        self.log.borrow().events.is_empty()
     }
 
     /// Renders the log — merged with a bus trace, if given — as one
     /// time-ordered JSONL document (see [`export_jsonl`]).
     pub fn export_jsonl(&self, bus: Option<&BusTrace>) -> String {
-        export_jsonl(&self.log.borrow(), bus)
+        export_jsonl(&self.log.borrow().events, bus)
     }
 }
 
@@ -464,19 +601,23 @@ pub fn export_jsonl(events: &[TimedEvent], bus: Option<&BusTrace>) -> String {
     );
     if let Some(trace) = bus {
         for (seq, rec) in trace.iter().enumerate() {
-            let mut line = String::with_capacity(128);
+            let mut line = String::with_capacity(160);
             let mid = rec
                 .mid()
                 .map_or_else(|| "-".to_string(), |m| m.to_string());
             let _ = write!(
                 line,
                 "{{\"t\":{},\"kind\":\"bus.tx\",\"mid\":\"{}\",\"frame\":\"{}\",\
-                 \"transmitters\":\"{}\",\"bus_free\":{},\"delivered\":{},\"errored\":{}}}",
+                 \"transmitters\":\"{}\",\"bus_free\":{},\"deliver\":{},\"queued\":{},\
+                 \"arb_losses\":{},\"delivered\":{},\"errored\":{}}}",
                 rec.start.as_u64(),
                 json_escape(&mid),
                 if rec.frame.is_remote() { "rtr" } else { "data" },
                 rec.transmitters,
                 rec.bus_free.as_u64(),
+                rec.deliver_at.as_u64(),
+                rec.queued_at.as_u64(),
+                rec.arb_losses,
                 rec.delivered,
                 rec.errored,
             );
@@ -484,7 +625,12 @@ pub fn export_jsonl(events: &[TimedEvent], bus: Option<&BusTrace>) -> String {
         }
     }
     for (seq, event) in events.iter().enumerate() {
-        lines.push((event.time.as_u64(), 1, seq, event.to_json()));
+        lines.push((
+            event.time.as_u64(),
+            1,
+            seq,
+            event.to_json_seq(Some(seq as u64)),
+        ));
     }
     lines.sort_by_key(|&(t, class, seq, _)| (t, class, seq));
     let mut out = String::new();
@@ -859,17 +1005,74 @@ mod tests {
 
     #[test]
     fn json_lines_are_flat_objects() {
-        let e = TimedEvent {
-            time: t(1234),
-            node: n(3),
-            event: ProtocolEvent::FdaSignReceived {
+        let e = TimedEvent::new(
+            t(1234),
+            n(3),
+            ProtocolEvent::FdaSignReceived {
                 failed: n(7),
                 duplicate: true,
             },
-        };
+        );
         assert_eq!(
             e.to_json(),
             "{\"t\":1234,\"node\":3,\"kind\":\"fda.sign.rx\",\"failed\":7,\"duplicate\":true}"
+        );
+    }
+
+    #[test]
+    fn causes_render_as_compact_references() {
+        let mut e = TimedEvent::new(t(10), n(1), ProtocolEvent::LifeSignSent);
+        assert!(!e.to_json().contains("cause"), "boot cause is absent");
+        e.cause = Cause::Bus {
+            deliver_at: t(305),
+        };
+        assert!(e.to_json().ends_with("\"cause\":\"bus:305\"}"), "{}", e.to_json());
+        e.cause = Cause::Event { seq: 42 };
+        assert_eq!(
+            e.to_json_seq(Some(7)),
+            "{\"t\":10,\"seq\":7,\"node\":1,\"kind\":\"fd.lifesign.tx\",\"cause\":\"event:42\"}"
+        );
+    }
+
+    #[test]
+    fn ambient_cause_is_stamped_and_timer_expiry_links_to_arming() {
+        let log = ObsLog::new();
+        let sink = log.sink();
+        let timer = ObsTimer::Surveillance(n(2));
+        sink.set_cause(Cause::Bus { deliver_at: t(100) });
+        let armed_seq = sink
+            .emit(
+                t(100),
+                n(0),
+                ProtocolEvent::TimerArmed {
+                    timer,
+                    deadline: t(5_100),
+                },
+            )
+            .unwrap();
+        sink.clear_cause();
+        sink.emit(t(5_100), n(0), ProtocolEvent::TimerExpired { timer });
+        sink.set_cause(Cause::Event { seq: 1 });
+        sink.emit(t(5_100), n(0), ProtocolEvent::SuspectRaised { suspect: n(2) });
+        let events = log.events();
+        assert_eq!(events[0].cause, Cause::Bus { deliver_at: t(100) });
+        assert_eq!(events[1].cause, Cause::Event { seq: armed_seq });
+        assert_eq!(events[2].cause, Cause::Event { seq: 1 });
+    }
+
+    #[test]
+    fn harness_markers_are_boot_caused() {
+        let log = ObsLog::new();
+        let sink = log.sink();
+        sink.set_cause(Cause::Bus { deliver_at: t(9) });
+        log.record(t(50), n(3), ProtocolEvent::NodeCrashed);
+        sink.emit(t(60), n(0), ProtocolEvent::LifeSignSent);
+        let events = log.events();
+        assert_eq!(events[0].cause, Cause::Boot, "scripted marker");
+        assert_eq!(
+            events[1].cause,
+            Cause::Bus { deliver_at: t(9) },
+            "ambient cause survives the marker"
         );
     }
 
@@ -942,12 +1145,7 @@ mod tests {
             ProtocolEvent::NodeRestarted,
         ];
         for event in variants {
-            let line = TimedEvent {
-                time: t(1),
-                node: n(0),
-                event,
-            }
-            .to_json();
+            let line = TimedEvent::new(t(1), n(0), event).to_json();
             assert!(
                 line.contains(&format!("\"kind\":\"{}\"", event.kind())),
                 "{line}"
@@ -959,22 +1157,17 @@ mod tests {
     #[test]
     fn export_merges_and_sorts_by_time() {
         let events = vec![
-            TimedEvent {
-                time: t(300),
-                node: n(1),
-                event: ProtocolEvent::LifeSignSent,
-            },
-            TimedEvent {
-                time: t(100),
-                node: n(0),
-                event: ProtocolEvent::NodeCrashed,
-            },
+            TimedEvent::new(t(300), n(1), ProtocolEvent::LifeSignSent),
+            TimedEvent::new(t(100), n(0), ProtocolEvent::NodeCrashed),
         ];
         let out = export_jsonl(&events, None);
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("node.crashed"), "{out}");
         assert!(lines[1].contains("fd.lifesign.tx"), "{out}");
+        // Sequence numbers follow recording order, not sort order.
+        assert!(lines[0].contains("\"seq\":1"), "{out}");
+        assert!(lines[1].contains("\"seq\":0"), "{out}");
     }
 
     #[test]
@@ -1007,28 +1200,16 @@ mod tests {
     #[test]
     fn snapshot_derives_detection_latency_from_markers() {
         let events = vec![
-            TimedEvent {
-                time: t(1_000),
-                node: n(2),
-                event: ProtocolEvent::NodeCrashed,
-            },
-            TimedEvent {
-                time: t(8_500),
-                node: n(0),
-                event: ProtocolEvent::FailureNotified { failed: n(2) },
-            },
-            TimedEvent {
-                time: t(8_500),
-                node: n(1),
-                event: ProtocolEvent::FailureNotified { failed: n(2) },
-            },
-            TimedEvent {
-                time: t(31_000),
-                node: n(0),
-                event: ProtocolEvent::ViewInstalled {
+            TimedEvent::new(t(1_000), n(2), ProtocolEvent::NodeCrashed),
+            TimedEvent::new(t(8_500), n(0), ProtocolEvent::FailureNotified { failed: n(2) }),
+            TimedEvent::new(t(8_500), n(1), ProtocolEvent::FailureNotified { failed: n(2) }),
+            TimedEvent::new(
+                t(31_000),
+                n(0),
+                ProtocolEvent::ViewInstalled {
                     view: NodeSet::from_bits(0b011),
                 },
-            },
+            ),
         ];
         let s = Snapshot::compute(&events, None);
         assert_eq!(s.detection_latency.count(), 2);
@@ -1043,11 +1224,11 @@ mod tests {
 
     #[test]
     fn snapshot_without_markers_has_empty_latency() {
-        let events = vec![TimedEvent {
-            time: t(8_500),
-            node: n(0),
-            event: ProtocolEvent::FailureNotified { failed: n(2) },
-        }];
+        let events = vec![TimedEvent::new(
+            t(8_500),
+            n(0),
+            ProtocolEvent::FailureNotified { failed: n(2) },
+        )];
         let s = Snapshot::compute(&events, None);
         assert!(s.detection_latency.is_empty());
         assert_eq!(s.totals.failures_notified, 1);

@@ -21,7 +21,7 @@ use crate::config::CanelyConfig;
 use crate::fd::{FailureDetector, FdAction};
 use crate::fda::Fda;
 use crate::membership::{Membership, MembershipEvent, MshAction};
-use crate::obs::{EventSink, ObsTimer, ProtocolEvent};
+use crate::obs::{Cause, EventSink, ObsTimer, ProtocolEvent};
 use crate::rha::{Rha, RhaNotification};
 use crate::tags::TimerOwner;
 use crate::traffic::{TrafficConfig, TrafficGenerator};
@@ -303,6 +303,8 @@ impl CanelyStack {
 
 impl Application for CanelyStack {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Power-on actions have no in-protocol trigger.
+        self.obs.clear_cause();
         if let Some(traffic) = &self.traffic {
             traffic.start(ctx);
         }
@@ -322,6 +324,12 @@ impl Application for CanelyStack {
         if !self.active {
             return;
         }
+        // Everything the stack does inside this dispatch is a reaction
+        // to the frame delivered at this instant; the delivery instant
+        // names the bus transaction uniquely (the bus is serialized).
+        self.obs.set_cause(Cause::Bus {
+            deliver_at: ctx.now(),
+        });
         match event {
             DriverEvent::DataNty { mid } => {
                 // Sec. 6.3: every data frame is an implicit heartbeat
@@ -412,8 +420,18 @@ impl Application for CanelyStack {
             TimerOwner::MembershipCycle => Some(ObsTimer::MembershipCycle),
             TimerOwner::Traffic | TimerOwner::Scripted(_) => None,
         } {
-            self.obs
-                .emit(ctx.now(), ctx.me(), ProtocolEvent::TimerExpired { timer });
+            // The expiry links back to its arming (resolved inside the
+            // log); everything handled below is caused by the expiry.
+            self.obs.clear_cause();
+            if let Some(seq) =
+                self.obs
+                    .emit(ctx.now(), ctx.me(), ProtocolEvent::TimerExpired { timer })
+            {
+                self.obs.set_cause(Cause::Event { seq });
+            }
+        } else {
+            // Scripted join/leave alarms have no in-protocol trigger.
+            self.obs.clear_cause();
         }
         match owner {
             TimerOwner::Surveillance(r) => {
@@ -703,6 +721,38 @@ mod tests {
         assert!(crash < suspect && suspect < invoked, "{crash} {suspect} {invoked}");
         assert!(invoked < delivered && delivered < notified, "{delivered} {notified}");
         assert!(notified < changed, "{notified} {changed}");
+
+        // Causal threading: the suspicion was triggered by the
+        // surveillance expiry, which links back to its (re)arming; the
+        // FDA delivery was triggered by a bus transaction.
+        let Cause::Event { seq } = events[suspect].cause else {
+            panic!("suspicion must be event-caused: {:?}", events[suspect]);
+        };
+        let expiry = &events[seq as usize];
+        assert!(
+            matches!(
+                expiry.event,
+                ProtocolEvent::TimerExpired { timer: ObsTimer::Surveillance(r) } if r == n(2)
+            ),
+            "{expiry:?}"
+        );
+        let Cause::Event { seq: armed } = expiry.cause else {
+            panic!("expiry must link to its arming: {expiry:?}");
+        };
+        assert!(
+            matches!(
+                events[armed as usize].event,
+                ProtocolEvent::TimerArmed { timer: ObsTimer::Surveillance(r), .. } if r == n(2)
+            ),
+            "{:?}",
+            events[armed as usize]
+        );
+        assert!(
+            matches!(events[delivered].cause, Cause::Bus { .. }),
+            "{:?}",
+            events[delivered]
+        );
+        assert_eq!(events[crash].cause, Cause::Boot);
 
         // Metrics derived from the same log: a detection-latency sample
         // per surviving node, within the analytic bound.

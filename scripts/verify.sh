@@ -41,4 +41,60 @@ if [ "$summary" != "$resummary" ]; then
     exit 1
 fi
 
+# Trace round-trip gate: the canonical JSONL export must survive a
+# parse → re-export cycle byte-for-byte (the `tq` query engine and the
+# campaign analytics both build on this losslessness).
+echo "==> trace round-trip gate"
+trace_dir="target/verify-trace"
+mkdir -p "$trace_dir"
+target/release/canelyctl trace --nodes 4 --crash 2@250ms --until 500ms --jsonl \
+    > "$trace_dir/episode.trace.jsonl"
+target/release/canelyctl tq reexport --trace "$trace_dir/episode.trace.jsonl" \
+    > "$trace_dir/episode.reexport.jsonl"
+if ! cmp -s "$trace_dir/episode.trace.jsonl" "$trace_dir/episode.reexport.jsonl"; then
+    echo "verify: trace export → parse → re-export is not lossless" >&2
+    exit 1
+fi
+
+# tq smoke queries against the checked-in scenarios: the causal chain
+# behind the partition_heal crash must resolve end to end, and the
+# phase profile must report measured-vs-bound headroom.
+echo "==> tq smoke queries"
+chain="$(target/release/canelyctl tq chain \
+    --scenario scenarios/partition_heal.canely --suspect 3)"
+case "$chain" in
+*'chain complete: view installed without n3'*) ;;
+*)
+    echo "verify: partition_heal causal chain is incomplete:" >&2
+    echo "$chain" >&2
+    exit 1
+    ;;
+esac
+phases="$(target/release/canelyctl tq phases \
+    --scenario scenarios/partition_heal.canely)"
+case "$phases" in
+*'headroom='*) ;;
+*)
+    echo "verify: tq phases reported no bound headroom:" >&2
+    echo "$phases" >&2
+    exit 1
+    ;;
+esac
+summary="$(target/release/canelyctl tq summary --scenario scenarios/lifecycle.canely)"
+case "$summary" in
+*'protocol events:'*) ;;
+*)
+    echo "verify: tq summary produced no event counts" >&2
+    exit 1
+    ;;
+esac
+chrome="$(target/release/canelyctl trace --nodes 3 --crash 2@250ms --until 300ms --chrome)"
+case "$chrome" in
+'{"traceEvents":['*'"displayTimeUnit":"ms"}'*) ;;
+*)
+    echo "verify: chrome export is not a trace-event document" >&2
+    exit 1
+    ;;
+esac
+
 echo "==> verify: all green"
