@@ -1,37 +1,58 @@
 //! Campaign engine throughput: complete simulations judged per
 //! second, and how that scales with the worker count.
 //!
-//! Two aspects are measured:
+//! Three aspects are measured:
 //!
-//! * `campaign_workers` — the same 16-run matrix executed with 1, 2, 4
-//!   and 8 worker threads. The engine's determinism guarantee means
-//!   the *output* is identical across this group; only the wall clock
-//!   may differ, so the group directly exposes the parallel speed-up.
-//! * `campaign_oracle` — a single run executed and judged, isolating
-//!   the per-run cost of the simulation + invariant oracle pipeline
-//!   from the fan-out machinery.
+//! * `campaign_workers` — the same matrix executed with 1, 2, 4 and 8
+//!   worker threads. The engine's determinism guarantee means the
+//!   *output* is identical across this group; only the wall clock may
+//!   differ, so the group directly exposes the parallel speed-up. The
+//!   matrix size is parameterized (`BENCH_MATRIX_RUNS`, default 64):
+//!   small matrices measure spawn overhead, not throughput.
+//! * `campaign_per_run` — per-run cost, the honest unit the scaling
+//!   numbers divide down to: one run in a cold world (`cold`, pays
+//!   construction) and in a recycled arena world (`warm`, the
+//!   campaign hot path).
+//! * `campaign_oracle` — a single run executed and judged cold,
+//!   isolating the simulation + invariant-oracle pipeline from the
+//!   fan-out machinery (kept for comparability with older baselines).
 
 use can_types::BitTime;
-use canely_campaign::{execute, run_campaign, CampaignSpec};
+use canely_campaign::{execute, execute_in, run_campaign, CampaignSpec, WorldArena};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn matrix() -> CampaignSpec {
-    CampaignSpec {
+/// A campaign matrix with exactly `runs` runs (seeds × two fault
+/// rates), 4 nodes, 200 ms horizon.
+fn matrix(runs: usize) -> CampaignSpec {
+    assert!(
+        runs >= 2 && runs.is_multiple_of(2),
+        "matrix wants an even run count"
+    );
+    let spec = CampaignSpec {
         name: "bench".into(),
         nodes: vec![4],
-        seeds: (0, 8),
+        seeds: (0, runs as u64 / 2),
         consistent_rates: vec![0.0, 0.01],
         crash_budgets: vec![1],
         until: BitTime::new(200_000),
         settle: BitTime::new(100_000),
         ..CampaignSpec::default()
-    }
+    };
+    assert_eq!(spec.run_count(), runs);
+    spec
 }
 
-/// The same 16-run campaign at increasing worker counts.
+/// Matrix size under test: `BENCH_MATRIX_RUNS` runs (default 64).
+fn matrix_runs() -> usize {
+    std::env::var("BENCH_MATRIX_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// The same campaign at increasing worker counts.
 fn bench_campaign_workers(c: &mut Criterion) {
-    let spec = matrix();
-    assert_eq!(spec.run_count(), 16);
+    let spec = matrix(matrix_runs());
     let mut group = c.benchmark_group("campaign_workers");
     group.sample_size(10);
     for &workers in &[1usize, 2, 4, 8] {
@@ -46,9 +67,34 @@ fn bench_campaign_workers(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-run cost: one simulation + oracle judgement, cold (fresh
+/// world, the old execution model) vs warm (arena-recycled world, the
+/// campaign hot path).
+fn bench_per_run(c: &mut Criterion) {
+    let run = matrix(matrix_runs()).expand().remove(0);
+    let mut group = c.benchmark_group("campaign_per_run");
+    group.sample_size(30);
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let outcome = execute(&run, false);
+            assert!(outcome.violations.is_empty());
+            outcome.events
+        });
+    });
+    let mut arena = WorldArena::new();
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            let outcome = execute_in(&mut arena, &run, false);
+            assert!(outcome.violations.is_empty());
+            outcome.events
+        });
+    });
+    group.finish();
+}
+
 /// One simulation + oracle judgement, the unit of campaign work.
 fn bench_single_run_with_oracle(c: &mut Criterion) {
-    let run = matrix().expand().remove(0);
+    let run = matrix(16).expand().remove(0);
     c.bench_function("campaign_oracle", |b| {
         b.iter(|| {
             let outcome = execute(&run, false);
@@ -58,5 +104,10 @@ fn bench_single_run_with_oracle(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_campaign_workers, bench_single_run_with_oracle);
+criterion_group!(
+    benches,
+    bench_campaign_workers,
+    bench_per_run,
+    bench_single_run_with_oracle
+);
 criterion_main!(benches);

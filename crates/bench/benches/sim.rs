@@ -1,0 +1,136 @@
+//! The campaign engine's scaling surface, end to end: worker fan-out
+//! over a matrix large enough to amortize thread spawn, raw warm-world
+//! simulation stepping, and zero-copy trace parsing on a ≥1 MiB
+//! document.
+//!
+//! `scripts/bench.sh` distils this bench into `BENCH_sim.json`;
+//! `scripts/verify.sh` gates on the `campaign_scaling` group (8
+//! workers must not be slower than 1 on the same matrix).
+//!
+//! * `campaign_scaling/{1,2,4,8}` — a 64-run matrix (4 nodes, two
+//!   fault rates, one crash each, 200 ms horizon) executed at rising
+//!   worker counts. Byte-identical output across the group; only the
+//!   wall clock may move.
+//! * `sim/steps_per_sec` — one warm (arena-recycled) 8-node, 400 ms,
+//!   traffic-loaded simulation run per iteration: a fixed number of
+//!   simulation steps, so mean time is inverse step throughput.
+//! * `trace/parse` — the zero-copy JSONL parser over a generated
+//!   crash-episode document of at least 1 MiB.
+
+use can_bus::{BusConfig, FaultPlan};
+use can_controller::Simulator;
+use can_types::{BitTime, NodeId};
+use canely::obs::ObsLog;
+use canely::{CanelyConfig, CanelyStack, ProtocolEvent, TrafficConfig};
+use canely_campaign::{execute_in, run_campaign, CampaignSpec, WorldArena};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A 64-run campaign matrix: large enough that per-worker thread
+/// spawn and aggregation cost is amortized over real work.
+fn scaling_matrix() -> CampaignSpec {
+    let spec = CampaignSpec {
+        name: "scaling".into(),
+        nodes: vec![4],
+        seeds: (0, 16),
+        consistent_rates: vec![0.0, 0.01],
+        crash_budgets: vec![0, 1],
+        until: BitTime::new(200_000),
+        settle: BitTime::new(100_000),
+        ..CampaignSpec::default()
+    };
+    assert_eq!(spec.run_count(), 64);
+    spec
+}
+
+fn bench_campaign_scaling(c: &mut Criterion) {
+    let spec = scaling_matrix();
+    let mut group = c.benchmark_group("campaign_scaling");
+    group.sample_size(10);
+    for &workers in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                let result = run_campaign(&spec, w);
+                assert!(result.report.clean());
+                result.report.runs
+            });
+        });
+    }
+    group.finish();
+}
+
+/// One warm-world simulation run per iteration: 8 nodes, periodic
+/// application traffic, one crash, 400 ms horizon — a fixed stepping
+/// workload through the recycled arena (the campaign hot path).
+fn bench_sim_stepping(c: &mut Criterion) {
+    let run = CampaignSpec {
+        name: "stepping".into(),
+        nodes: vec![8],
+        seeds: (0, 1),
+        crash_budgets: vec![1],
+        until: BitTime::new(400_000),
+        settle: BitTime::new(200_000),
+        ..CampaignSpec::default()
+    }
+    .expand()
+    .remove(0);
+    let mut arena = WorldArena::new();
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(20);
+    group.bench_function("steps_per_sec", |b| {
+        b.iter(|| {
+            let outcome = execute_in(&mut arena, &run, false);
+            assert!(outcome.events > 0);
+            outcome.events
+        });
+    });
+    group.finish();
+}
+
+/// A deterministic crash-episode trace document of at least 1 MiB:
+/// 8 traffic-loaded nodes, one crash, 1.5 s horizon.
+fn big_trace() -> String {
+    let config = CanelyConfig::default();
+    let log = ObsLog::new();
+    let mut sim = Simulator::new(BusConfig::default(), FaultPlan::none());
+    for id in 0..8u8 {
+        sim.add_node(
+            NodeId::new(id),
+            CanelyStack::new(config.clone())
+                .with_obs(log.sink())
+                .with_traffic(
+                    TrafficConfig::periodic(BitTime::new(2_000), 8)
+                        .with_offset(BitTime::new(u64::from(id) * 131 + 17)),
+                ),
+        );
+    }
+    let victim = NodeId::new(7);
+    let crash_at = config.join_wait + config.membership_cycle * 2;
+    sim.schedule_crash(victim, crash_at);
+    log.record(crash_at, victim, ProtocolEvent::NodeCrashed);
+    sim.run_until(BitTime::new(1_500_000));
+    let doc = log.export_jsonl(Some(sim.trace()));
+    assert!(
+        doc.len() >= 1 << 20,
+        "trace document too small for the parse bench: {} bytes",
+        doc.len()
+    );
+    doc
+}
+
+fn bench_trace_parse(c: &mut Criterion) {
+    let doc = big_trace();
+    let mut group = c.benchmark_group("trace");
+    group.sample_size(30);
+    group.bench_function("parse", |b| {
+        b.iter(|| canely_trace::TraceModel::parse(&doc).unwrap().lines.len());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_campaign_scaling,
+    bench_sim_stepping,
+    bench_trace_parse
+);
+criterion_main!(benches);

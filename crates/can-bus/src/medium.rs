@@ -17,8 +17,7 @@
 use crate::config::BusConfig;
 use crate::fault::{Disposition, FaultPlan, TxAttempt};
 use crate::trace::{BusTrace, TxRecord};
-use can_types::{BitTime, Frame, NodeId, NodeSet};
-use std::collections::BTreeMap;
+use can_types::{BitTime, Frame, NodeId, NodeSet, MAX_NODES};
 
 /// Outcome of a bus transaction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,6 +101,65 @@ fn ack_backoff(attempts: u32) -> BitTime {
     BitTime::new(128u64 << attempts.min(6))
 }
 
+/// Fixed-capacity transmit-offer table indexed by dense [`NodeId`].
+///
+/// Node identifiers are small (`< MAX_NODES`) and known up front, so
+/// the hot arbitration walk is a bitset scan plus direct slot loads —
+/// no tree rebalancing, no per-offer allocation. Iteration via the
+/// `present` bitset is in ascending identifier order, exactly the
+/// order the previous `BTreeMap<NodeId, Offer>` produced, so the
+/// arbitration outcome (and thus every trace byte) is unchanged.
+#[derive(Debug)]
+struct OfferTable {
+    slots: Box<[Option<Offer>]>,
+    present: NodeSet,
+}
+
+impl OfferTable {
+    fn new() -> Self {
+        OfferTable {
+            slots: (0..MAX_NODES).map(|_| None).collect(),
+            present: NodeSet::EMPTY,
+        }
+    }
+
+    /// Nodes with a pending offer, in ascending identifier order.
+    fn present(&self) -> NodeSet {
+        self.present
+    }
+
+    fn insert(&mut self, node: NodeId, offer: Offer) {
+        self.slots[node.as_usize()] = Some(offer);
+        self.present.insert(node);
+    }
+
+    fn remove(&mut self, node: NodeId) -> Option<Offer> {
+        self.present.remove(node);
+        self.slots[node.as_usize()].take()
+    }
+
+    fn get(&self, node: NodeId) -> Option<&Offer> {
+        self.slots[node.as_usize()].as_ref()
+    }
+
+    fn get_mut(&mut self, node: NodeId) -> Option<&mut Offer> {
+        self.slots[node.as_usize()].as_mut()
+    }
+
+    /// Drops every offer whose node is outside `keep`.
+    fn retain_inside(&mut self, keep: NodeSet) {
+        for node in (self.present - keep).iter() {
+            self.slots[node.as_usize()] = None;
+        }
+        self.present &= keep;
+    }
+
+    /// Empties the table without releasing its backing storage.
+    fn clear(&mut self) {
+        self.retain_inside(NodeSet::EMPTY);
+    }
+}
+
 /// The simulated bus medium.
 ///
 /// Holds the set of pending transmit offers (one per node — a CAN
@@ -130,7 +188,7 @@ fn ack_backoff(attempts: u32) -> BitTime {
 #[derive(Debug)]
 pub struct Medium {
     config: BusConfig,
-    offers: BTreeMap<NodeId, Offer>,
+    offers: OfferTable,
     trace: BusTrace,
 }
 
@@ -139,7 +197,7 @@ impl Medium {
     pub fn new(config: BusConfig) -> Self {
         Medium {
             config,
-            offers: BTreeMap::new(),
+            offers: OfferTable::new(),
             trace: BusTrace::new(),
         }
     }
@@ -147,6 +205,16 @@ impl Medium {
     /// The bus configuration.
     pub fn config(&self) -> &BusConfig {
         &self.config
+    }
+
+    /// Returns the bus to its power-on state — no pending offers, an
+    /// empty trace — while keeping the offer table and trace storage
+    /// allocated. The arena path of campaign workers reuses one medium
+    /// across many runs through this.
+    pub fn reset(&mut self, config: BusConfig) {
+        self.config = config;
+        self.offers.clear();
+        self.trace.clear();
     }
 
     /// Registers (or replaces) `node`'s pending transmission, queued
@@ -168,33 +236,33 @@ impl Medium {
     /// compete (ACK-error suspensions considered), or `None` if no
     /// alive node has a pending offer.
     pub fn next_ready(&self, alive: NodeSet) -> Option<BitTime> {
-        self.offers
+        (self.offers.present() & alive)
             .iter()
-            .filter(|(n, _)| alive.contains(**n))
-            .map(|(_, o)| o.not_before)
+            .filter_map(|n| self.offers.get(n))
+            .map(|o| o.not_before)
             .min()
     }
 
     /// Withdraws `node`'s pending transmission (the `can-abort.req`
     /// primitive acts here). Returns the aborted frame, if any.
     pub fn withdraw(&mut self, node: NodeId) -> Option<Frame> {
-        self.offers.remove(&node).map(|o| o.frame)
+        self.offers.remove(node).map(|o| o.frame)
     }
 
     /// The frame `node` is currently offering, if any.
     pub fn current_offer(&self, node: NodeId) -> Option<&Frame> {
-        self.offers.get(&node).map(|o| &o.frame)
+        self.offers.get(node).map(|o| &o.frame)
     }
 
     /// Whether any *alive* node has a pending offer.
     pub fn has_offers(&self, alive: NodeSet) -> bool {
-        self.offers.keys().any(|&n| alive.contains(n))
+        !(self.offers.present() & alive).is_empty()
     }
 
     /// Drops all offers of nodes outside `alive` (crashed nodes stop
     /// driving the bus).
     pub fn purge_dead(&mut self, alive: NodeSet) {
-        self.offers.retain(|&n, _| alive.contains(n));
+        self.offers.retain_inside(alive);
     }
 
     /// The completed-transaction trace.
@@ -222,19 +290,31 @@ impl Medium {
     ) -> Option<Transaction> {
         self.purge_dead(alive);
         // Arbitration: lowest identifier among alive, non-suspended
-        // offers wins.
-        let winner_node = *self
-            .offers
-            .iter()
-            .filter(|(_, offer)| offer.not_before <= now)
-            .min_by_key(|(node, offer)| (offer.frame.id(), **node))
-            .map(|(node, _)| node)?;
-        let winner_frame = self.offers[&winner_node].frame;
+        // offers wins; ascending-id iteration breaks identifier ties
+        // towards the lowest node, as the ordered map used to.
+        let mut winner_node = None;
+        for node in self.offers.present().iter() {
+            let offer = self.offers.get(node).expect("present offer");
+            if offer.not_before > now {
+                continue;
+            }
+            if winner_node.is_none_or(|(best, _)| offer.frame.id() < best) {
+                winner_node = Some((offer.frame.id(), node));
+            }
+        }
+        let (_, winner_node) = winner_node?;
+        let winner_frame = self.offers.get(winner_node).expect("present offer").frame;
 
-        // Cluster wire-identical offers; detect id collisions.
+        // One ascending pass clusters wire-identical offers, detects
+        // id collisions, and aggregates the per-offer profiling data
+        // the transaction carries.
         let mut transmitters = NodeSet::EMPTY;
         let mut collision = false;
-        for (&node, offer) in &self.offers {
+        let mut attempt_no = u32::MAX;
+        let mut queued_at = BitTime::new(u64::MAX);
+        let mut arb_losses = 0;
+        for node in self.offers.present().iter() {
+            let offer = self.offers.get(node).expect("present offer");
             if offer.not_before > now {
                 continue;
             }
@@ -243,33 +323,22 @@ impl Medium {
             } else if offer.frame.id() == winner_frame.id() {
                 collision = true;
                 transmitters.insert(node);
+            } else {
+                continue;
             }
+            attempt_no = attempt_no.min(offer.attempts);
+            queued_at = queued_at.min(offer.queued_at);
+            arb_losses = arb_losses.max(offer.arb_losses);
         }
-
         let listeners = alive - transmitters;
         let duration = self.config.frame_duration(&winner_frame);
-        let attempt_no = transmitters
-            .iter()
-            .filter_map(|n| self.offers.get(&n))
-            .map(|o| o.attempts)
-            .min()
-            .unwrap_or(0);
-        let queued_at = transmitters
-            .iter()
-            .filter_map(|n| self.offers.get(&n))
-            .map(|o| o.queued_at)
-            .min()
-            .unwrap_or(now);
-        let arb_losses = transmitters
-            .iter()
-            .filter_map(|n| self.offers.get(&n))
-            .map(|o| o.arb_losses)
-            .max()
-            .unwrap_or(0);
+        let attempt_no = if attempt_no == u32::MAX { 0 } else { attempt_no };
+        let queued_at = if transmitters.is_empty() { now } else { queued_at };
         // Profiling: every eligible offer that competed in this
         // arbitration round and lost records the loss.
-        for (&node, offer) in self.offers.iter_mut() {
-            if offer.not_before <= now && !transmitters.contains(node) {
+        for node in (self.offers.present() - transmitters).iter() {
+            let offer = self.offers.get_mut(node).expect("present offer");
+            if offer.not_before <= now {
                 offer.arb_losses += 1;
             }
         }
@@ -279,7 +348,7 @@ impl Medium {
             // full frame plus error signalling.
             let free = now + duration + self.config.error_signalling() + self.config.intermission();
             for node in transmitters.iter() {
-                if let Some(o) = self.offers.get_mut(&node) {
+                if let Some(o) = self.offers.get_mut(node) {
                     o.attempts += 1;
                 }
             }
@@ -310,7 +379,7 @@ impl Medium {
                             + self.config.error_signalling()
                             + self.config.intermission();
                         for node in transmitters.iter() {
-                            if let Some(o) = self.offers.get_mut(&node) {
+                            if let Some(o) = self.offers.get_mut(node) {
                                 o.attempts += 1;
                                 o.not_before = free + ack_backoff(o.attempts);
                             }
@@ -318,7 +387,7 @@ impl Medium {
                         (TxOutcome::AckError, now + duration, free)
                     } else {
                         for node in transmitters.iter() {
-                            self.offers.remove(&node);
+                            self.offers.remove(node);
                         }
                         let deliver = now + duration;
                         (
@@ -332,7 +401,7 @@ impl Medium {
                 }
                 Disposition::ConsistentOmission => {
                     for node in transmitters.iter() {
-                        if let Some(o) = self.offers.get_mut(&node) {
+                        if let Some(o) = self.offers.get_mut(node) {
                             o.attempts += 1;
                         }
                     }
@@ -349,12 +418,12 @@ impl Medium {
                     let sender_crashes = if crash_sender {
                         // Crashed senders never retransmit: drop offers.
                         for node in transmitters.iter() {
-                            self.offers.remove(&node);
+                            self.offers.remove(node);
                         }
                         transmitters
                     } else {
                         for node in transmitters.iter() {
-                            if let Some(o) = self.offers.get_mut(&node) {
+                            if let Some(o) = self.offers.get_mut(node) {
                                 o.attempts += 1;
                             }
                         }

@@ -61,7 +61,7 @@ pub mod shrink;
 pub mod spec;
 
 pub use oracle::{check, InvariantKind, NodeFinal, OracleInput, Violation};
-pub use run::{execute, latency_samples, RunOutcome};
+pub use run::{execute, execute_in, latency_samples, RunOutcome, WorldArena};
 pub use runner::{
     run_campaign, run_campaign_analytics, CampaignReport, CampaignResult, Counterexample,
     RunLatency,

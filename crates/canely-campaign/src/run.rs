@@ -10,7 +10,7 @@ use crate::oracle::{self, NodeFinal, OracleInput, Violation};
 use crate::spec::RunSpec;
 use can_bus::{BusConfig, FaultPlan};
 use can_controller::Simulator;
-use can_types::{BitTime, NodeId};
+use can_types::{BitTime, NodeId, NodeSet};
 use canely::obs::{export_jsonl, ObsLog, ProtocolEvent};
 use canely::{CanelyStack, TrafficConfig};
 
@@ -82,13 +82,42 @@ pub fn latency_samples(events: &[canely::obs::TimedEvent]) -> (Vec<u64>, Vec<u64
     (detection, view_change)
 }
 
-/// Builds, runs and judges one simulation.
+/// A reusable simulation world: one allocated simulator plus one
+/// observation log that a sequence of runs executes in, instead of
+/// rebuilding bus, controllers, stacks and log buffers per run.
+///
+/// The campaign runner keeps one arena per worker thread; each run
+/// rewinds the world via [`Simulator::recycle`] /
+/// [`CanelyStack::reset_for_run`] / [`ObsLog::reset`], all of which
+/// restore exactly the freshly-constructed state while keeping the
+/// backing storage — so outcomes (and traces) are byte-identical to a
+/// cold [`execute`].
+#[derive(Default)]
+pub struct WorldArena {
+    sim: Option<Simulator>,
+    log: ObsLog,
+}
+
+impl WorldArena {
+    /// An empty arena; the first run populates it.
+    pub fn new() -> Self {
+        WorldArena::default()
+    }
+}
+
+/// Builds, runs and judges one simulation in a fresh world.
 ///
 /// With `capture_trace` the full JSONL document (bus transactions
 /// merged with protocol events, time-ordered, byte-deterministic) is
 /// returned for counterexample emission; campaigns leave it off to
 /// keep the hot path allocation-light.
 pub fn execute(spec: &RunSpec, capture_trace: bool) -> RunOutcome {
+    execute_in(&mut WorldArena::new(), spec, capture_trace)
+}
+
+/// Like [`execute`], but reuses the arena's simulator and log
+/// allocations across calls (the campaign hot path).
+pub fn execute_in(arena: &mut WorldArena, spec: &RunSpec, capture_trace: bool) -> RunOutcome {
     let config = spec.config();
     let mut faults = FaultPlan::seeded(spec.seed)
         .with_consistent_rate(spec.consistent_rate)
@@ -99,17 +128,42 @@ pub fn execute(spec: &RunSpec, capture_trace: bool) -> RunOutcome {
         faults.push_inaccessibility(from, until);
     }
 
-    let log = ObsLog::new();
-    let mut sim = Simulator::new(BusConfig::default(), faults);
+    arena.log.reset();
+    let log = &arena.log;
+    let wanted = NodeSet::first_n(usize::from(spec.nodes));
+    let kept = if let Some(sim) = arena.sim.as_mut() {
+        sim.recycle(BusConfig::default(), faults, wanted, |_, app| {
+            app.as_any_mut()
+                .downcast_mut::<CanelyStack>()
+                .expect("arena worlds host CanelyStack applications")
+                .reset_for_run(config.clone());
+        })
+    } else {
+        arena.sim = Some(Simulator::new(BusConfig::default(), faults));
+        NodeSet::EMPTY
+    };
+    let sim = arena.sim.as_mut().expect("installed above");
     for id in 0..spec.nodes {
-        let mut stack = CanelyStack::new(config.clone()).with_obs(log.sink());
-        if let Some(period) = spec.traffic {
-            stack = stack.with_traffic(
-                TrafficConfig::periodic(period, 8)
-                    .with_offset(BitTime::new(u64::from(id) * 131 + 17)),
-            );
+        let node = NodeId::new(id);
+        if kept.contains(node) {
+            let stack = sim.app_mut::<CanelyStack>(node);
+            stack.set_obs(log.sink());
+            if let Some(period) = spec.traffic {
+                stack.set_traffic(
+                    TrafficConfig::periodic(period, 8)
+                        .with_offset(BitTime::new(u64::from(id) * 131 + 17)),
+                );
+            }
+        } else {
+            let mut stack = CanelyStack::new(config.clone()).with_obs(log.sink());
+            if let Some(period) = spec.traffic {
+                stack = stack.with_traffic(
+                    TrafficConfig::periodic(period, 8)
+                        .with_offset(BitTime::new(u64::from(id) * 131 + 17)),
+                );
+            }
+            sim.add_node(node, stack);
         }
-        sim.add_node(NodeId::new(id), stack);
     }
     for &(node, at) in &spec.crashes {
         sim.schedule_crash(NodeId::new(node), at);
@@ -123,7 +177,6 @@ pub fn execute(spec: &RunSpec, capture_trace: bool) -> RunOutcome {
         log.record(t, node, ProtocolEvent::NodeCrashed);
     }
 
-    let events = log.events();
     let finals: Vec<NodeFinal> = (0..spec.nodes)
         .map(|id| {
             let node = NodeId::new(id);
@@ -138,28 +191,30 @@ pub fn execute(spec: &RunSpec, capture_trace: bool) -> RunOutcome {
         })
         .collect();
 
-    let input = OracleInput {
-        events: &events,
-        finals: &finals,
-        horizon: spec.until,
-        members: spec.members(),
-        quiescent: spec.statically_quiescent(),
-        operational_from: spec.operational_from(),
-        detection_bound: spec.detection_bound(),
-        view_change_bound: spec.view_change_bound(),
-    };
-    let violations = oracle::check(&input);
-    let trace_jsonl = capture_trace.then(|| export_jsonl(&events, Some(sim.trace())));
-    let (detection, view_change) = latency_samples(&events);
+    log.with_events(|events| {
+        let input = OracleInput {
+            events,
+            finals: &finals,
+            horizon: spec.until,
+            members: spec.members(),
+            quiescent: spec.statically_quiescent(),
+            operational_from: spec.operational_from(),
+            detection_bound: spec.detection_bound(),
+            view_change_bound: spec.view_change_bound(),
+        };
+        let violations = oracle::check(&input);
+        let trace_jsonl = capture_trace.then(|| export_jsonl(events, Some(sim.trace())));
+        let (detection, view_change) = latency_samples(events);
 
-    RunOutcome {
-        id: spec.id,
-        violations,
-        events: events.len(),
-        detection,
-        view_change,
-        trace_jsonl,
-    }
+        RunOutcome {
+            id: spec.id,
+            violations,
+            events: events.len(),
+            detection,
+            view_change,
+            trace_jsonl,
+        }
+    })
 }
 
 #[cfg(test)]
@@ -198,6 +253,36 @@ mod tests {
             outcome.detection,
             outcome.view_change
         );
+    }
+
+    #[test]
+    fn arena_reuse_is_byte_identical_to_fresh_worlds() {
+        // Runs with different node counts, crash schedules and fault
+        // rates executed back-to-back in ONE arena must produce the
+        // exact traces a fresh world produces — growing, shrinking and
+        // re-seeding the recycled world in every combination.
+        let spec = CampaignSpec {
+            seeds: (3, 6),
+            nodes: vec![3, 5, 4],
+            crash_budgets: vec![0, 1],
+            consistent_rates: vec![0.0, 0.02],
+            ..CampaignSpec::default()
+        };
+        let runs = spec.expand();
+        assert!(runs.len() >= 8, "matrix too small to exercise reuse");
+        let mut arena = WorldArena::new();
+        for run in &runs {
+            let warm = execute_in(&mut arena, run, true);
+            let cold = execute(run, true);
+            assert_eq!(warm.trace_jsonl, cold.trace_jsonl, "run {}", run.id);
+            assert_eq!(warm.events, cold.events);
+            assert_eq!(warm.detection, cold.detection);
+            assert_eq!(warm.view_change, cold.view_change);
+            assert_eq!(
+                format!("{:?}", warm.violations),
+                format!("{:?}", cold.violations)
+            );
+        }
     }
 
     #[test]

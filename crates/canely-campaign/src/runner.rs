@@ -10,14 +10,14 @@
 //! campaign run --workers N` relies on).
 
 use crate::oracle::Violation;
-use crate::run::{self, RunOutcome};
+use crate::run::{self, RunOutcome, WorldArena};
 use crate::shrink;
 use crate::spec::{CampaignSpec, RunSpec};
 use canely_trace::{CampaignAnalytics, PhaseProfile, RunAnalytics, Summary, TraceModel};
+use std::cell::UnsafeCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Per-run latency summary carried in the campaign report, so clean
 /// campaigns still report useful numbers.
@@ -255,25 +255,99 @@ pub fn run_campaign_analytics(spec: &CampaignSpec, workers: usize) -> CampaignAn
     analytics
 }
 
+/// The shared run cursor, alone on its cache line so that claim
+/// traffic does not false-share with the output slots or the spec
+/// slice living next to it on the runner's stack frame.
+#[repr(align(64))]
+struct PaddedCursor(AtomicUsize);
+
+/// Pre-sized sharded output: each worker writes an outcome directly
+/// into the slot of its run index. Indices are claimed exactly once
+/// from the atomic cursor, so all writes are disjoint, and the
+/// `thread::scope` join orders every write before the single-threaded
+/// read-back — no lock on the hot path.
+struct OutcomeSlots {
+    slots: Vec<UnsafeCell<Option<RunOutcome>>>,
+}
+
+// SAFETY: slot `i` is written only by the worker that claimed index
+// `i` from the cursor (claims are unique by `fetch_add`), and read
+// only after all workers joined.
+unsafe impl Sync for OutcomeSlots {}
+
+impl OutcomeSlots {
+    fn new(len: usize) -> Self {
+        OutcomeSlots {
+            slots: (0..len).map(|_| UnsafeCell::new(None)).collect(),
+        }
+    }
+
+    /// Writes the outcome of run `i` into its slot.
+    ///
+    /// # Safety
+    ///
+    /// Callers must hold the unique claim on index `i` (taken from the
+    /// runner's cursor), so no other thread accesses this slot.
+    unsafe fn write(&self, i: usize, outcome: RunOutcome) {
+        *self.slots[i].get() = Some(outcome);
+    }
+
+    fn into_outcomes(self) -> Vec<RunOutcome> {
+        self.slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("every claimed index wrote its slot")
+            })
+            .collect()
+    }
+}
+
 /// Executes every run, fanning out over `workers` threads, and
-/// returns the outcomes sorted by matrix index.
+/// returns the outcomes in matrix order.
+///
+/// `workers` is clamped to the run count (spawning idle threads for a
+/// tiny matrix only buys startup latency), and `workers == 1` runs
+/// inline without spawning at all. Each worker reuses one
+/// [`WorldArena`] across all its runs and claims run indices in small
+/// batches to keep cursor traffic off the hot path. Outcomes land in
+/// pre-sized per-index slots, so the result order — and therefore the
+/// campaign summary — is byte-identical for any worker count.
 fn execute_all(runs: &[RunSpec], workers: usize, capture_trace: bool) -> Vec<RunOutcome> {
-    let workers = workers.clamp(1, 64);
-    let cursor = AtomicUsize::new(0);
-    let outcomes: Mutex<Vec<RunOutcome>> = Mutex::new(Vec::with_capacity(runs.len()));
+    let workers = workers.clamp(1, 64).min(runs.len().max(1));
+    if workers == 1 {
+        let mut arena = WorldArena::new();
+        return runs
+            .iter()
+            .map(|spec| run::execute_in(&mut arena, spec, capture_trace))
+            .collect();
+    }
+    // Batched claims amortize the shared fetch_add; small enough that
+    // the tail stays balanced across workers.
+    let batch = (runs.len() / (workers * 8)).clamp(1, 8);
+    let cursor = PaddedCursor(AtomicUsize::new(0));
+    let slots = OutcomeSlots::new(runs.len());
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(spec) = runs.get(i) else { break };
-                let outcome = run::execute(spec, capture_trace);
-                outcomes.lock().expect("worker panicked").push(outcome);
+            scope.spawn(|| {
+                let mut arena = WorldArena::new();
+                loop {
+                    let first = cursor.0.fetch_add(batch, Ordering::Relaxed);
+                    if first >= runs.len() {
+                        break;
+                    }
+                    for (i, spec) in runs.iter().enumerate().skip(first).take(batch) {
+                        let outcome = run::execute_in(&mut arena, spec, capture_trace);
+                        // SAFETY: index `i` belongs to this worker's
+                        // claimed batch; no other thread touches its
+                        // slot (see `OutcomeSlots`).
+                        unsafe { slots.write(i, outcome) };
+                    }
+                }
             });
         }
     });
-    let mut outcomes = outcomes.into_inner().expect("worker panicked");
-    outcomes.sort_by_key(|o| o.id);
-    outcomes
+    slots.into_outcomes()
 }
 
 #[cfg(test)]
@@ -308,6 +382,50 @@ mod tests {
         );
         assert!(one.report.to_json().contains("\"latency\":["));
         assert!(one.report.render().contains("detection min/p50/p99/max"));
+    }
+
+    /// The large-matrix scaling workload of the `sim` bench: 64 runs
+    /// spanning crash budgets and omission rates.
+    fn large_spec() -> CampaignSpec {
+        CampaignSpec {
+            name: "large".into(),
+            seeds: (0, 16),
+            crash_budgets: vec![0, 1],
+            consistent_rates: vec![0.0, 0.01],
+            until: can_types::BitTime::new(200_000),
+            settle: can_types::BitTime::new(100_000),
+            ..CampaignSpec::default()
+        }
+    }
+
+    #[test]
+    fn large_matrix_summary_identical_for_any_worker_count() {
+        let spec = large_spec();
+        assert!(spec.expand().len() >= 64, "matrix must be large");
+        let one = run_campaign(&spec, 1).report.to_json();
+        for workers in [3, 8] {
+            assert_eq!(
+                run_campaign(&spec, workers).report.to_json(),
+                one,
+                "summary diverged at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn workers_beyond_run_count_are_harmless() {
+        // 2-run matrix, 64 requested workers: the runner clamps to the
+        // run count, and the summary still matches the 1-worker run.
+        let spec = CampaignSpec {
+            name: "tiny-wide".into(),
+            seeds: (0, 2),
+            crash_budgets: vec![1],
+            ..CampaignSpec::default()
+        };
+        assert_eq!(
+            run_campaign(&spec, 64).report.to_json(),
+            run_campaign(&spec, 1).report.to_json()
+        );
     }
 
     #[test]

@@ -38,20 +38,20 @@ pub struct SuspicionChain {
 /// cause cycles (the real schema is acyclic — causes point backwards).
 const MAX_BACK_STEPS: usize = 16;
 
-fn event_step(model: &TraceModel, event: &Event) -> ChainStep {
+fn event_step(model: &TraceModel<'_>, event: &Event<'_>) -> ChainStep {
     let mut detail = String::new();
-    for (key, value) in &model.line_of(event).display_fields() {
+    for (key, value) in model.line_of(event).display_fields() {
         detail.push_str(&format!("{key}={value} "));
     }
     ChainStep {
         t: event.t,
         node: Some(event.node),
-        label: event.kind.clone(),
+        label: event.kind.to_string(),
         detail: detail.trim_end().to_string(),
     }
 }
 
-fn bus_step(tx: &BusTx, note: &str) -> ChainStep {
+fn bus_step(tx: &BusTx<'_>, note: &str) -> ChainStep {
     ChainStep {
         t: tx.start,
         node: None,
@@ -70,7 +70,7 @@ fn bus_step(tx: &BusTx, note: &str) -> ChainStep {
 }
 
 /// Every suspicion in the trace, as `(suspect, observer, instant)`.
-pub fn suspicions(model: &TraceModel) -> Vec<(u8, u8, u64)> {
+pub fn suspicions(model: &TraceModel<'_>) -> Vec<(u8, u8, u64)> {
     model
         .events
         .iter()
@@ -88,7 +88,7 @@ pub fn suspicions(model: &TraceModel) -> Vec<(u8, u8, u64)> {
 /// (optionally restricted to one observing node). `None` when the
 /// trace contains no such suspicion.
 pub fn chain_for(
-    model: &TraceModel,
+    model: &TraceModel<'_>,
     suspect: u8,
     observer: Option<u8>,
 ) -> Option<SuspicionChain> {

@@ -39,7 +39,7 @@ fn meta(pid: u64, tid: u64, kind: &str, name: &str) -> String {
 
 /// Renders the trace (plus its phase profile) as a Chrome trace-event
 /// JSON document. Deterministic: equal traces render byte-identically.
-pub fn chrome_trace(model: &TraceModel) -> String {
+pub fn chrome_trace(model: &TraceModel<'_>) -> String {
     let profile = PhaseProfile::of(model);
     let mut nodes: Vec<u8> = model.events.iter().map(|e| e.node).collect();
     for tx in &model.bus {
@@ -66,10 +66,13 @@ pub fn chrome_trace(model: &TraceModel) -> String {
         push_event(&mut out, &mut first, &meta(pid, 1, "thread_name", "phases"));
     }
 
-    // Bus transactions: complete spans on the bus track.
+    // Bus transactions: complete spans on the bus track. One scratch
+    // buffer serves every escaped name/value below.
+    let mut scratch = String::new();
     for tx in &model.bus {
-        let mut name = String::new();
-        escape_into(&tx.mid, &mut name);
+        scratch.clear();
+        escape_into(&tx.mid, &mut scratch);
+        let name = &scratch;
         let mut body = format!(
             "{{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":{},\"dur\":{},\
              \"name\":\"{name}\",\"cat\":\"bus\",\"args\":{{",
@@ -100,9 +103,9 @@ pub fn chrome_trace(model: &TraceModel) -> String {
                 body.push(',');
             }
             first_arg = false;
-            let mut escaped = String::new();
-            escape_into(&value, &mut escaped);
-            let _ = write!(body, "\"{key}\":\"{escaped}\"");
+            scratch.clear();
+            escape_into(value, &mut scratch);
+            let _ = write!(body, "\"{key}\":\"{scratch}\"");
         }
         if let Some(cause) = model.line_of(event).str("cause") {
             if !first_arg {

@@ -6,23 +6,33 @@
 //! Parsing preserves field order and numeric spelling, so a parsed
 //! document re-renders byte-identically: the lossless round-trip
 //! guaranteed by `scripts/verify.sh`.
+//!
+//! Parsing is zero-copy over the input line: keys, numbers and
+//! escape-free strings are borrowed slices of the input (the schema
+//! exporter only escapes quotes, backslashes and control characters,
+//! so in practice every field borrows); only strings that actually
+//! contain escapes are decoded into an owned buffer. Keys matching
+//! the schema vocabulary are interned to `'static` spellings.
 
+use std::borrow::Cow;
 use std::fmt::Write as _;
 
-/// A JSON scalar as it appears in a trace line.
+/// A JSON scalar as it appears in a trace line, borrowing from the
+/// parsed input where possible.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Value {
+pub enum Value<'a> {
     /// A number, kept as its original spelling for lossless
     /// re-rendering.
-    Num(String),
+    Num(&'a str),
     /// A boolean.
     Bool(bool),
-    /// A string (decoded; re-rendering re-applies the canonical
+    /// A string: borrowed verbatim when escape-free, decoded into an
+    /// owned buffer otherwise (re-rendering re-applies the canonical
     /// escaping of the exporter).
-    Str(String),
+    Str(Cow<'a, str>),
 }
 
-impl Value {
+impl<'a> Value<'a> {
     /// The value as an unsigned integer, if it is one.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
@@ -35,6 +45,15 @@ impl Value {
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a string carrying the input lifetime (a cheap
+    /// clone for the borrowed fast path), if it is a string.
+    pub fn to_str(&self) -> Option<Cow<'a, str>> {
+        match self {
+            Value::Str(s) => Some(s.clone()),
             _ => None,
         }
     }
@@ -61,17 +80,64 @@ impl Value {
 }
 
 /// Appends `s` with the canonical escaping of the trace exporter
-/// (quote, backslash and control characters only).
+/// (quote, backslash and control characters only). Runs of plain
+/// characters are appended in one copy instead of char by char.
 pub fn escape_into(s: &str, out: &mut String) {
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
+    let bytes = s.as_bytes();
+    let mut plain = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'"' && b != b'\\' && b >= 0x20 {
+            continue;
         }
+        out.push_str(&s[plain..i]);
+        match b {
+            b'"' => out.push_str("\\\""),
+            b'\\' => out.push_str("\\\\"),
+            c => {
+                let _ = write!(out, "\\u{:04x}", c);
+            }
+        }
+        plain = i + 1;
+    }
+    out.push_str(&s[plain..]);
+}
+
+/// The schema's field vocabulary, by rough frequency. Parsed keys
+/// matching an entry are interned to the `'static` spelling, so key
+/// comparisons across millions of lines touch the same bytes.
+const INTERNED_KEYS: &[&str] = &[
+    "t",
+    "kind",
+    "seq",
+    "node",
+    "cause",
+    "mid",
+    "frame",
+    "transmitters",
+    "bus_free",
+    "deliver",
+    "queued",
+    "arb_losses",
+    "delivered",
+    "errored",
+    "of",
+    "failed",
+    "suspect",
+    "timer",
+    "deadline",
+    "view",
+    "vector",
+    "proposal",
+    "full_member",
+    "broadcasts",
+    "diffusion",
+    "duplicate",
+];
+
+fn intern(key: Cow<'_, str>) -> Cow<'_, str> {
+    match INTERNED_KEYS.iter().find(|&&k| k == key) {
+        Some(&k) => Cow::Borrowed(k),
+        None => key,
     }
 }
 
@@ -93,19 +159,20 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-/// One parsed trace line: an ordered list of `(field, value)` pairs.
+/// One parsed trace line: an ordered list of `(field, value)` pairs
+/// borrowing from the parsed input.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Line {
+pub struct Line<'a> {
     /// The fields, in document order.
-    pub fields: Vec<(String, Value)>,
+    pub fields: Vec<(Cow<'a, str>, Value<'a>)>,
 }
 
-impl Line {
+impl<'a> Line<'a> {
     /// The value of a field, if present.
-    pub fn get(&self, name: &str) -> Option<&Value> {
+    pub fn get(&self, name: &str) -> Option<&Value<'a>> {
         self.fields
             .iter()
-            .find(|(k, _)| k == name)
+            .find(|(k, _)| k.as_ref() == name)
             .map(|(_, v)| v)
     }
 
@@ -119,6 +186,12 @@ impl Line {
         self.get(name).and_then(Value::as_str)
     }
 
+    /// A string field carrying the input lifetime (borrowed unless
+    /// the value contained escapes).
+    pub fn str_cow(&self, name: &str) -> Option<Cow<'a, str>> {
+        self.get(name).and_then(Value::to_str)
+    }
+
     /// A boolean field.
     pub fn bool(&self, name: &str) -> Option<bool> {
         self.get(name).and_then(Value::as_bool)
@@ -126,63 +199,72 @@ impl Line {
 
     /// The variant-specific fields — everything except the envelope
     /// (`t`, `seq`, `node`, `kind`, `cause`) — rendered as display
-    /// strings for human-oriented output.
-    pub fn display_fields(&self) -> Vec<(String, String)> {
+    /// strings for human-oriented output, allocation-free.
+    pub fn display_fields(&self) -> impl Iterator<Item = (&str, &str)> {
         self.fields
             .iter()
             .filter(|(k, _)| {
-                !matches!(k.as_str(), "t" | "seq" | "node" | "kind" | "cause")
+                !matches!(k.as_ref(), "t" | "seq" | "node" | "kind" | "cause")
             })
             .map(|(k, v)| {
                 let rendered = match v {
-                    Value::Num(raw) => raw.clone(),
-                    Value::Bool(b) => b.to_string(),
-                    Value::Str(s) => s.clone(),
+                    Value::Num(raw) => *raw,
+                    Value::Bool(b) => {
+                        if *b {
+                            "true"
+                        } else {
+                            "false"
+                        }
+                    }
+                    Value::Str(s) => s.as_ref(),
                 };
-                (k.clone(), rendered)
+                (k.as_ref(), rendered)
             })
-            .collect()
     }
 
     /// Renders the line back to its canonical JSON spelling (no
     /// trailing newline).
     pub fn render(&self) -> String {
         let mut out = String::with_capacity(96);
+        self.render_into(&mut out);
+        out
+    }
+
+    /// Appends the canonical JSON spelling to `out` — the
+    /// allocation-free path for document re-export, where one output
+    /// buffer serves every line.
+    pub fn render_into(&self, out: &mut String) {
         out.push('{');
         for (i, (key, value)) in self.fields.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push('"');
-            escape_into(key, &mut out);
+            escape_into(key, out);
             out.push_str("\":");
-            value.render(&mut out);
+            value.render(out);
         }
         out.push('}');
-        out
     }
 
-    /// Parses one flat JSON object.
+    /// Parses one flat JSON object, borrowing keys and escape-free
+    /// string values from `text`.
     ///
     /// # Errors
     ///
     /// Returns a [`ParseError`] on malformed input or on nesting
     /// (objects and arrays are outside the trace schema).
-    pub fn parse(text: &str) -> Result<Line, ParseError> {
-        Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-        .object()
+    pub fn parse(text: &'a str) -> Result<Line<'a>, ParseError> {
+        Parser { text, pos: 0 }.object()
     }
 }
 
 struct Parser<'a> {
-    bytes: &'a [u8],
+    text: &'a str,
     pos: usize,
 }
 
-impl Parser<'_> {
+impl<'a> Parser<'a> {
     fn fail<T>(&self, reason: impl Into<String>) -> Result<T, ParseError> {
         Err(ParseError {
             reason: reason.into(),
@@ -190,19 +272,19 @@ impl Parser<'_> {
         })
     }
 
+    fn peek(&self) -> Option<u8> {
+        self.text.as_bytes().get(self.pos).copied()
+    }
+
     fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| matches!(b, b' ' | b'\t'))
-        {
+        while self.peek().is_some_and(|b| matches!(b, b' ' | b'\t')) {
             self.pos += 1;
         }
     }
 
     fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
         self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&byte) {
+        if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
         } else {
@@ -210,21 +292,21 @@ impl Parser<'_> {
         }
     }
 
-    fn object(&mut self) -> Result<Line, ParseError> {
+    fn object(&mut self) -> Result<Line<'a>, ParseError> {
         self.expect(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&b'}') {
+        if self.peek() == Some(b'}') {
             self.pos += 1;
             return self.end(fields);
         }
         loop {
-            let key = self.string()?;
+            let key = intern(self.string()?);
             self.expect(b':')?;
             let value = self.value()?;
             fields.push((key, value));
             self.skip_ws();
-            match self.bytes.get(self.pos) {
+            match self.peek() {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
@@ -235,42 +317,41 @@ impl Parser<'_> {
         }
     }
 
-    fn end(&mut self, fields: Vec<(String, Value)>) -> Result<Line, ParseError> {
+    fn end(
+        &mut self,
+        fields: Vec<(Cow<'a, str>, Value<'a>)>,
+    ) -> Result<Line<'a>, ParseError> {
         self.skip_ws();
-        if self.pos != self.bytes.len() {
+        if self.pos != self.text.len() {
             return self.fail("trailing characters after object");
         }
         Ok(Line { fields })
     }
 
-    fn value(&mut self) -> Result<Value, ParseError> {
+    fn value(&mut self) -> Result<Value<'a>, ParseError> {
         self.skip_ws();
-        match self.bytes.get(self.pos) {
+        match self.peek() {
             Some(b'"') => Ok(Value::Str(self.string()?)),
             Some(b't') => self.keyword("true", Value::Bool(true)),
             Some(b'f') => self.keyword("false", Value::Bool(false)),
             Some(b'{') | Some(b'[') => {
                 self.fail("nested values are outside the flat trace schema")
             }
-            Some(b) if b.is_ascii_digit() || *b == b'-' => {
+            Some(b) if b.is_ascii_digit() || b == b'-' => {
                 let start = self.pos;
-                while self.bytes.get(self.pos).is_some_and(|b| {
+                while self.peek().is_some_and(|b| {
                     b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
                 }) {
                     self.pos += 1;
                 }
-                Ok(Value::Num(
-                    std::str::from_utf8(&self.bytes[start..self.pos])
-                        .expect("ASCII digits")
-                        .to_string(),
-                ))
+                Ok(Value::Num(&self.text[start..self.pos]))
             }
             _ => self.fail("expected a value"),
         }
     }
 
-    fn keyword(&mut self, word: &str, value: Value) -> Result<Value, ParseError> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+    fn keyword(&mut self, word: &str, value: Value<'a>) -> Result<Value<'a>, ParseError> {
+        if self.text.as_bytes()[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(value)
         } else {
@@ -278,19 +359,39 @@ impl Parser<'_> {
         }
     }
 
-    fn string(&mut self) -> Result<String, ParseError> {
+    fn string(&mut self) -> Result<Cow<'a, str>, ParseError> {
         self.expect(b'"')?;
-        let mut out = String::new();
+        let start = self.pos;
+        // Fast path: scan for the closing quote; escape-free content
+        // is returned as a borrowed slice of the input (slice bounds
+        // always sit on ASCII quote/backslash bytes, so they are
+        // valid `str` boundaries).
         loop {
-            match self.bytes.get(self.pos) {
+            match self.peek() {
+                None => return self.fail("unterminated string"),
+                Some(b'"') => {
+                    let s = &self.text[start..self.pos];
+                    self.pos += 1;
+                    return Ok(Cow::Borrowed(s));
+                }
+                Some(b'\\') => break,
+                Some(_) => self.pos += 1,
+            }
+        }
+        // Slow path (a `\` was hit): decode into an owned buffer,
+        // copying plain runs wholesale between escapes.
+        let mut out = String::with_capacity(self.pos - start + 16);
+        out.push_str(&self.text[start..self.pos]);
+        loop {
+            match self.peek() {
                 None => return self.fail("unterminated string"),
                 Some(b'"') => {
                     self.pos += 1;
-                    return Ok(out);
+                    return Ok(Cow::Owned(out));
                 }
                 Some(b'\\') => {
                     self.pos += 1;
-                    match self.bytes.get(self.pos) {
+                    match self.peek() {
                         Some(b'"') => out.push('"'),
                         Some(b'\\') => out.push('\\'),
                         Some(b'/') => out.push('/'),
@@ -299,7 +400,8 @@ impl Parser<'_> {
                         Some(b'r') => out.push('\r'),
                         Some(b'u') => {
                             let hex = self
-                                .bytes
+                                .text
+                                .as_bytes()
                                 .get(self.pos + 1..self.pos + 5)
                                 .and_then(|h| std::str::from_utf8(h).ok())
                                 .and_then(|h| u32::from_str_radix(h, 16).ok())
@@ -317,16 +419,14 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (multi-byte sequences
-                    // are copied verbatim).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| ParseError {
-                            reason: "invalid UTF-8".into(),
-                            at: self.pos,
-                        })?;
-                    let c = rest.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    let run = self.pos;
+                    while self
+                        .peek()
+                        .is_some_and(|b| !matches!(b, b'"' | b'\\'))
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(&self.text[run..self.pos]);
                 }
             }
         }
@@ -365,11 +465,48 @@ mod tests {
     }
 
     #[test]
+    fn escape_free_fields_borrow_from_the_input() {
+        let text = "{\"t\":1,\"kind\":\"fd.suspect\",\"note\":\"plain\"}";
+        let line = Line::parse(text).unwrap();
+        for (key, _) in &line.fields {
+            assert!(matches!(key, Cow::Borrowed(_)), "key {key:?} allocated");
+        }
+        assert!(matches!(line.get("kind"), Some(Value::Str(Cow::Borrowed(_)))));
+        assert!(matches!(line.get("note"), Some(Value::Str(Cow::Borrowed(_)))));
+        // Schema keys are interned to the 'static vocabulary.
+        let (kind_key, _) = &line.fields[1];
+        assert!(std::ptr::eq(kind_key.as_ref(), INTERNED_KEYS[1]));
+    }
+
+    #[test]
+    fn escaped_strings_decode_into_owned_values() {
+        let text = "{\"a\":\"x\\\"y\"}";
+        let line = Line::parse(text).unwrap();
+        assert!(matches!(line.get("a"), Some(Value::Str(Cow::Owned(_)))));
+        assert_eq!(line.str("a"), Some("x\"y"));
+    }
+
+    #[test]
     fn escapes_round_trip() {
         let text = "{\"a\":\"x\\\"y\\\\z\\u000a\"}";
         let line = Line::parse(text).unwrap();
         assert_eq!(line.str("a"), Some("x\"y\\z\n"));
         assert_eq!(line.render(), text);
+    }
+
+    #[test]
+    fn multibyte_text_survives_both_paths() {
+        // Borrowed path.
+        let plain = "{\"a\":\"héllo→w\"}";
+        let line = Line::parse(plain).unwrap();
+        assert_eq!(line.str("a"), Some("héllo→w"));
+        assert_eq!(line.render(), plain);
+        // Owned path: an escape forces decoding around the multi-byte
+        // runs.
+        let escaped = "{\"a\":\"hé\\\"llo→w\"}";
+        let line = Line::parse(escaped).unwrap();
+        assert_eq!(line.str("a"), Some("hé\"llo→w"));
+        assert_eq!(line.render(), escaped);
     }
 
     #[test]
@@ -385,5 +522,7 @@ mod tests {
         assert!(Line::parse("{\"a\" 1}").is_err());
         assert!(Line::parse("{\"a\":1}x").is_err());
         assert!(Line::parse("{\"a\":\"unterminated}").is_err());
+        assert!(Line::parse("{\"a\":\"bad\\\\q\"}").is_ok(), "escaped backslash then q");
+        assert!(Line::parse("{\"a\":\"bad\\u12\"}").is_err());
     }
 }

@@ -1,6 +1,12 @@
 //! The in-memory trace model: parsed JSONL lines classified into bus
 //! transactions and protocol events, with cause references resolved.
+//!
+//! The model is zero-copy: it borrows the trace document it was
+//! parsed from (kinds, mids and keys are slices of the input), so
+//! building it costs one pass and the per-line index vectors, not a
+//! heap string per field.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 use crate::json::{Line, ParseError};
@@ -27,9 +33,9 @@ impl CauseRef {
     }
 }
 
-/// One `bus.tx` record.
+/// One `bus.tx` record, borrowing from the parsed document.
 #[derive(Debug, Clone)]
-pub struct BusTx {
+pub struct BusTx<'a> {
     /// Index of the backing line in [`TraceModel::lines`].
     pub line: usize,
     /// Transmission start (arbitration won), bit-times.
@@ -43,7 +49,7 @@ pub struct BusTx {
     /// Arbitration rounds lost before this transmission.
     pub arb_losses: u64,
     /// Message identifier, e.g. `FDA[0,n2]` (`-` if unparsed).
-    pub mid: String,
+    pub mid: Cow<'a, str>,
     /// Transmitting nodes.
     pub transmitters: Vec<u8>,
     /// Whether the frame reached consistency.
@@ -52,7 +58,7 @@ pub struct BusTx {
     pub errored: bool,
 }
 
-impl BusTx {
+impl BusTx<'_> {
     /// The message-type prefix of the mid, e.g. `FDA`.
     pub fn msg_type(&self) -> &str {
         self.mid.split('[').next().unwrap_or(&self.mid)
@@ -70,9 +76,9 @@ impl BusTx {
     }
 }
 
-/// One protocol-event record.
+/// One protocol-event record, borrowing from the parsed document.
 #[derive(Debug, Clone)]
-pub struct Event {
+pub struct Event<'a> {
     /// Index of the backing line in [`TraceModel::lines`].
     pub line: usize,
     /// Event instant, bit-times.
@@ -82,7 +88,7 @@ pub struct Event {
     /// Emitting node.
     pub node: u8,
     /// Dotted kind label, e.g. `fd.suspect`.
-    pub kind: String,
+    pub kind: Cow<'a, str>,
     /// Causal parent, if recorded.
     pub cause: Option<CauseRef>,
 }
@@ -91,20 +97,21 @@ pub struct Event {
 #[derive(Debug, Clone, Copy)]
 pub enum Parent<'a> {
     /// The event was triggered by a bus delivery.
-    Bus(&'a BusTx),
+    Bus(&'a BusTx<'a>),
     /// The event was triggered by a prior protocol event.
-    Event(&'a Event),
+    Event(&'a Event<'a>),
 }
 
-/// A fully parsed trace document.
+/// A fully parsed trace document, borrowing the text it was parsed
+/// from.
 #[derive(Debug)]
-pub struct TraceModel {
+pub struct TraceModel<'a> {
     /// Every line, in document order (for lossless re-export).
-    pub lines: Vec<Line>,
+    pub lines: Vec<Line<'a>>,
     /// Bus transactions, in document order.
-    pub bus: Vec<BusTx>,
+    pub bus: Vec<BusTx<'a>>,
     /// Protocol events, in document order.
-    pub events: Vec<Event>,
+    pub events: Vec<Event<'a>>,
     seq_index: HashMap<u64, usize>,
     deliver_index: HashMap<u64, usize>,
 }
@@ -135,13 +142,13 @@ pub fn parse_node_set(text: &str) -> Vec<u8> {
         .collect()
 }
 
-impl TraceModel {
-    /// Parses a JSONL trace document.
+impl<'a> TraceModel<'a> {
+    /// Parses a JSONL trace document, borrowing `text`.
     ///
     /// # Errors
     ///
     /// Returns the first malformed line.
-    pub fn parse(text: &str) -> Result<TraceModel, TraceError> {
+    pub fn parse(text: &'a str) -> Result<TraceModel<'a>, TraceError> {
         let mut model = TraceModel {
             lines: Vec::new(),
             bus: Vec::new(),
@@ -171,7 +178,7 @@ impl TraceModel {
                         line.u64("t").unwrap_or(0)
                     }),
                     arb_losses: line.u64("arb_losses").unwrap_or(0),
-                    mid: line.str("mid").unwrap_or("-").to_string(),
+                    mid: line.str_cow("mid").unwrap_or(Cow::Borrowed("-")),
                     transmitters: line
                         .str("transmitters")
                         .map(parse_node_set)
@@ -189,7 +196,7 @@ impl TraceModel {
                     t: line.u64("t").unwrap_or(0),
                     seq: line.u64("seq"),
                     node: line.u64("node").unwrap_or(0) as u8,
-                    kind: line.str("kind").unwrap_or("").to_string(),
+                    kind: line.str_cow("kind").unwrap_or(Cow::Borrowed("")),
                     cause: line.str("cause").and_then(CauseRef::parse),
                 };
                 if let Some(seq) = event.seq {
@@ -203,34 +210,35 @@ impl TraceModel {
     }
 
     /// Re-renders the document (one canonical JSON object per line,
-    /// trailing newline) — byte-identical to a canonical export.
+    /// trailing newline) — byte-identical to a canonical export. One
+    /// output buffer serves every line; nothing else allocates.
     pub fn to_jsonl(&self) -> String {
-        let mut out = String::new();
+        let mut out = String::with_capacity(self.lines.len() * 96);
         for line in &self.lines {
-            out.push_str(&line.render());
+            line.render_into(&mut out);
             out.push('\n');
         }
         out
     }
 
     /// The backing [`Line`] of an event (for variant-specific fields).
-    pub fn line_of(&self, event: &Event) -> &Line {
+    pub fn line_of(&self, event: &Event<'_>) -> &Line<'a> {
         &self.lines[event.line]
     }
 
     /// The event with log sequence number `seq`.
-    pub fn event_by_seq(&self, seq: u64) -> Option<&Event> {
+    pub fn event_by_seq(&self, seq: u64) -> Option<&Event<'a>> {
         self.seq_index.get(&seq).map(|&i| &self.events[i])
     }
 
     /// The delivered bus transaction with delivery instant `deliver`.
-    pub fn bus_by_deliver(&self, deliver: u64) -> Option<&BusTx> {
+    pub fn bus_by_deliver(&self, deliver: u64) -> Option<&BusTx<'a>> {
         self.deliver_index.get(&deliver).map(|&i| &self.bus[i])
     }
 
     /// Resolves an event's causal parent, if it has one and the
     /// referenced record exists in this document.
-    pub fn parent(&self, event: &Event) -> Option<Parent<'_>> {
+    pub fn parent(&self, event: &Event<'_>) -> Option<Parent<'_>> {
         match event.cause? {
             CauseRef::Bus(deliver) => self.bus_by_deliver(deliver).map(Parent::Bus),
             CauseRef::Event(seq) => self.event_by_seq(seq).map(Parent::Event),
@@ -240,7 +248,7 @@ impl TraceModel {
     /// The protocol event that queued a frame: the latest matching
     /// transmit-request event at any transmitter, at or before the
     /// transmission start.
-    pub fn bus_trigger(&self, tx: &BusTx) -> Option<&Event> {
+    pub fn bus_trigger(&self, tx: &BusTx<'_>) -> Option<&Event<'a>> {
         let kind = match tx.msg_type() {
             "ELS" => "fd.lifesign.tx",
             "FDA" => "fda.sign.tx",
@@ -294,6 +302,16 @@ mod tests {
         assert_eq!(tx.queue_delay(), 0);
         assert!(model.bus_by_deliver(55).is_some());
         assert_eq!(model.event_by_seq(3).unwrap().kind, "timer.expired");
+    }
+
+    #[test]
+    fn model_borrows_the_document() {
+        let model = TraceModel::parse(DOC).unwrap();
+        assert!(
+            matches!(model.bus[0].mid, Cow::Borrowed(_)),
+            "escape-free mids are borrowed slices of the input"
+        );
+        assert!(model.events.iter().all(|e| matches!(e.kind, Cow::Borrowed(_))));
     }
 
     #[test]

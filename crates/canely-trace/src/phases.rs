@@ -71,7 +71,7 @@ pub struct PhaseProfile {
 
 impl PhaseProfile {
     /// Profiles every `node.crashed` marker in the trace.
-    pub fn of(model: &TraceModel) -> PhaseProfile {
+    pub fn of(model: &TraceModel<'_>) -> PhaseProfile {
         let crashes: Vec<(u64, u8)> = model
             .events
             .iter()
@@ -132,7 +132,7 @@ impl PhaseProfile {
 }
 
 fn profile_one(
-    model: &TraceModel,
+    model: &TraceModel<'_>,
     suspect: u8,
     crashed_at: u64,
     horizon: u64,
@@ -201,7 +201,7 @@ fn profile_one(
     }
 
     // Agreement-side phases, per observer.
-    let observers: Vec<&crate::model::Event> = model
+    let observers: Vec<&crate::model::Event<'_>> = model
         .events
         .iter()
         .filter(|e| {

@@ -28,7 +28,7 @@ pub struct Filter {
 
 /// Re-renders the records matching `filter`, one canonical JSON line
 /// each, in document order.
-pub fn filter(model: &TraceModel, filter: &Filter) -> String {
+pub fn filter(model: &TraceModel<'_>, filter: &Filter) -> String {
     let mut out = String::new();
     for line in &model.lines {
         let t = line.u64("t").unwrap_or(0);
@@ -54,24 +54,24 @@ pub fn filter(model: &TraceModel, filter: &Filter) -> String {
                 .fields
                 .iter()
                 .any(|(k, v)| {
-                    matches!(k.as_str(), "view" | "vector" | "proposal")
+                    matches!(k.as_ref(), "view" | "vector" | "proposal")
                         && v.as_str() == Some(view.as_str())
                 });
             if !mentions {
                 continue;
             }
         }
-        out.push_str(&line.render());
+        line.render_into(&mut out);
         out.push('\n');
     }
     out
 }
 
 /// Renders kind counts and bus occupancy statistics.
-pub fn summary(model: &TraceModel) -> String {
+pub fn summary(model: &TraceModel<'_>) -> String {
     let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
     for event in &model.events {
-        *counts.entry(event.kind.as_str()).or_default() += 1;
+        *counts.entry(event.kind.as_ref()).or_default() += 1;
     }
     let mut out = String::from("trace summary\n");
     let _ = writeln!(out, "  protocol events: {}", model.events.len());
@@ -121,7 +121,7 @@ pub fn summary(model: &TraceModel) -> String {
 /// Returns a message listing the available suspicions when none
 /// matches.
 pub fn render_chain(
-    model: &TraceModel,
+    model: &TraceModel<'_>,
     suspect: u8,
     observer: Option<u8>,
 ) -> Result<String, String> {
@@ -173,7 +173,7 @@ pub fn render_chain(
 /// Renders the phase-latency table, with headroom against the analytic
 /// bounds when given (in bit-times; 0 = unknown).
 pub fn render_phases(
-    model: &TraceModel,
+    model: &TraceModel<'_>,
     detection_bound: u64,
     view_change_bound: u64,
 ) -> String {

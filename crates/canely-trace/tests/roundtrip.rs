@@ -1,0 +1,169 @@
+//! Differential tests of the zero-copy string decoder against the
+//! original (seed) char-by-char unescape routine, plus lossless
+//! round-trip properties over escape-heavy generated documents.
+//!
+//! The zero-copy rewrite replaced an allocate-always decoder with a
+//! borrowed fast path and a copy-on-escape slow path; these tests pin
+//! the new decoder to the seed's observable behaviour: same decoded
+//! text, same accept/reject verdict, and byte-identical re-rendering
+//! of every document the canonical exporter can produce.
+
+use canely_trace::json::{escape_into, Line};
+use proptest::prelude::*;
+
+/// The seed decoder, verbatim: decodes the *content* of a JSON string
+/// (no surrounding quotes), one `char` at a time, allocating always.
+/// Returns `None` exactly where the old parser reported an error.
+fn seed_unescape(raw: &str) -> Option<String> {
+    let bytes = raw.as_bytes();
+    let mut out = String::new();
+    let mut pos = 0;
+    loop {
+        match bytes.get(pos) {
+            None => return Some(out),
+            Some(b'\\') => {
+                pos += 1;
+                match bytes.get(pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(pos + 1..pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .and_then(char::from_u32);
+                        match hex {
+                            Some(c) => {
+                                out.push(c);
+                                pos += 4;
+                            }
+                            None => return None,
+                        }
+                    }
+                    _ => return None,
+                }
+                pos += 1;
+            }
+            Some(_) => {
+                let c = raw[pos..].chars().next().expect("non-empty");
+                out.push(c);
+                pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+/// One building block of a generated escaped-string body: either a
+/// plain character or one of the escape forms the parser accepts.
+fn arb_token() -> impl Strategy<Value = String> {
+    // Selector-weighted choice (the vendored proptest has no
+    // `prop_oneof!`): plain text dominates, every escape form and a
+    // few multibyte literals appear regularly.
+    (0u8..12, any::<u8>(), 0u32..0xD800u32).prop_map(|(selector, byte, code)| match selector {
+        0 => "\\\"".to_string(),
+        1 => "\\\\".to_string(),
+        2 => "\\/".to_string(),
+        3 => "\\n".to_string(),
+        4 => "\\t".to_string(),
+        5 => "\\r".to_string(),
+        // A \uXXXX escape for an arbitrary non-surrogate scalar below
+        // U+D800 (the only range four hex digits can spell besides the
+        // rejected surrogates).
+        6 => format!("\\u{code:04x}"),
+        7 => "é漢🚍".chars().nth((byte % 3) as usize).unwrap().to_string(),
+        // A plain ASCII character that needs no escaping.
+        _ => char::from(0x20 + byte % 0x5e).to_string().replace(['"', '\\'], "x"),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Over arbitrary escape-heavy string bodies (quotes, backslashes,
+    /// `\uXXXX`, control-character escapes, multibyte literals), the
+    /// zero-copy parser decodes exactly what the seed's char-by-char
+    /// unescape decoded, and errors exactly where it errored.
+    #[test]
+    fn zero_copy_unescape_matches_seed(tokens in prop::collection::vec(arb_token(), 0..24)) {
+        let raw: String = tokens.concat();
+        let doc = format!("{{\"v\":\"{raw}\"}}");
+        let expected = seed_unescape(&raw);
+        match (Line::parse(&doc), expected) {
+            (Ok(line), Some(text)) => {
+                prop_assert_eq!(line.str("v"), Some(text.as_ref()));
+                // And the decoded value re-renders to the canonical
+                // escaping, which decodes back to the same text.
+                let rendered = line.render();
+                let reparsed = Line::parse(&rendered).expect("rendered line parses");
+                prop_assert_eq!(reparsed.str("v"), Some(text.as_ref()));
+            }
+            (Err(_), None) => {}
+            (got, want) => prop_assert!(
+                false,
+                "verdicts diverge: new {:?} vs seed {:?} on {:?}",
+                got.map(|l| l.render()), want, raw
+            ),
+        }
+    }
+
+    /// Any string the canonical exporter escaping produces — including
+    /// raw quotes, backslashes, control characters and multibyte text
+    /// in the source — survives a full escape → parse → render →
+    /// parse cycle losslessly, and the two renders are byte-identical.
+    #[test]
+    fn canonical_escaping_round_trips(text in arb_text()) {
+        let mut escaped = String::new();
+        escape_into(&text, &mut escaped);
+        let doc = format!("{{\"v\":\"{escaped}\"}}");
+        let line = Line::parse(&doc).expect("canonical escaping parses");
+        prop_assert_eq!(line.str("v"), Some(text.as_ref()));
+        let rendered = line.render();
+        prop_assert_eq!(&rendered, &doc);
+        let again = Line::parse(&rendered).expect("round-tripped line parses");
+        prop_assert_eq!(again.render(), rendered);
+    }
+}
+
+/// Source text for the canonical-escaping round trip: printable
+/// ASCII (quotes and backslashes included) salted with raw control
+/// characters and multibyte scalars.
+fn arb_text() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        (0u8..10, any::<u8>()).prop_map(|(selector, byte)| match selector {
+            0 => '"',
+            1 => '\\',
+            2 => char::from(byte % 0x20),
+            3 => ['é', 'ß', '漢', '🚍'][(byte % 4) as usize],
+            _ => char::from(0x20 + byte % 0x5f),
+        }),
+        0..32,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// Surrogate half escapes were rejected by the seed parser
+/// (`char::from_u32` fails); the zero-copy parser must reject them at
+/// the same spot rather than producing mojibake.
+#[test]
+fn surrogate_escapes_are_rejected_like_the_seed() {
+    for raw in ["\\ud800", "\\udfff", "pre\\ud9abpost"] {
+        assert!(seed_unescape(raw).is_none(), "seed accepts {raw:?}");
+        let doc = format!("{{\"v\":\"{raw}\"}}");
+        assert!(Line::parse(&doc).is_err(), "new parser accepts {raw:?}");
+    }
+}
+
+/// Truncated and malformed escapes: both decoders refuse.
+#[test]
+fn malformed_escapes_are_rejected_like_the_seed() {
+    for raw in ["\\", "\\q", "\\u12", "\\uzzzz", "tail\\"] {
+        assert!(seed_unescape(raw).is_none(), "seed accepts {raw:?}");
+        let doc = format!("{{\"v\":\"{raw}\"}}");
+        assert!(Line::parse(&doc).is_err(), "new parser accepts {raw:?}");
+    }
+}
+

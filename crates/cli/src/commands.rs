@@ -462,22 +462,23 @@ pub fn metrics(args: &mut Args) -> CmdResult {
     Ok(out)
 }
 
-/// Sources the [`canely_trace::TraceModel`] behind a `tq` query: a
-/// pre-recorded `--trace file.jsonl`, or `--scenario file.canely` run
-/// deterministically on the spot.
-fn tq_model(args: &mut Args) -> Result<canely_trace::TraceModel, String> {
-    let jsonl = if let Some(path) = args.str_opt("trace") {
-        std::fs::read_to_string(&path).map_err(|e| format!("error: cannot read `{path}`: {e}"))?
+/// Sources the JSONL document behind a `tq` query: a pre-recorded
+/// `--trace file.jsonl`, or `--scenario file.canely` run
+/// deterministically on the spot. The caller keeps the returned text
+/// alive and parses the (borrowing, zero-copy)
+/// [`canely_trace::TraceModel`] over it.
+fn tq_source(args: &mut Args) -> Result<String, String> {
+    if let Some(path) = args.str_opt("trace") {
+        std::fs::read_to_string(&path).map_err(|e| format!("error: cannot read `{path}`: {e}"))
     } else if let Some(path) = args.str_opt("scenario") {
         let text = std::fs::read_to_string(&path)
             .map_err(|e| format!("error: cannot read `{path}`: {e}"))?;
         let scenario = crate::scenario::Scenario::parse(&text).map_err(|e| e.to_string())?;
         let (sim, _until, log) = scenario.run_with_obs().map_err(fail)?;
-        log.export_jsonl(Some(sim.trace()))
+        Ok(log.export_jsonl(Some(sim.trace())))
     } else {
-        return Err("error: tq requires --scenario <file.canely> or --trace <file.jsonl>".into());
-    };
-    canely_trace::TraceModel::parse(&jsonl).map_err(|e| format!("error: {e}"))
+        Err("error: tq requires --scenario <file.canely> or --trace <file.jsonl>".into())
+    }
 }
 
 /// Parses an optional `--name N` / `--name nN` node-id option.
@@ -501,7 +502,8 @@ pub fn tq(args: &mut Args) -> CmdResult {
         .subcommand()
         .ok_or("error: tq requires a subcommand: chain | phases | filter | summary | reexport")?
         .to_string();
-    let model = tq_model(args)?;
+    let jsonl = tq_source(args)?;
+    let model = canely_trace::TraceModel::parse(&jsonl).map_err(|e| format!("error: {e}"))?;
     match sub.as_str() {
         "chain" => {
             let suspect =

@@ -68,7 +68,7 @@ fn assert_causally_complete(doc: &str) {
                 // Crash/restart markers and scheduled leaves are
                 // external stimuli: nothing on the bus causes them.
                 let external = matches!(
-                    event.kind.as_str(),
+                    event.kind.as_ref(),
                     "node.crashed" | "node.restarted" | "msh.leave.tx"
                 );
                 assert!(
@@ -93,6 +93,26 @@ fn checked_in_scenarios_are_causally_complete() {
         "noisy_storm.canely",
     ] {
         assert_causally_complete(&scenario_trace(name));
+    }
+}
+
+/// The zero-copy parser's lossless guarantee over full production
+/// documents: every checked-in scenario's exported trace re-renders
+/// byte-identically through parse → `to_jsonl`, and a second cycle is
+/// a fixed point.
+#[test]
+fn checked_in_scenario_traces_round_trip_losslessly() {
+    for name in [
+        "partition_heal.canely",
+        "lifecycle.canely",
+        "noisy_storm.canely",
+    ] {
+        let doc = scenario_trace(name);
+        let model = canely_trace::TraceModel::parse(&doc).unwrap();
+        let rendered = model.to_jsonl();
+        assert_eq!(rendered, doc, "{name}: parse→render must be lossless");
+        let again = canely_trace::TraceModel::parse(&rendered).unwrap();
+        assert_eq!(again.to_jsonl(), rendered, "{name}: render is a fixed point");
     }
 }
 

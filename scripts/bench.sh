@@ -4,7 +4,9 @@
 # into machine-readable summaries:
 #
 #   BENCH_trace.json     — parse / chain / phases / chrome / reexport
-#   BENCH_campaign.json  — worker scaling + single-run oracle cost
+#   BENCH_campaign.json  — worker scaling + per-run / oracle cost
+#   BENCH_sim.json       — 64-run scaling, warm-world stepping,
+#                          zero-copy parse of a ≥1 MiB trace
 #
 # Everything runs --offline against the vendored criterion harness.
 #
@@ -51,3 +53,4 @@ run_bench() {
 
 run_bench trace
 run_bench campaign
+run_bench sim

@@ -41,6 +41,33 @@ if [ "$summary" != "$resummary" ]; then
     exit 1
 fi
 
+# Campaign scaling smoke gate: fanning the same matrix out to 8
+# workers must never be *slower* than running it on 1. On a multi-core
+# host this also catches lost parallelism; on a single hardware thread
+# the two legitimately tie, so the gate compares best-of-3 wall times
+# with a 25% relative plus 50 ms absolute tolerance for scheduler and
+# process-startup noise (see docs/PERF.md).
+echo "==> campaign scaling gate"
+best_ms() {
+    best=""
+    for _ in 1 2 3; do
+        start=$(date +%s%N)
+        target/release/canelyctl campaign run \
+            --spec scenarios/smoke.campaign --workers "$1" --json > /dev/null
+        end=$(date +%s%N)
+        ms=$(((end - start) / 1000000))
+        if [ -z "$best" ] || [ "$ms" -lt "$best" ]; then best="$ms"; fi
+    done
+    echo "$best"
+}
+serial_ms="$(best_ms 1)"
+fanout_ms="$(best_ms 8)"
+echo "    best-of-3 wall time: 1 worker ${serial_ms}ms, 8 workers ${fanout_ms}ms"
+if [ "$fanout_ms" -gt $((serial_ms + serial_ms / 4 + 50)) ]; then
+    echo "verify: 8-worker campaign (${fanout_ms}ms) is slower than 1-worker (${serial_ms}ms) beyond tolerance" >&2
+    exit 1
+fi
+
 # Trace round-trip gate: the canonical JSONL export must survive a
 # parse → re-export cycle byte-for-byte (the `tq` query engine and the
 # campaign analytics both build on this losslessness).
