@@ -1,0 +1,50 @@
+//! Failure-detector backend cost: the `campaign_per_run` measurement
+//! of `benches/campaign.rs`, repeated once per pluggable backend over
+//! the *same* fault schedule (the detector dimension never enters the
+//! campaign schedule key). The spread between rows is therefore pure
+//! algorithm cost — extra timer churn, ping round-trips, unconditional
+//! heartbeat traffic — feeding the runtime column of the QoS shootout
+//! in `docs/DETECTORS.md`. Summarized into `BENCH_detectors.json` by
+//! `scripts/bench.sh`.
+
+use can_types::BitTime;
+use canely::DetectorKind;
+use canely_campaign::{execute_in, CampaignSpec, RunSpec, WorldArena};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// One 4-node, 200 ms, single-crash run — the `campaign_per_run`
+/// workload — with the backend swapped in.
+fn run_for(kind: DetectorKind) -> RunSpec {
+    let spec = CampaignSpec {
+        name: "bench-detectors".into(),
+        nodes: vec![4],
+        seeds: (0, 1),
+        crash_budgets: vec![1],
+        until: BitTime::new(200_000),
+        settle: BitTime::new(100_000),
+        detectors: vec![kind],
+        ..CampaignSpec::default()
+    };
+    spec.expand().remove(0)
+}
+
+/// Warm-arena per-run cost of each backend (the campaign hot path).
+fn bench_detectors_per_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detectors_per_run");
+    group.sample_size(30);
+    for kind in DetectorKind::ALL {
+        let run = run_for(kind);
+        let mut arena = WorldArena::new();
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &run, |b, run| {
+            b.iter(|| {
+                let outcome = execute_in(&mut arena, run, false);
+                assert!(outcome.violations.is_empty(), "{kind}");
+                outcome.events
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors_per_run);
+criterion_main!(benches);

@@ -40,37 +40,49 @@ fn disabled_sink_is_allocation_free() {
     let disabled = EventSink::disabled();
     assert!(!disabled.is_enabled());
 
-    let before = allocations();
-    for i in 0..100_000u64 {
-        // Cause-ID threading and the timer-linking resolution path
-        // must stay free as well: the dispatcher stamps an ambient
-        // cause around every delivery even when tracing is off.
-        disabled.set_cause(Cause::Bus {
-            deliver_at: BitTime::new(i),
-        });
-        disabled.emit(
-            BitTime::new(i),
-            NodeId::new((i % 4) as u8),
-            ProtocolEvent::LifeSignSent,
-        );
-        disabled.emit(
-            BitTime::new(i),
-            NodeId::new(0),
-            ProtocolEvent::FdaSignReceived {
-                failed: NodeId::new(3),
-                duplicate: false,
-            },
-        );
-        disabled.emit(
-            BitTime::new(i),
-            NodeId::new(0),
-            ProtocolEvent::TimerExpired {
-                timer: canely::obs::ObsTimer::Surveillance(NodeId::new(3)),
-            },
-        );
-        disabled.clear_cause();
+    // The counter is process-global, so a one-shot lazy allocation on
+    // the harness thread (output capture, TLS init — showing up only
+    // under heavy parallel test load) can land inside the measured
+    // window. A path that truly allocates does so on every one of the
+    // 300 000 emits, so measuring a few windows and requiring one to
+    // be clean keeps the property strict while ignoring that noise.
+    let mut disabled_delta = u64::MAX;
+    for _attempt in 0..5 {
+        let before = allocations();
+        for i in 0..100_000u64 {
+            // Cause-ID threading and the timer-linking resolution path
+            // must stay free as well: the dispatcher stamps an ambient
+            // cause around every delivery even when tracing is off.
+            disabled.set_cause(Cause::Bus {
+                deliver_at: BitTime::new(i),
+            });
+            disabled.emit(
+                BitTime::new(i),
+                NodeId::new((i % 4) as u8),
+                ProtocolEvent::LifeSignSent,
+            );
+            disabled.emit(
+                BitTime::new(i),
+                NodeId::new(0),
+                ProtocolEvent::FdaSignReceived {
+                    failed: NodeId::new(3),
+                    duplicate: false,
+                },
+            );
+            disabled.emit(
+                BitTime::new(i),
+                NodeId::new(0),
+                ProtocolEvent::TimerExpired {
+                    timer: canely::obs::ObsTimer::Surveillance(NodeId::new(3)),
+                },
+            );
+            disabled.clear_cause();
+        }
+        disabled_delta = disabled_delta.min(allocations() - before);
+        if disabled_delta == 0 {
+            break;
+        }
     }
-    let disabled_delta = allocations() - before;
     assert_eq!(
         disabled_delta, 0,
         "disabled sink performed {disabled_delta} allocations"

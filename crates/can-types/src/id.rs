@@ -150,13 +150,17 @@ pub enum MsgType {
     /// Process-group management announcement (join/leave of a process
     /// group, disseminated reliably on top of the site membership).
     Group = 18,
+    /// SWIM-style probe frame (direct ping, ping-req, indirect ack)
+    /// used by alternative failure-detector backends. Remote frame;
+    /// clusters on the wire like life-signs.
+    Ping = 19,
     /// Application data (implicit heartbeat traffic).
     AppData = 24,
 }
 
 impl MsgType {
     /// All message types, in priority order.
-    pub const ALL: [MsgType; 19] = [
+    pub const ALL: [MsgType; 20] = [
         MsgType::Fda,
         MsgType::Rha,
         MsgType::Els,
@@ -175,6 +179,7 @@ impl MsgType {
         MsgType::OsekAlive,
         MsgType::TtpSlot,
         MsgType::Group,
+        MsgType::Ping,
         MsgType::AppData,
     ];
 
@@ -205,6 +210,7 @@ impl MsgType {
             16 => MsgType::OsekAlive,
             17 => MsgType::TtpSlot,
             18 => MsgType::Group,
+            19 => MsgType::Ping,
             24 => MsgType::AppData,
             _ => return None,
         })
@@ -215,7 +221,7 @@ impl MsgType {
     pub const fn is_remote_encapsulated(self) -> bool {
         matches!(
             self,
-            MsgType::Fda | MsgType::Els | MsgType::Join | MsgType::Leave
+            MsgType::Fda | MsgType::Els | MsgType::Join | MsgType::Leave | MsgType::Ping
         )
     }
 }
@@ -241,6 +247,7 @@ impl fmt::Display for MsgType {
             MsgType::OsekAlive => "OSEK-ALIVE",
             MsgType::TtpSlot => "TTP-SLOT",
             MsgType::Group => "GROUP",
+            MsgType::Ping => "PING",
             MsgType::AppData => "DATA",
         };
         f.write_str(name)

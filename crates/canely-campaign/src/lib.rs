@@ -39,6 +39,12 @@
 //! over the mutant **must** produce a counterexample, and the correct
 //! protocol **must** survive the same matrix clean.
 //!
+//! A matrix may also span failure-detector *backends* (`detector
+//! surveillance swim add-phi` — see `docs/DETECTORS.md`): every
+//! backend then faces byte-identical fault schedules, and the result
+//! carries a per-backend [`ShootoutReport`] comparing detection
+//! latency, false suspicions and detector bus bandwidth.
+//!
 //! ```
 //! use canely_campaign::{run_campaign, CampaignSpec};
 //!
@@ -57,6 +63,7 @@
 pub mod oracle;
 pub mod run;
 pub mod runner;
+pub mod shootout;
 pub mod shrink;
 pub mod spec;
 
@@ -66,4 +73,5 @@ pub use runner::{
     run_campaign, run_campaign_analytics, CampaignReport, CampaignResult, Counterexample,
     RunLatency,
 };
+pub use shootout::{BackendQoS, ShootoutReport};
 pub use spec::{CampaignSpec, RunSpec};

@@ -10,7 +10,7 @@ use crate::oracle::{self, NodeFinal, OracleInput, Violation};
 use crate::spec::RunSpec;
 use can_bus::{BusConfig, FaultPlan};
 use can_controller::Simulator;
-use can_types::{BitTime, NodeId, NodeSet};
+use can_types::{BitTime, MsgType, NodeId, NodeSet};
 use canely::obs::{export_jsonl, ObsLog, ProtocolEvent};
 use canely::{CanelyStack, TrafficConfig};
 
@@ -28,6 +28,15 @@ pub struct RunOutcome {
     pub detection: Vec<u64>,
     /// Measured crash-to-view-install latencies (bit-times).
     pub view_change: Vec<u64>,
+    /// Suspicions raised against nodes that had *not* crashed at the
+    /// time (false positives of the failure detector; the QoS
+    /// `λ`-metric of the shootout report).
+    pub false_suspicions: u64,
+    /// Physical frames on the bus attributable to the failure
+    /// detector (ELS life-signs + SWIM ping traffic).
+    pub detector_frames: u64,
+    /// Bus occupancy (bit-times) of those detector frames.
+    pub detector_busy: u64,
     /// The merged bus + protocol JSONL trace, when requested.
     pub trace_jsonl: Option<String>,
 }
@@ -80,6 +89,33 @@ pub fn latency_samples(events: &[canely::obs::TimedEvent]) -> (Vec<u64>, Vec<u64
         }
     }
     (detection, view_change)
+}
+
+/// Counts suspicions of nodes that were alive when suspected: a
+/// `SuspectRaised { suspect }` is *false* unless the suspect has a
+/// `NodeCrashed` marker at or before the suspicion with no
+/// `NodeRestarted` in between.
+pub fn false_suspicion_count(events: &[canely::obs::TimedEvent]) -> u64 {
+    events
+        .iter()
+        .filter(|e| {
+            let ProtocolEvent::SuspectRaised { suspect } = e.event else {
+                return false;
+            };
+            let down = events
+                .iter()
+                .filter(|m| m.node == suspect && m.time <= e.time)
+                .filter(|m| {
+                    matches!(
+                        m.event,
+                        ProtocolEvent::NodeCrashed | ProtocolEvent::NodeRestarted
+                    )
+                })
+                .max_by_key(|m| m.time)
+                .is_some_and(|m| matches!(m.event, ProtocolEvent::NodeCrashed));
+            !down
+        })
+        .count() as u64
 }
 
 /// A reusable simulation world: one allocated simulator plus one
@@ -191,6 +227,16 @@ pub fn execute_in(arena: &mut WorldArena, spec: &RunSpec, capture_trace: bool) -
         })
         .collect();
 
+    // Detector bandwidth, from the wire itself: the life-sign and
+    // ping share of actual bus occupancy over the whole run.
+    let bus = sim.trace().stats(BitTime::ZERO, spec.until);
+    let (detector_frames, detector_busy) = [MsgType::Els, MsgType::Ping]
+        .into_iter()
+        .map(|t| bus.of_type(t))
+        .fold((0u64, 0u64), |(frames, busy), s| {
+            (frames + s.frames as u64, busy + s.busy.as_u64())
+        });
+
     log.with_events(|events| {
         let input = OracleInput {
             events,
@@ -212,6 +258,9 @@ pub fn execute_in(arena: &mut WorldArena, spec: &RunSpec, capture_trace: bool) -
             events: events.len(),
             detection,
             view_change,
+            false_suspicions: false_suspicion_count(events),
+            detector_frames,
+            detector_busy,
             trace_jsonl,
         }
     })
@@ -245,6 +294,12 @@ mod tests {
             "a crashed node must yield detection-latency samples"
         );
         assert!(!outcome.view_change.is_empty());
+        assert_eq!(outcome.false_suspicions, 0, "no live node may be suspected");
+        // The paper's detector under cyclic traffic: implicit
+        // heartbeats satisfy every surveillance timer, so the
+        // detector's own wire cost is exactly zero (Sec. 6.3).
+        assert_eq!(outcome.detector_frames, 0);
+        assert_eq!(outcome.detector_busy, 0);
         let worst_detection = outcome.detection.iter().max().unwrap();
         let worst_view_change = outcome.view_change.iter().max().unwrap();
         assert!(
@@ -292,6 +347,49 @@ mod tests {
         let b = execute(&run, true);
         assert_eq!(a.trace_jsonl, b.trace_jsonl);
         assert!(a.trace_jsonl.as_deref().is_some_and(|t| !t.is_empty()));
+    }
+
+    #[test]
+    fn backends_face_the_same_schedule_with_different_wire_costs() {
+        use canely::DetectorKind;
+        let base = base_run();
+        let mut outcomes = Vec::new();
+        for kind in DetectorKind::ALL {
+            let run = RunSpec {
+                detector: kind,
+                ..base.clone()
+            };
+            let outcome = execute(&run, false);
+            assert!(
+                outcome.violations.is_empty(),
+                "{kind}: violations: {:?}",
+                outcome.violations
+            );
+            assert!(
+                !outcome.detection.is_empty(),
+                "{kind}: the crash must be detected"
+            );
+            outcomes.push((kind, outcome));
+        }
+        // The heartbeat-free SWIM backend must spend less life-sign
+        // bandwidth than the unconditional ◇P heartbeater.
+        let busy = |k: DetectorKind| {
+            outcomes
+                .iter()
+                .find(|(kind, _)| *kind == k)
+                .map(|(_, o)| o.detector_busy)
+                .unwrap()
+        };
+        assert!(
+            busy(DetectorKind::AddPhi) > 0,
+            "unconditional heartbeats must show up on the wire"
+        );
+        assert!(
+            busy(DetectorKind::Swim) < busy(DetectorKind::AddPhi),
+            "swim ({}) must under-spend add-phi ({}) on the wire",
+            busy(DetectorKind::Swim),
+            busy(DetectorKind::AddPhi)
+        );
     }
 
     #[test]

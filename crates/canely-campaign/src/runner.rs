@@ -11,6 +11,7 @@
 
 use crate::oracle::Violation;
 use crate::run::{self, RunOutcome, WorldArena};
+use crate::shootout::ShootoutReport;
 use crate::shrink;
 use crate::spec::{CampaignSpec, RunSpec};
 use canely_trace::{CampaignAnalytics, PhaseProfile, RunAnalytics, Summary, TraceModel};
@@ -171,6 +172,9 @@ pub struct Counterexample {
 pub struct CampaignResult {
     /// The aggregate report.
     pub report: CampaignReport,
+    /// Per-backend QoS comparison, when the matrix spans more than
+    /// one failure-detector backend (see [`ShootoutReport`]).
+    pub shootout: Option<ShootoutReport>,
     /// Minimized reproducer of the first violating run, if any.
     pub counterexample: Option<Counterexample>,
 }
@@ -210,6 +214,7 @@ pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> CampaignResult {
         per_invariant,
         latency,
     };
+    let shootout = ShootoutReport::of(&runs, &outcomes);
 
     let counterexample = report.violating.first().map(|&(id, _)| {
         let original = runs[id].clone();
@@ -227,6 +232,7 @@ pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> CampaignResult {
 
     CampaignResult {
         report,
+        shootout,
         counterexample,
     }
 }

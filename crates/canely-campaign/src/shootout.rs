@@ -1,0 +1,222 @@
+//! Head-to-head QoS comparison of failure-detector backends.
+//!
+//! When a campaign matrix carries more than one `detector` value,
+//! every backend executes the **same** fault schedules (the detector
+//! is excluded from the schedule key — see
+//! [`CampaignSpec::expand`](crate::CampaignSpec::expand)), so
+//! per-backend aggregates compare like-for-like: detection latency,
+//! false-suspicion counts and the detector's own share of bus
+//! bandwidth differ only because the detection *algorithm* differs.
+//!
+//! The three QoS axes follow Chen/Toueg/Aguilera's failure-detector
+//! quality-of-service framing: detection time (`T_D`), accuracy
+//! (false suspicions, `T_MR`-style), and overhead (here: bus
+//! occupancy, the scarce resource on a fieldbus). `docs/DETECTORS.md`
+//! reproduces and discusses the resulting table.
+
+use crate::run::RunOutcome;
+use crate::spec::RunSpec;
+use canely::DetectorKind;
+use canely_trace::Summary;
+use std::fmt::Write as _;
+
+/// Aggregated quality-of-service figures for one backend across its
+/// slice of the campaign matrix.
+#[derive(Debug, Clone)]
+pub struct BackendQoS {
+    /// The backend.
+    pub detector: DetectorKind,
+    /// Runs executed with this backend.
+    pub runs: usize,
+    /// Runs that violated at least one oracle invariant.
+    pub violating_runs: usize,
+    /// Crash-to-notification latency over **all** samples of all runs
+    /// (`None`: the matrix scheduled no crashes).
+    pub detection: Option<Summary>,
+    /// Total suspicions raised against live nodes.
+    pub false_suspicions: u64,
+    /// Total detector frames on the bus (ELS + ping traffic).
+    pub detector_frames: u64,
+    /// Total bus occupancy of those frames, in bit-times.
+    pub detector_busy: u64,
+    /// Detector share of the bus in parts-per-million of the summed
+    /// run horizons (integer, so reports stay byte-deterministic).
+    pub bus_ppm: u64,
+}
+
+/// The per-backend comparison table of a multi-detector campaign.
+#[derive(Debug, Clone)]
+pub struct ShootoutReport {
+    /// One row per backend, in [`DetectorKind::ALL`] order.
+    pub backends: Vec<BackendQoS>,
+}
+
+impl ShootoutReport {
+    /// Builds the comparison from matrix-ordered outcomes. Returns
+    /// `None` unless at least two backends are present — a
+    /// single-backend campaign has nothing to compare.
+    pub fn of(runs: &[RunSpec], outcomes: &[RunOutcome]) -> Option<ShootoutReport> {
+        let mut backends = Vec::new();
+        for kind in DetectorKind::ALL {
+            let mut qos = BackendQoS {
+                detector: kind,
+                runs: 0,
+                violating_runs: 0,
+                detection: None,
+                false_suspicions: 0,
+                detector_frames: 0,
+                detector_busy: 0,
+                bus_ppm: 0,
+            };
+            let mut samples = Vec::new();
+            let mut horizon: u64 = 0;
+            for outcome in outcomes {
+                let run = &runs[outcome.id];
+                if run.detector != kind {
+                    continue;
+                }
+                qos.runs += 1;
+                qos.violating_runs += usize::from(!outcome.violations.is_empty());
+                qos.false_suspicions += outcome.false_suspicions;
+                qos.detector_frames += outcome.detector_frames;
+                qos.detector_busy += outcome.detector_busy;
+                samples.extend_from_slice(&outcome.detection);
+                horizon += run.until.as_u64();
+            }
+            if qos.runs == 0 {
+                continue;
+            }
+            qos.detection = Summary::of(&samples);
+            qos.bus_ppm = qos.detector_busy * 1_000_000 / horizon.max(1);
+            backends.push(qos);
+        }
+        (backends.len() >= 2).then_some(ShootoutReport { backends })
+    }
+
+    /// Whether every backend kept every oracle invariant.
+    pub fn clean(&self) -> bool {
+        self.backends.iter().all(|b| b.violating_runs == 0)
+    }
+
+    /// One deterministic JSON object (no wall-clock, no worker count):
+    /// byte-identical for any worker count, like
+    /// [`CampaignReport::to_json`](crate::CampaignReport::to_json).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"shootout\":[");
+        for (i, b) in self.backends.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let detection = b
+                .detection
+                .as_ref()
+                .map_or("null".to_string(), Summary::to_json);
+            let _ = write!(
+                out,
+                "{{\"detector\":\"{}\",\"runs\":{},\"violating_runs\":{},\
+                 \"detection\":{},\"false_suspicions\":{},\
+                 \"detector_frames\":{},\"detector_busy\":{},\"bus_ppm\":{}}}",
+                b.detector,
+                b.runs,
+                b.violating_runs,
+                detection,
+                b.false_suspicions,
+                b.detector_frames,
+                b.detector_busy,
+                b.bus_ppm
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The comparison as a GitHub-flavoured markdown table — the
+    /// artefact `docs/DETECTORS.md` embeds.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from(
+            "| backend | runs | violations | detection p50 | p99 | max \
+             | false susp. | det. frames | bus ppm |\n\
+             |---|---|---|---|---|---|---|---|---|\n",
+        );
+        for b in &self.backends {
+            let (p50, p99, max) = b.detection.as_ref().map_or_else(
+                || ("–".to_string(), "–".to_string(), "–".to_string()),
+                |s| (s.p50.to_string(), s.p99.to_string(), s.max.to_string()),
+            );
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+                b.detector,
+                b.runs,
+                b.violating_runs,
+                p50,
+                p99,
+                max,
+                b.false_suspicions,
+                b.detector_frames,
+                b.bus_ppm
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_campaign;
+    use crate::spec::CampaignSpec;
+
+    fn shootout_spec() -> CampaignSpec {
+        CampaignSpec {
+            name: "shootout-unit".into(),
+            seeds: (0, 2),
+            crash_budgets: vec![1],
+            detectors: DetectorKind::ALL.to_vec(),
+            ..CampaignSpec::default()
+        }
+    }
+
+    #[test]
+    fn multi_backend_campaign_yields_a_comparison() {
+        let result = run_campaign(&shootout_spec(), 2);
+        assert!(result.report.clean(), "{}", result.report.render());
+        let shootout = result.shootout.expect("three backends to compare");
+        assert_eq!(shootout.backends.len(), 3);
+        assert!(shootout.clean());
+        for b in &shootout.backends {
+            assert_eq!(b.runs, 2);
+            assert!(
+                b.detection.is_some(),
+                "{}: crashes were scheduled, latency must be measured",
+                b.detector
+            );
+        }
+        // The QoS ordering the backends were designed around: the
+        // ◇P heartbeater out-spends SWIM on the wire.
+        let busy = |k: DetectorKind| {
+            shootout
+                .backends
+                .iter()
+                .find(|b| b.detector == k)
+                .map(|b| b.detector_busy)
+                .unwrap()
+        };
+        assert!(busy(DetectorKind::AddPhi) > busy(DetectorKind::Swim));
+        let json = shootout.to_json();
+        assert!(json.starts_with("{\"shootout\":["), "{json}");
+        let md = shootout.to_markdown();
+        assert!(md.contains("| backend |"), "{md}");
+        assert!(md.contains("| surveillance |"), "{md}");
+    }
+
+    #[test]
+    fn single_backend_campaign_has_no_shootout() {
+        let spec = CampaignSpec {
+            seeds: (0, 1),
+            ..CampaignSpec::default()
+        };
+        let result = run_campaign(&spec, 1);
+        assert!(result.shootout.is_none());
+    }
+}

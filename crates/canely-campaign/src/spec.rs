@@ -19,6 +19,7 @@
 //! inaccessibility 0 2ms  # matrix: blackout window length (0 = none)
 //! until 300ms
 //! settle 150ms
+//! detector surveillance swim add-phi  # matrix: failure-detector backends
 //! ```
 //!
 //! Expansion is **deterministic**: the crash instants, crash victims
@@ -28,7 +29,7 @@
 //! machine, with any worker count.
 
 use can_types::{BitTime, NodeId, NodeSet, MAX_NODES};
-use canely::CanelyConfig;
+use canely::{CanelyConfig, DetectorKind};
 use canely_analysis::ProtocolBounds;
 use rand::rngs::SmallRng;
 use rand::{Rng as _, SeedableRng as _};
@@ -115,6 +116,11 @@ pub struct CampaignSpec {
     /// Run every simulation against the deliberately broken
     /// failure-detection mutant (see `CanelyConfig::weakened_fda`).
     pub weaken_fda: bool,
+    /// Matrix: failure-detector backends. Every backend faces the
+    /// **same** fault schedules — the detector is deliberately kept
+    /// out of the schedule key — so multi-backend campaigns are fair
+    /// head-to-head shootouts (see `docs/DETECTORS.md`).
+    pub detectors: Vec<DetectorKind>,
 }
 
 impl Default for CampaignSpec {
@@ -136,6 +142,7 @@ impl Default for CampaignSpec {
             settle: BitTime::new(150_000),
             latency_slack: BitTime::new(4_000),
             weaken_fda: false,
+            detectors: vec![DetectorKind::Surveillance],
         }
     }
 }
@@ -267,6 +274,19 @@ impl CampaignSpec {
                 "settle" => spec.settle = duration(&rest)?,
                 "latency-slack" => spec.latency_slack = duration(&rest)?,
                 "weaken-fda" => spec.weaken_fda = true,
+                "detector" => {
+                    spec.detectors = rest
+                        .iter()
+                        .map(|w| {
+                            DetectorKind::from_key(w).ok_or_else(|| {
+                                format!("line {line_no}: unknown detector backend `{w}`")
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    if spec.detectors.is_empty() {
+                        return err(line_no, "expected at least one detector backend");
+                    }
+                }
                 other => return err(line_no, format_args!("unknown keyword `{other}`")),
             }
         }
@@ -282,6 +302,14 @@ impl CampaignSpec {
     pub fn validate(&self) -> Result<(), String> {
         if self.until <= self.settle {
             return Err("horizon (until) must exceed the settle margin".into());
+        }
+        if self.detectors.is_empty() {
+            return Err("expected at least one detector backend".into());
+        }
+        for (i, kind) in self.detectors.iter().enumerate() {
+            if self.detectors[..i].contains(kind) {
+                return Err(format!("duplicate detector backend `{kind}`"));
+            }
         }
         let active = self.until.saturating_sub(self.settle);
         for &tm in &self.tm {
@@ -320,7 +348,8 @@ impl CampaignSpec {
     /// Number of runs the spec expands into, without materializing
     /// them.
     pub fn run_count(&self) -> usize {
-        self.nodes.len()
+        self.detectors.len()
+            * self.nodes.len()
             * self.tm.len()
             * self.consistent_rates.len()
             * self.inconsistent_rates.len()
@@ -337,23 +366,26 @@ impl CampaignSpec {
     /// unrelated combinations unchanged.
     pub fn expand(&self) -> Vec<RunSpec> {
         let mut runs = Vec::with_capacity(self.run_count());
-        for &nodes in &self.nodes {
-            for &tm in &self.tm {
-                for &consistent_rate in &self.consistent_rates {
-                    for &inconsistent_rate in &self.inconsistent_rates {
-                        for &budget in &self.crash_budgets {
-                            for &window_len in &self.inaccessibility_lens {
-                                for seed in self.seeds.0..self.seeds.1 {
-                                    runs.push(self.materialize(
-                                        runs.len(),
-                                        nodes,
-                                        tm,
-                                        consistent_rate,
-                                        inconsistent_rate,
-                                        budget,
-                                        window_len,
-                                        seed,
-                                    ));
+        for &detector in &self.detectors {
+            for &nodes in &self.nodes {
+                for &tm in &self.tm {
+                    for &consistent_rate in &self.consistent_rates {
+                        for &inconsistent_rate in &self.inconsistent_rates {
+                            for &budget in &self.crash_budgets {
+                                for &window_len in &self.inaccessibility_lens {
+                                    for seed in self.seeds.0..self.seeds.1 {
+                                        runs.push(self.materialize(
+                                            runs.len(),
+                                            detector,
+                                            nodes,
+                                            tm,
+                                            consistent_rate,
+                                            inconsistent_rate,
+                                            budget,
+                                            window_len,
+                                            seed,
+                                        ));
+                                    }
                                 }
                             }
                         }
@@ -368,6 +400,7 @@ impl CampaignSpec {
     fn materialize(
         &self,
         id: usize,
+        detector: DetectorKind,
         nodes: u8,
         tm: BitTime,
         consistent_rate: f64,
@@ -377,7 +410,10 @@ impl CampaignSpec {
         seed: u64,
     ) -> RunSpec {
         // Schedule key: seed + every dimension value, never the run
-        // index, so schedules are stable under spec edits.
+        // index, so schedules are stable under spec edits. The
+        // detector backend is deliberately *excluded*: every backend
+        // must face the identical fault schedule for the shootout
+        // comparison to be apples-to-apples.
         let mut key = mix64(seed ^ GOLDEN);
         for word in [
             u64::from(nodes),
@@ -420,6 +456,7 @@ impl CampaignSpec {
 
         RunSpec {
             id,
+            detector,
             nodes,
             tm,
             th: self.th,
@@ -445,6 +482,8 @@ impl CampaignSpec {
 pub struct RunSpec {
     /// Index within the expanded campaign matrix.
     pub id: usize,
+    /// The failure-detector backend every node runs.
+    pub detector: DetectorKind,
     /// Population size (nodes `0..nodes`, all integrated at boot).
     pub nodes: u8,
     /// Membership cycle period (`Tm`).
@@ -488,7 +527,8 @@ impl RunSpec {
         let mut config = CanelyConfig::default()
             .with_membership_cycle(self.tm)
             .with_heartbeat_period(self.th)
-            .with_inconsistent_degree(self.inconsistent_degree);
+            .with_inconsistent_degree(self.inconsistent_degree)
+            .with_detector(self.detector);
         config.join_wait = self.tm * 2 + BitTime::new(10_000);
         if self.weaken_fda {
             config = config.with_weakened_fda();
@@ -522,9 +562,17 @@ impl RunSpec {
             })
     }
 
-    /// The admissible crash-detection latency for this run.
+    /// The admissible crash-detection latency for this run: the
+    /// closed-form surveillance bound, widened by the backend's extra
+    /// margin (zero for the paper's detector — see
+    /// [`DetectorKind::extra_detection_margin`]), the scheduled
+    /// blackout and the oracle slack.
     pub fn detection_bound(&self) -> BitTime {
-        self.bounds().detection_latency() + self.total_inaccessibility() + self.latency_slack
+        let ttd = CanelyConfig::default().tx_delay_bound;
+        self.bounds().detection_latency()
+            + self.detector.extra_detection_margin(self.th, ttd)
+            + self.total_inaccessibility()
+            + self.latency_slack
     }
 
     /// The admissible crash-to-view-change latency for this run.
@@ -599,6 +647,9 @@ impl RunSpec {
         if self.weaken_fda {
             let _ = writeln!(out, "weaken-fda");
         }
+        if self.detector != DetectorKind::Surveillance {
+            let _ = writeln!(out, "detector {}", self.detector);
+        }
         let _ = writeln!(out, "until {}", fmt_duration(self.until));
         let _ = writeln!(out, "settle {}", fmt_duration(self.settle));
         let _ = writeln!(out, "latency-slack {}", fmt_duration(self.latency_slack));
@@ -619,6 +670,7 @@ impl RunSpec {
     pub fn from_scenario(text: &str) -> Result<RunSpec, String> {
         let mut spec = RunSpec {
             id: 0,
+            detector: DetectorKind::Surveillance,
             nodes: 4,
             tm: BitTime::new(30_000),
             th: BitTime::new(5_000),
@@ -725,6 +777,12 @@ impl RunSpec {
                     spec.inaccessibility.push((from, until));
                 }
                 "weaken-fda" => spec.weaken_fda = true,
+                "detector" => {
+                    spec.detector = rest
+                        .first()
+                        .and_then(|w| DetectorKind::from_key(w))
+                        .ok_or_else(|| format!("line {line_no}: unknown detector backend"))?;
+                }
                 "expect-view" => {} // oracle computes the expectation
                 "join" | "leave" | "restart" => {
                     return err(
@@ -823,6 +881,59 @@ settle 150ms
         assert!(CampaignSpec::parse("seeds 5..5").is_err());
         assert!(CampaignSpec::parse("error-rate 1.5").is_err());
         assert!(CampaignSpec::parse("nodes 1").is_err());
+    }
+
+    #[test]
+    fn detector_dimension_multiplies_runs_but_not_schedules() {
+        let shootout = CampaignSpec::parse(&format!(
+            "{SMOKE}detector surveillance swim add-phi\n"
+        ))
+        .unwrap();
+        assert_eq!(shootout.run_count(), 72);
+        let runs = shootout.expand();
+        assert_eq!(runs.len(), 72);
+        // Every backend faces byte-identical fault schedules: the
+        // detector is not part of the schedule key.
+        let surveillance: Vec<_> = runs
+            .iter()
+            .filter(|r| r.detector == DetectorKind::Surveillance)
+            .collect();
+        for kind in [DetectorKind::Swim, DetectorKind::AddPhi] {
+            let alt: Vec<_> = runs.iter().filter(|r| r.detector == kind).collect();
+            assert_eq!(surveillance.len(), alt.len());
+            for (a, b) in surveillance.iter().zip(&alt) {
+                assert_eq!(a.crashes, b.crashes);
+                assert_eq!(a.inaccessibility, b.inaccessibility);
+                assert_eq!(a.seed, b.seed);
+            }
+        }
+    }
+
+    #[test]
+    fn detector_widens_detection_bound_and_round_trips() {
+        let shootout =
+            CampaignSpec::parse(&format!("{SMOKE}detector swim add-phi\n")).unwrap();
+        let runs = shootout.expand();
+        for run in &runs {
+            let baseline = RunSpec {
+                detector: DetectorKind::Surveillance,
+                ..run.clone()
+            };
+            assert!(run.detection_bound() > baseline.detection_bound());
+            let mut back = RunSpec::from_scenario(&run.to_scenario()).unwrap();
+            back.id = run.id;
+            assert_eq!(back, *run, "round-trip of run {}", run.id);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_detector_lines() {
+        assert!(CampaignSpec::parse("detector frobnicate")
+            .unwrap_err()
+            .contains("unknown detector"));
+        assert!(CampaignSpec::parse("detector swim swim")
+            .unwrap_err()
+            .contains("duplicate"));
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! The checked-in `scenarios/shootout.campaign` matrix must (a) run
+//! clean for every backend, (b) compare all three backends over
+//! byte-identical fault schedules, and (c) produce a comparison
+//! report that is byte-for-byte independent of the worker count —
+//! the property `docs/DETECTORS.md` relies on when it tells readers
+//! to reproduce its table verbatim.
+
+use canely::DetectorKind;
+use canely_campaign::{run_campaign, CampaignSpec};
+
+fn shootout_spec() -> CampaignSpec {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scenarios/shootout.campaign"
+    );
+    let text = std::fs::read_to_string(path).expect("checked-in campaign spec");
+    CampaignSpec::parse(&text).expect("spec must parse")
+}
+
+#[test]
+fn shootout_report_is_byte_deterministic_across_worker_counts() {
+    let spec = shootout_spec();
+    assert_eq!(spec.detectors, DetectorKind::ALL.to_vec());
+
+    let one = run_campaign(&spec, 1);
+    let four = run_campaign(&spec, 4);
+
+    assert!(one.report.clean(), "{}", one.report.render());
+    assert_eq!(
+        one.report.to_json(),
+        four.report.to_json(),
+        "campaign summary diverged across worker counts"
+    );
+
+    let (a, b) = (
+        one.shootout.expect("multi-backend matrix"),
+        four.shootout.expect("multi-backend matrix"),
+    );
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "shootout JSON diverged across worker counts"
+    );
+    assert_eq!(
+        a.to_markdown(),
+        b.to_markdown(),
+        "shootout table diverged across worker counts"
+    );
+
+    // Every backend covered the whole matrix slice and measured the
+    // scheduled crash.
+    assert_eq!(a.backends.len(), 3);
+    let per_backend = spec.run_count() / 3;
+    for backend in &a.backends {
+        assert_eq!(backend.runs, per_backend, "{}", backend.detector);
+        assert_eq!(backend.violating_runs, 0, "{}", backend.detector);
+        let detection = backend
+            .detection
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: no latency samples", backend.detector));
+        assert!(detection.count > 0);
+    }
+}

@@ -585,6 +585,17 @@ fn campaign_run(args: &mut Args) -> CmdResult {
     } else {
         result.report.render()
     };
+    // Multi-backend matrices additionally get the per-backend QoS
+    // shootout (same schedules per backend — see docs/DETECTORS.md).
+    if let Some(shootout) = &result.shootout {
+        if json {
+            out.push_str(&shootout.to_json());
+            out.push('\n');
+        } else {
+            out.push_str("detector shootout (latencies in bit-times):\n");
+            out.push_str(&shootout.to_markdown());
+        }
+    }
     if let Some(cx) = &result.counterexample {
         if let Some(dir) = emit {
             let base = std::path::Path::new(&dir);
@@ -642,7 +653,8 @@ fn campaign_report(args: &mut Args) -> CmdResult {
     let _ = writeln!(
         out,
         "campaign {}: {} runs (nodes ×{}, tm ×{}, error-rate ×{}, \
-         inconsistent-rate ×{}, crash-budget ×{}, inaccessibility ×{}, seeds ×{})",
+         inconsistent-rate ×{}, crash-budget ×{}, inaccessibility ×{}, seeds ×{}, \
+         detectors ×{})",
         spec.name,
         runs.len(),
         spec.nodes.len(),
@@ -652,15 +664,17 @@ fn campaign_report(args: &mut Args) -> CmdResult {
         spec.crash_budgets.len(),
         spec.inaccessibility_lens.len(),
         spec.seeds.1 - spec.seeds.0,
+        spec.detectors.len(),
     );
     for run in &runs {
         let _ = write!(
             out,
-            "  run {:>3}: {} nodes, tm {}, seed {}",
+            "  run {:>3}: {} nodes, tm {}, seed {}, detector {}",
             run.id,
             run.nodes,
             render::ms(run.tm),
-            run.seed
+            run.seed,
+            run.detector
         );
         for &(node, at) in &run.crashes {
             let _ = write!(out, ", crash n{node}@{}", render::ms(at));
@@ -690,11 +704,12 @@ fn campaign_replay(args: &mut Args) -> CmdResult {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "replay: {} nodes, tm {}, seed {}, horizon {}{}",
+        "replay: {} nodes, tm {}, seed {}, horizon {}, detector {}{}",
         run.nodes,
         render::ms(run.tm),
         run.seed,
         render::ms(run.until),
+        run.detector,
         if run.weaken_fda {
             " (weakened-FDA mutant)"
         } else {

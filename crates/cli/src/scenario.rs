@@ -24,9 +24,10 @@
 //! is a superset of the original language and replays here untouched:
 //! `inaccessible FROM UNTIL` schedules a bus blackout,
 //! `inconsistent-rate P` / `omission-degree K` / `inconsistent-degree J`
-//! configure the stochastic injector (MCAN3/LCAN4 bounds), and
+//! configure the stochastic injector (MCAN3/LCAN4 bounds),
 //! `weaken-fda` opts into the deliberately broken failure-detection
-//! mutant. The campaign-oracle knobs `settle` and `latency-slack` are
+//! mutant, and `detector surveillance|swim|add-phi` selects the
+//! failure-detector backend (see `docs/DETECTORS.md`). The campaign-oracle knobs `settle` and `latency-slack` are
 //! validated but ignored by `run` — `canelyctl campaign replay`
 //! re-judges them.
 
@@ -36,7 +37,7 @@ use can_bus::{BusConfig, FaultPlan};
 use can_controller::Simulator;
 use can_types::{BitTime, NodeId, NodeSet};
 use canely::obs::ObsLog;
-use canely::{CanelyConfig, CanelyStack, ProtocolEvent, TrafficConfig};
+use canely::{CanelyConfig, CanelyStack, DetectorKind, ProtocolEvent, TrafficConfig};
 use std::fmt::Write as _;
 
 /// A parsed scenario.
@@ -52,6 +53,7 @@ pub struct Scenario {
     omission_degree: Option<u32>,
     inconsistent_degree: Option<u32>,
     weaken_fda: bool,
+    detector: Option<DetectorKind>,
     traffic: Vec<(u8, BitTime)>,
     crashes: Vec<(u8, BitTime)>,
     joins: Vec<(u8, BitTime)>,
@@ -166,6 +168,18 @@ impl Scenario {
                     scenario.inaccessibility.push((from, until));
                 }
                 "weaken-fda" => scenario.weaken_fda = true,
+                "detector" => {
+                    scenario.detector = Some(
+                        rest.first()
+                            .and_then(|w| DetectorKind::from_key(w))
+                            .ok_or_else(|| {
+                                ArgError(format!(
+                                    "line {line_no}: unknown detector backend \
+                                     (surveillance, swim or add-phi)"
+                                ))
+                            })?,
+                    );
+                }
                 // Campaign-oracle knobs (`canelyctl campaign replay`
                 // re-judges them); `run` validates and ignores them so
                 // counterexample scenarios replay unmodified.
@@ -219,6 +233,9 @@ impl Scenario {
         config.join_wait = config.membership_cycle * 2 + BitTime::new(10_000);
         if self.weaken_fda {
             config = config.with_weakened_fda();
+        }
+        if let Some(kind) = self.detector {
+            config = config.with_detector(kind);
         }
         config
             .validate()
@@ -402,9 +419,24 @@ expect-view {0,1,2,3,9}
             ("crash 1", "expected"),
             ("expect-view 0,1", "expected {"),
             ("error-rate 7", "probability"),
+            ("detector frobnicate", "unknown detector"),
         ] {
             let err = Scenario::parse(text).unwrap_err();
             assert!(err.0.contains(needle), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn detector_keyword_selects_the_backend() {
+        // A crash detected by each alternative backend: the scenario
+        // language drives the same pluggable seam as the campaigns.
+        for backend in ["surveillance", "swim", "add-phi"] {
+            let text = format!(
+                "nodes 4\ntraffic 0 2ms\ntraffic 1 2ms\ntraffic 2 2ms\ntraffic 3 2ms\n\
+                 detector {backend}\ncrash 2 150ms\nuntil 400ms\nexpect-view {{0,1,3}}\n"
+            );
+            let out = Scenario::parse(&text).unwrap().execute().unwrap();
+            assert!(out.contains("expect-view: ok"), "{backend}: {out}");
         }
     }
 

@@ -1,5 +1,6 @@
 //! Protocol parameters (the paper's timing and degree bounds).
 
+use crate::fd::DetectorKind;
 use can_types::{BitRate, BitTime};
 
 /// Configuration of a CANELy node stack.
@@ -63,6 +64,11 @@ pub struct CanelyConfig {
     /// period much higher than Tm" after removal. `None` keeps
     /// expulsion terminal.
     pub expulsion_rejoin_delay: Option<BitTime>,
+    /// The failure-detector backend (see `docs/DETECTORS.md`). The
+    /// default is the paper's surveillance-timer protocol; the
+    /// alternatives trade detection latency against bus bandwidth and
+    /// false-suspicion robustness.
+    pub detector: DetectorKind,
     /// **Fault-injection mutant — never enable in a correct stack.**
     /// Weakens the failure-detection path in two paper-violating ways:
     /// remote surveillance margins drop the inaccessibility term
@@ -92,6 +98,7 @@ impl CanelyConfig {
             activity_from_all_rtr: false,
             rejoin_on_failed_join: true,
             expulsion_rejoin_delay: Some(BitTime::from_ms(240, rate)),
+            detector: DetectorKind::Surveillance,
             weakened_fda: cfg!(feature = "weakened-fda"),
         }
     }
@@ -128,6 +135,12 @@ impl CanelyConfig {
         self
     }
 
+    /// Selects the failure-detector backend.
+    pub fn with_detector(mut self, detector: DetectorKind) -> Self {
+        self.detector = detector;
+        self
+    }
+
     /// The remote surveillance margin actually granted beyond `Th`.
     /// The correct protocol grants the full `Ttd = Tltm + Tina`; the
     /// weakened mutant grants a quarter of it (`Tltm`-scale: enough
@@ -141,13 +154,19 @@ impl CanelyConfig {
         }
     }
 
-    /// The bound on node crash detection latency at a remote node:
-    /// a silent node is detected within `Th + Ttd` of its last
-    /// scheduled life-sign (Sec. 6.1: "the upper bound specified for
-    /// the delay in the detection of node crash failures is
-    /// preserved").
+    /// The bound on node crash detection latency at a remote node.
+    /// For the paper's surveillance detector a silent node is detected
+    /// within `Th + Ttd` of its last scheduled life-sign (Sec. 6.1:
+    /// "the upper bound specified for the delay in the detection of
+    /// node crash failures is preserved"); the alternative backends
+    /// add their own margin on top (see
+    /// [`DetectorKind::extra_detection_margin`]).
     pub fn detection_latency_bound(&self) -> BitTime {
-        self.heartbeat_period + self.tx_delay_bound
+        self.heartbeat_period
+            + self.tx_delay_bound
+            + self
+                .detector
+                .extra_detection_margin(self.heartbeat_period, self.tx_delay_bound)
     }
 
     /// Validates parameter coherence.
@@ -242,6 +261,17 @@ mod tests {
         assert!(broken.surveillance_margin() < BitTime::new(2_160));
         // Still a valid configuration: the mutant must run, not panic.
         broken.validate().expect("mutant config must validate");
+    }
+
+    #[test]
+    fn detector_backends_widen_the_detection_bound() {
+        let base = CanelyConfig::default();
+        assert_eq!(base.detector, DetectorKind::Surveillance);
+        for kind in [DetectorKind::Swim, DetectorKind::AddPhi] {
+            let alt = CanelyConfig::default().with_detector(kind);
+            assert!(alt.detection_latency_bound() > base.detection_latency_bound());
+            alt.validate().expect("alternative backends must validate");
+        }
     }
 
     #[test]

@@ -1,6 +1,14 @@
-//! The node failure detection protocol (paper Fig. 8).
+//! Node failure detection: the pluggable detector seam and the
+//! paper's surveillance-timer protocol (Fig. 8).
 //!
-//! One surveillance timer per monitored node:
+//! The stack talks to failure detection exclusively through the
+//! [`FailureDetector`] trait, so the surveillance protocol of the
+//! paper is one *backend* among several (see [`crate::detectors`] for
+//! the SWIM-style and ADD-channel ◇P alternatives, and
+//! `docs/DETECTORS.md` for the contract and a measured comparison).
+//!
+//! The default backend, [`SurveillanceDetector`], keeps one
+//! surveillance timer per monitored node:
 //!
 //! * the **local** timer has duration `Th` — when it expires the node
 //!   has been silent for a heartbeat period and must broadcast an
@@ -36,9 +44,181 @@ pub enum FdAction {
     Notify(NodeId),
 }
 
-/// The failure detection protocol entity of one node.
+/// A timer expiry routed to a failure-detector backend by the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorTimer {
+    /// A per-node timer (tag [`TimerOwner::Surveillance`]): the
+    /// surveillance timer of the paper detector, or a probe
+    /// acknowledgement deadline of the SWIM-style backend.
+    Node(NodeId),
+    /// The backend's protocol period tick (tag
+    /// [`TimerOwner::DetectorPeriod`]), used by round-based backends.
+    Period,
+}
+
+/// The mid of an explicit life-sign of node `r`.
+pub fn els_mid(r: NodeId) -> Mid {
+    Mid::new(MsgType::Els, 0, r)
+}
+
+/// The failure-detection seam of the stack.
+///
+/// `CanelyStack` owns one boxed backend per node and routes the
+/// protocol's inputs through this trait: membership `START`/`STOP`
+/// requests, node activity (implicit heartbeats and explicit
+/// life-signs), timer expiries tagged [`TimerOwner::Surveillance`] or
+/// [`TimerOwner::DetectorPeriod`], agreed FDA failure notifications,
+/// and — for backends with their own wire protocol — incoming
+/// [`MsgType::Ping`] frames. Time reaches the backend through the
+/// bit-time clock of the [`Ctx`] handle, and structured events leave
+/// through the installed [`EventSink`]; a backend holds no other
+/// channel to the outside world, which is what makes the campaign
+/// oracle backend-agnostic.
+///
+/// Every backend must uphold the contract of Fig. 8's interface:
+/// suspicions surface only as [`FdAction::Suspect`] (the stack then
+/// invokes FDA for consistent dissemination), agreed failures arrive
+/// via [`FailureDetector::on_fda_nty`] and must yield
+/// [`FdAction::Notify`], and a stopped node must never be suspected
+/// by a stale expiry.
+pub trait FailureDetector: std::fmt::Debug {
+    /// Installs the structured-event sink (see [`crate::obs`]).
+    fn set_sink(&mut self, sink: EventSink);
+
+    /// `fd-can.req(START, r)`: begin monitoring node `r` (Fig. 8,
+    /// lines f00–f02).
+    fn start(&mut self, ctx: &mut Ctx<'_>, r: NodeId);
+
+    /// `fd-can.req(STOP, r)`: stop monitoring node `r` (lines
+    /// f17–f19).
+    fn stop(&mut self, ctx: &mut Ctx<'_>, r: NodeId);
+
+    /// Stops all monitoring (used when the node leaves the membership
+    /// service).
+    fn stop_all(&mut self, ctx: &mut Ctx<'_>);
+
+    /// Node activity detected: a data frame from `r` arrived
+    /// (`can-data.nty`) or an explicit life-sign of `r` was heard
+    /// (`can-rtr.ind(mid{ELS,r})`). Activity of unmonitored nodes is
+    /// ignored.
+    fn on_activity(&mut self, ctx: &mut Ctx<'_>, r: NodeId);
+
+    /// A timer owned by the detector expired. Returning
+    /// [`FdAction::Suspect`] makes the stack invoke `fda-can.req`.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: DetectorTimer) -> Option<FdAction>;
+
+    /// `fda-can.nty(r)` received: the failure of `r` is agreed —
+    /// release all state about `r` and notify the membership layer
+    /// (lines f13–f16).
+    fn on_fda_nty(&mut self, ctx: &mut Ctx<'_>, r: NodeId) -> FdAction;
+
+    /// A detector-protocol frame ([`MsgType::Ping`]) was observed on
+    /// the bus. Backends without a wire protocol ignore it.
+    fn on_detector_frame(&mut self, _ctx: &mut Ctx<'_>, _mid: Mid) {}
+
+    /// The set of currently monitored nodes.
+    fn monitored(&self) -> NodeSet;
+
+    /// Number of explicit life-signs this node has issued.
+    fn els_sent(&self) -> u64;
+
+    /// Total detector control frames issued by this node (life-signs
+    /// plus any backend-specific probe traffic).
+    fn control_frames(&self) -> u64 {
+        self.els_sent()
+    }
+}
+
+/// Selects a failure-detector backend (see `docs/DETECTORS.md`).
+///
+/// The same campaign matrices and invariant oracle run against every
+/// backend; selection threads through [`crate::CanelyConfig`], the
+/// scenario DSL (`detector <key>`), and `.campaign` specs
+/// (`detector <key>...`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DetectorKind {
+    /// The paper's surveillance-timer protocol
+    /// ([`SurveillanceDetector`], Fig. 8). The default.
+    #[default]
+    Surveillance,
+    /// SWIM-style round-based probing with indirect pings
+    /// ([`crate::detectors::SwimDetector`]).
+    Swim,
+    /// ADD-channel-style ◇P heartbeats with adaptive timeouts
+    /// ([`crate::detectors::AddPhiDetector`], after Kumar & Welch).
+    AddPhi,
+}
+
+impl DetectorKind {
+    /// Every backend, in documentation order.
+    pub const ALL: [DetectorKind; 3] = [
+        DetectorKind::Surveillance,
+        DetectorKind::Swim,
+        DetectorKind::AddPhi,
+    ];
+
+    /// The stable textual key used by the scenario DSL, `.campaign`
+    /// specs, and reports.
+    pub fn key(self) -> &'static str {
+        match self {
+            DetectorKind::Surveillance => "surveillance",
+            DetectorKind::Swim => "swim",
+            DetectorKind::AddPhi => "add-phi",
+        }
+    }
+
+    /// Parses a textual key (inverse of [`DetectorKind::key`]).
+    pub fn from_key(key: &str) -> Option<DetectorKind> {
+        match key {
+            "surveillance" => Some(DetectorKind::Surveillance),
+            "swim" => Some(DetectorKind::Swim),
+            "add-phi" => Some(DetectorKind::AddPhi),
+            _ => None,
+        }
+    }
+
+    /// Builds a backend instance with heartbeat period `th` and
+    /// transmission-delay margin `ttd`.
+    pub fn build(self, th: BitTime, ttd: BitTime) -> Box<dyn FailureDetector> {
+        match self {
+            DetectorKind::Surveillance => Box::new(SurveillanceDetector::new(th, ttd)),
+            DetectorKind::Swim => Box::new(crate::detectors::SwimDetector::new(th, ttd)),
+            DetectorKind::AddPhi => Box::new(crate::detectors::AddPhiDetector::new(th, ttd)),
+        }
+    }
+
+    /// Worst-case detection margin this backend needs *beyond* the
+    /// surveillance detector's `Th + Ttd` timer, expressed in terms of
+    /// the same `th`/`ttd` operating point. Used by the campaign
+    /// engine to widen the oracle's detection-latency bound per
+    /// backend (see `canely-campaign::spec`).
+    ///
+    /// * surveillance — zero, it *is* the baseline;
+    /// * SWIM — a stale target waits up to one period for staleness
+    ///   plus one period for the next probe round, then a direct and
+    ///   an indirect probe phase (`ttd` and `2·ttd`);
+    /// * ADD ◇P — the adaptive timeout is capped at twice the static
+    ///   floor `th + ttd`.
+    pub fn extra_detection_margin(self, th: BitTime, ttd: BitTime) -> BitTime {
+        match self {
+            DetectorKind::Surveillance => BitTime::ZERO,
+            DetectorKind::Swim => th + th + ttd + ttd + ttd,
+            DetectorKind::AddPhi => th + ttd,
+        }
+    }
+}
+
+impl std::fmt::Display for DetectorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// The paper's failure detection protocol entity (Fig. 8): one
+/// surveillance timer per monitored node, restarted by implicit and
+/// explicit life-signs. The default [`FailureDetector`] backend.
 #[derive(Debug)]
-pub struct FailureDetector {
+pub struct SurveillanceDetector {
     /// `Th`: heartbeat period (local timer duration).
     th: BitTime,
     /// `Ttd`: network transmission delay bound added for remote nodes.
@@ -53,11 +233,11 @@ pub struct FailureDetector {
     obs: EventSink,
 }
 
-impl FailureDetector {
+impl SurveillanceDetector {
     /// Creates a detector with heartbeat period `th` and transmission
     /// delay bound `ttd`.
     pub fn new(th: BitTime, ttd: BitTime) -> Self {
-        FailureDetector {
+        SurveillanceDetector {
             th,
             ttd,
             timers: HashMap::new(),
@@ -67,47 +247,9 @@ impl FailureDetector {
         }
     }
 
-    /// Installs the structured-event sink (see [`crate::obs`]).
-    pub fn set_sink(&mut self, sink: EventSink) {
-        self.obs = sink;
-    }
-
     /// The mid of an explicit life-sign of node `r`.
     pub fn els_mid(r: NodeId) -> Mid {
-        Mid::new(MsgType::Els, 0, r)
-    }
-
-    /// The set of currently monitored nodes.
-    pub fn monitored(&self) -> NodeSet {
-        self.monitored
-    }
-
-    /// Number of explicit life-signs this node has issued.
-    pub fn els_sent(&self) -> u64 {
-        self.els_sent
-    }
-
-    /// `fd-can.req(START, r)` (Fig. 8, lines f00–f02).
-    pub fn start(&mut self, ctx: &mut Ctx<'_>, r: NodeId) {
-        self.monitored.insert(r);
-        self.arm(ctx, r); // f01
-    }
-
-    /// `fd-can.req(STOP, r)` (lines f17–f19).
-    pub fn stop(&mut self, ctx: &mut Ctx<'_>, r: NodeId) {
-        self.monitored.remove(r);
-        if let Some(tid) = self.timers.remove(&r) {
-            ctx.cancel_alarm(tid); // f18
-        }
-    }
-
-    /// Stops every surveillance timer (used when the node leaves the
-    /// membership service).
-    pub fn stop_all(&mut self, ctx: &mut Ctx<'_>) {
-        for (_, tid) in self.timers.drain() {
-            ctx.cancel_alarm(tid);
-        }
-        self.monitored = NodeSet::EMPTY;
+        els_mid(r)
     }
 
     /// `fd-alarm-start(r)` (lines a00–a06): (re)arms the surveillance
@@ -142,12 +284,36 @@ impl FailureDetector {
         );
         self.timers.insert(r, tid);
     }
+}
 
-    /// Node activity detected: a data frame from `r` arrived
-    /// (`can-data.nty`) or an explicit life-sign of `r` was heard
-    /// (`can-rtr.ind(mid{ELS,r})`) — restart the surveillance timer
-    /// (lines f03–f05). Activity of unmonitored nodes is ignored.
-    pub fn on_activity(&mut self, ctx: &mut Ctx<'_>, r: NodeId) {
+impl FailureDetector for SurveillanceDetector {
+    fn set_sink(&mut self, sink: EventSink) {
+        self.obs = sink;
+    }
+
+    /// `fd-can.req(START, r)` (Fig. 8, lines f00–f02).
+    fn start(&mut self, ctx: &mut Ctx<'_>, r: NodeId) {
+        self.monitored.insert(r);
+        self.arm(ctx, r); // f01
+    }
+
+    /// `fd-can.req(STOP, r)` (lines f17–f19).
+    fn stop(&mut self, ctx: &mut Ctx<'_>, r: NodeId) {
+        self.monitored.remove(r);
+        if let Some(tid) = self.timers.remove(&r) {
+            ctx.cancel_alarm(tid); // f18
+        }
+    }
+
+    fn stop_all(&mut self, ctx: &mut Ctx<'_>) {
+        for (_, tid) in self.timers.drain() {
+            ctx.cancel_alarm(tid);
+        }
+        self.monitored = NodeSet::EMPTY;
+    }
+
+    /// Restarts the surveillance timer of `r` (lines f03–f05).
+    fn on_activity(&mut self, ctx: &mut Ctx<'_>, r: NodeId) {
         if self.monitored.contains(r) {
             self.arm(ctx, r); // f04
         }
@@ -157,13 +323,16 @@ impl FailureDetector {
     /// node an explicit life-sign is broadcast (its own reception will
     /// restart the timer); for a remote node the caller must invoke
     /// FDA.
-    pub fn on_timer(&mut self, ctx: &mut Ctx<'_>, r: NodeId) -> Option<FdAction> {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, timer: DetectorTimer) -> Option<FdAction> {
+        let DetectorTimer::Node(r) = timer else {
+            return None; // the paper detector has no period tick
+        };
         if !self.monitored.contains(r) {
             return None; // stale expiry after STOP
         }
         self.timers.remove(&r);
         if r == ctx.me() {
-            ctx.can_rtr_req(Self::els_mid(r)); // f08
+            ctx.can_rtr_req(els_mid(r)); // f08
             self.els_sent += 1;
             self.obs.emit(ctx.now(), ctx.me(), ProtocolEvent::LifeSignSent);
             ctx.journal("FD: broadcasting explicit life-sign");
@@ -176,15 +345,20 @@ impl FailureDetector {
         }
     }
 
-    /// `fda-can.nty(r)` received: the failure of `r` is agreed —
-    /// cancel the surveillance timer and notify the membership layer
-    /// (lines f13–f16).
-    pub fn on_fda_nty(&mut self, ctx: &mut Ctx<'_>, r: NodeId) -> FdAction {
+    fn on_fda_nty(&mut self, ctx: &mut Ctx<'_>, r: NodeId) -> FdAction {
         self.monitored.remove(r);
         if let Some(tid) = self.timers.remove(&r) {
             ctx.cancel_alarm(tid); // f14
         }
         FdAction::Notify(r) // f15
+    }
+
+    fn monitored(&self) -> NodeSet {
+        self.monitored
+    }
+
+    fn els_sent(&self) -> u64 {
+        self.els_sent
     }
 }
 
@@ -225,8 +399,12 @@ mod tests {
         }
     }
 
-    fn fd() -> FailureDetector {
-        FailureDetector::new(BitTime::new(5_000), BitTime::new(2_500))
+    fn fd() -> SurveillanceDetector {
+        SurveillanceDetector::new(BitTime::new(5_000), BitTime::new(2_500))
+    }
+
+    fn node_timer(r: u8) -> DetectorTimer {
+        DetectorTimer::Node(NodeId::new(r))
     }
 
     #[test]
@@ -268,7 +446,7 @@ mod tests {
         let mut d = fd();
         h.ctx(|ctx| d.start(ctx, NodeId::new(3)));
         h.now = BitTime::new(5_000);
-        let action = h.ctx(|ctx| d.on_timer(ctx, NodeId::new(3)));
+        let action = h.ctx(|ctx| d.on_timer(ctx, node_timer(3)));
         assert_eq!(action, None);
         assert_eq!(d.els_sent(), 1);
         // An ELS remote frame is queued.
@@ -276,7 +454,7 @@ mod tests {
         assert!(head.is_remote());
         assert_eq!(
             Mid::from_can_id(head.id()).unwrap(),
-            FailureDetector::els_mid(NodeId::new(3))
+            els_mid(NodeId::new(3))
         );
     }
 
@@ -293,7 +471,7 @@ mod tests {
             fired.tag,
             crate::tags::TimerOwner::Surveillance(NodeId::new(3)).encode()
         );
-        h.ctx(|ctx| d.on_timer(ctx, NodeId::new(3)));
+        h.ctx(|ctx| d.on_timer(ctx, node_timer(3)));
         assert!(h.timers.is_empty(), "no timer while ELS in flight");
         h.now = BitTime::new(5_080);
         h.ctx(|ctx| d.on_activity(ctx, NodeId::new(3)));
@@ -306,10 +484,22 @@ mod tests {
         let mut d = fd();
         h.ctx(|ctx| d.start(ctx, NodeId::new(2)));
         h.now = BitTime::new(7_500);
-        let action = h.ctx(|ctx| d.on_timer(ctx, NodeId::new(2)));
+        let action = h.ctx(|ctx| d.on_timer(ctx, node_timer(2)));
         assert_eq!(action, Some(FdAction::Suspect(NodeId::new(2))));
         // No ELS issued for remote nodes.
         assert_eq!(h.ctl.queue_len(), 0);
+    }
+
+    #[test]
+    fn period_tick_is_inert() {
+        // The paper detector is purely event-driven: a stray period
+        // tick (e.g. after a backend swap) must be a no-op.
+        let mut h = Harness::new(0);
+        let mut d = fd();
+        h.ctx(|ctx| d.start(ctx, NodeId::new(2)));
+        let action = h.ctx(|ctx| d.on_timer(ctx, DetectorTimer::Period));
+        assert_eq!(action, None);
+        assert_eq!(h.timers.len(), 1);
     }
 
     #[test]
@@ -320,7 +510,7 @@ mod tests {
         h.ctx(|ctx| d.stop(ctx, NodeId::new(2)));
         assert!(h.timers.is_empty());
         // A stale expiry (raced with STOP) is ignored.
-        let action = h.ctx(|ctx| d.on_timer(ctx, NodeId::new(2)));
+        let action = h.ctx(|ctx| d.on_timer(ctx, node_timer(2)));
         assert_eq!(action, None);
     }
 
@@ -360,5 +550,35 @@ mod tests {
             h.ctx(|ctx| d.on_activity(ctx, NodeId::new(1)));
         }
         assert_eq!(h.timers.len(), 1, "exactly one live timer per node");
+    }
+
+    #[test]
+    fn detector_kind_keys_round_trip() {
+        for kind in DetectorKind::ALL {
+            assert_eq!(DetectorKind::from_key(kind.key()), Some(kind));
+            assert_eq!(kind.to_string(), kind.key());
+        }
+        assert_eq!(DetectorKind::from_key("gossip"), None);
+        assert_eq!(DetectorKind::default(), DetectorKind::Surveillance);
+    }
+
+    #[test]
+    fn every_kind_builds_a_backend() {
+        let th = BitTime::new(5_000);
+        let ttd = BitTime::new(2_500);
+        for kind in DetectorKind::ALL {
+            let d = kind.build(th, ttd);
+            assert_eq!(d.monitored(), NodeSet::EMPTY);
+            assert_eq!(d.control_frames(), 0);
+        }
+        // The baseline backend needs no extra detection margin; the
+        // alternatives do.
+        assert_eq!(
+            DetectorKind::Surveillance.extra_detection_margin(th, ttd),
+            BitTime::ZERO
+        );
+        for kind in [DetectorKind::Swim, DetectorKind::AddPhi] {
+            assert!(kind.extra_detection_margin(th, ttd) > BitTime::ZERO);
+        }
     }
 }

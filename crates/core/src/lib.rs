@@ -28,15 +28,25 @@
 //! * [`Rha`] — *Reception History Agreement* (Fig. 7): agreement on a
 //!   reception-history vector handling multiple join/leave requests in
 //!   bounded time and bandwidth.
-//! * [`FailureDetector`] — the node failure detection protocol
-//!   (Fig. 8): per-node surveillance timers, implicit heartbeats from
-//!   normal traffic via `can-data.nty`, explicit life-signs (ELS) only
-//!   when needed.
+//! * [`FailureDetector`] — the node failure detection *seam*: a trait
+//!   the stack routes all detection inputs through, with the paper's
+//!   surveillance-timer protocol (Fig. 8) as the default backend
+//!   ([`SurveillanceDetector`]: per-node surveillance timers, implicit
+//!   heartbeats from normal traffic via `can-data.nty`, explicit
+//!   life-signs (ELS) only when needed). The [`detectors`] module adds
+//!   a SWIM-style probing backend and an ADD-channel ◇P adaptive
+//!   heartbeat backend, selected via [`DetectorKind`] — see
+//!   `docs/DETECTORS.md` for the contract and a measured QoS shootout.
 //! * [`Membership`] — the site membership protocol (Fig. 9):
 //!   membership cycle, join/leave handling, view agreement.
 //! * [`CanelyStack`] — the per-node composition of all four, ready to
 //!   run on the simulator, plus an optional cyclic application-traffic
 //!   generator (the implicit-heartbeat workload of Sec. 6.3).
+//!
+//! Two support modules complete the crate: [`obs`] — the structured
+//! protocol-event log with causal (cause-ID) threading that powers
+//! trace export and the campaign oracle — and [`tags`] — the timer-tag
+//! encoding the micro-protocols multiplex onto the node timer wheel.
 //!
 //! # Quick start
 //!
@@ -64,6 +74,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod detectors;
 pub mod fd;
 pub mod fda;
 pub mod membership;
@@ -74,7 +85,8 @@ pub mod tags;
 pub mod traffic;
 
 pub use config::CanelyConfig;
-pub use fd::{FailureDetector, FdAction};
+pub use detectors::{AddPhiDetector, SwimDetector};
+pub use fd::{DetectorKind, DetectorTimer, FailureDetector, FdAction, SurveillanceDetector};
 pub use fda::Fda;
 pub use membership::{Membership, MembershipEvent};
 pub use obs::{EventSink, ObsLog, ProtocolEvent, Snapshot, TimedEvent};

@@ -18,7 +18,7 @@
 //! post-run analysis.
 
 use crate::config::CanelyConfig;
-use crate::fd::{FailureDetector, FdAction};
+use crate::fd::{DetectorTimer, FailureDetector, FdAction};
 use crate::fda::Fda;
 use crate::membership::{Membership, MembershipEvent, MshAction};
 use crate::obs::{Cause, EventSink, ObsTimer, ProtocolEvent};
@@ -71,7 +71,7 @@ pub struct CanelyStack {
     config: CanelyConfig,
     fda: Fda,
     rha: Rha,
-    fd: FailureDetector,
+    fd: Box<dyn FailureDetector>,
     msh: Membership,
     traffic: Option<TrafficGenerator>,
     auto_join: bool,
@@ -99,7 +99,9 @@ impl CanelyStack {
         CanelyStack {
             fda,
             rha: Rha::new(config.rha_timeout, config.inconsistent_degree),
-            fd: FailureDetector::new(config.heartbeat_period, config.surveillance_margin()),
+            fd: config
+                .detector
+                .build(config.heartbeat_period, config.surveillance_margin()),
             msh: Membership::new(
                 config.membership_cycle,
                 config.join_wait,
@@ -225,6 +227,13 @@ impl CanelyStack {
     /// Number of explicit life-signs issued by this node.
     pub fn els_sent(&self) -> u64 {
         self.fd.els_sent()
+    }
+
+    /// Total failure-detector control frames issued by this node:
+    /// life-signs plus any backend-specific probe traffic (see
+    /// [`crate::FailureDetector::control_frames`]).
+    pub fn detector_frames(&self) -> u64 {
+        self.fd.control_frames()
     }
 
     /// Number of completed RHA executions at this node.
@@ -418,6 +427,11 @@ impl Application for CanelyStack {
                         self.fd.on_activity(ctx, mid.node());
                     }
                 }
+                MsgType::Ping => {
+                    // Probe frames of the SWIM-style backend; other
+                    // backends ignore them.
+                    self.fd.on_detector_frame(ctx, *mid);
+                }
                 _ => {}
             },
             DriverEvent::DataCnf { .. } | DriverEvent::RtrCnf { .. } => {}
@@ -447,7 +461,9 @@ impl Application for CanelyStack {
             TimerOwner::Surveillance(r) => Some(ObsTimer::Surveillance(r)),
             TimerOwner::RhaTermination => Some(ObsTimer::RhaTermination),
             TimerOwner::MembershipCycle => Some(ObsTimer::MembershipCycle),
-            TimerOwner::Traffic | TimerOwner::Scripted(_) => None,
+            // Detector period ticks are untraced like traffic ticks:
+            // they are pacing, not protocol state.
+            TimerOwner::Traffic | TimerOwner::Scripted(_) | TimerOwner::DetectorPeriod => None,
         } {
             // The expiry links back to its arming (resolved inside the
             // log); everything handled below is caused by the expiry.
@@ -464,8 +480,17 @@ impl Application for CanelyStack {
         }
         match owner {
             TimerOwner::Surveillance(r) => {
-                if let Some(FdAction::Suspect(r)) = self.fd.on_timer(ctx, r) {
+                if let Some(FdAction::Suspect(r)) =
+                    self.fd.on_timer(ctx, DetectorTimer::Node(r))
+                {
                     self.fda.invoke(ctx, r); // Fig. 8, line f10
+                }
+            }
+            TimerOwner::DetectorPeriod => {
+                if let Some(FdAction::Suspect(r)) =
+                    self.fd.on_timer(ctx, DetectorTimer::Period)
+                {
+                    self.fda.invoke(ctx, r);
                 }
             }
             TimerOwner::RhaTermination => {
@@ -602,6 +627,88 @@ mod tests {
                 bound
             );
         }
+    }
+
+    #[test]
+    fn alternative_backends_bootstrap_without_false_suspicions() {
+        use crate::fd::DetectorKind;
+        for kind in DetectorKind::ALL {
+            let mut sim = Simulator::new(BusConfig::default(), FaultPlan::none());
+            for id in 0..4 {
+                sim.add_node(
+                    n(id),
+                    CanelyStack::new(CanelyConfig::default().with_detector(kind)),
+                );
+            }
+            sim.run_until(BitTime::new(400_000));
+            let expected = NodeSet::first_n(4);
+            for id in 0..4 {
+                let app = sim.app::<CanelyStack>(n(id));
+                assert_eq!(app.view(), expected, "{kind}: node {id} view");
+                assert!(
+                    !app.events()
+                        .iter()
+                        .any(|(_, e)| matches!(e, UpperEvent::FailureNotified(_))),
+                    "{kind}: node {id} falsely suspected a live node"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alternative_backends_detect_crashes_within_their_bounds() {
+        use crate::fd::DetectorKind;
+        for kind in [DetectorKind::Swim, DetectorKind::AddPhi] {
+            let config = CanelyConfig::default().with_detector(kind);
+            let mut sim = Simulator::new(BusConfig::default(), FaultPlan::none());
+            for id in 0..4 {
+                sim.add_node(n(id), CanelyStack::new(config.clone()));
+            }
+            let crash_at = BitTime::new(250_000);
+            sim.schedule_crash(n(2), crash_at);
+            sim.run_until(BitTime::new(500_000));
+            let expected = NodeSet::first_n(4) - NodeSet::singleton(n(2));
+            for id in [0u8, 1, 3] {
+                let app = sim.app::<CanelyStack>(n(id));
+                assert_eq!(app.view(), expected, "{kind}: node {id} view");
+                let failure = app
+                    .events()
+                    .iter()
+                    .find(|(_, e)| matches!(e, UpperEvent::FailureNotified(r) if *r == n(2)))
+                    .unwrap_or_else(|| panic!("{kind}: node {id} missed the failure"));
+                let bound = config.detection_latency_bound() + BitTime::new(1_000);
+                assert!(
+                    failure.0 - crash_at <= bound,
+                    "{kind}: node {id} detection took {} (bound {})",
+                    failure.0 - crash_at,
+                    bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swim_backend_probes_instead_of_heartbeating() {
+        use crate::fd::DetectorKind;
+        let mut sim = Simulator::new(BusConfig::default(), FaultPlan::none());
+        for id in 0..3 {
+            sim.add_node(
+                n(id),
+                CanelyStack::new(
+                    CanelyConfig::default().with_detector(DetectorKind::Swim),
+                ),
+            );
+        }
+        sim.schedule_crash(n(2), BitTime::new(250_000));
+        sim.run_until(BitTime::new(400_000));
+        // Survivors probed the silent node: probe traffic beyond ELS.
+        let probes: u64 = (0..2)
+            .map(|id| {
+                let app = sim.app::<CanelyStack>(n(id));
+                app.detector_frames() - app.els_sent()
+            })
+            .sum();
+        assert!(probes > 0, "SWIM must have issued ping frames");
     }
 
     #[test]

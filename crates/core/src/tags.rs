@@ -20,6 +20,9 @@ pub enum TimerOwner {
     Traffic,
     /// Scheduled upper-layer action (join/leave scripting).
     Scripted(u32),
+    /// Failure-detector protocol period tick (probe rounds of the
+    /// SWIM-style backend). Untraced, like [`TimerOwner::Traffic`].
+    DetectorPeriod,
 }
 
 const KIND_SURVEILLANCE: u64 = 1;
@@ -27,6 +30,7 @@ const KIND_RHA: u64 = 2;
 const KIND_MEMBERSHIP: u64 = 3;
 const KIND_TRAFFIC: u64 = 4;
 const KIND_SCRIPTED: u64 = 5;
+const KIND_DETECTOR_PERIOD: u64 = 6;
 
 impl TimerOwner {
     /// Encodes the owner as a timer tag.
@@ -39,6 +43,7 @@ impl TimerOwner {
             TimerOwner::MembershipCycle => KIND_MEMBERSHIP << 56,
             TimerOwner::Traffic => KIND_TRAFFIC << 56,
             TimerOwner::Scripted(action) => (KIND_SCRIPTED << 56) | action as u64,
+            TimerOwner::DetectorPeriod => KIND_DETECTOR_PERIOD << 56,
         }
     }
 
@@ -53,6 +58,7 @@ impl TimerOwner {
             KIND_MEMBERSHIP => Some(TimerOwner::MembershipCycle),
             KIND_TRAFFIC => Some(TimerOwner::Traffic),
             KIND_SCRIPTED => Some(TimerOwner::Scripted(payload as u32)),
+            KIND_DETECTOR_PERIOD => Some(TimerOwner::DetectorPeriod),
             _ => None,
         }
     }
@@ -71,6 +77,7 @@ mod tests {
             TimerOwner::MembershipCycle,
             TimerOwner::Traffic,
             TimerOwner::Scripted(7),
+            TimerOwner::DetectorPeriod,
         ];
         for owner in owners {
             assert_eq!(TimerOwner::decode(owner.encode()), Some(owner));

@@ -7,6 +7,8 @@
 #   BENCH_campaign.json  — worker scaling + per-run / oracle cost
 #   BENCH_sim.json       — 64-run scaling, warm-world stepping,
 #                          zero-copy parse of a ≥1 MiB trace
+#   BENCH_detectors.json — warm per-run cost of each failure-detector
+#                          backend (surveillance / swim / add-phi)
 #
 # Everything runs --offline against the vendored criterion harness.
 #
@@ -54,3 +56,4 @@ run_bench() {
 run_bench trace
 run_bench campaign
 run_bench sim
+run_bench detectors

@@ -41,6 +41,34 @@ if [ "$summary" != "$resummary" ]; then
     exit 1
 fi
 
+# Detector shootout smoke gate: a tiny multi-backend matrix (one
+# seed per backend over the shootout dimensions) must run the oracle
+# clean for every backend, emit the per-backend comparison, and stay
+# byte-identical across worker counts (docs/DETECTORS.md tells
+# readers to reproduce its table with exactly this command).
+echo "==> target/release/canelyctl campaign run --spec scenarios/shootout.campaign"
+shootout="$(target/release/canelyctl campaign run --spec scenarios/shootout.campaign --workers 4 --json)"
+echo "$shootout"
+case "$shootout" in
+*'"violating_runs":[]'*) ;;
+*)
+    echo "verify: shootout campaign reported invariant violations" >&2
+    exit 1
+    ;;
+esac
+case "$shootout" in
+*'"shootout":['*'"detector":"surveillance"'*'"detector":"swim"'*'"detector":"add-phi"'*) ;;
+*)
+    echo "verify: shootout campaign did not emit the per-backend comparison" >&2
+    exit 1
+    ;;
+esac
+reshootout="$(target/release/canelyctl campaign run --spec scenarios/shootout.campaign --workers 2 --json)"
+if [ "$shootout" != "$reshootout" ]; then
+    echo "verify: shootout summary differs across worker counts" >&2
+    exit 1
+fi
+
 # Campaign scaling smoke gate: fanning the same matrix out to 8
 # workers must never be *slower* than running it on 1. On a multi-core
 # host this also catches lost parallelism; on a single hardware thread
