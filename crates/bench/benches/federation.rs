@@ -1,0 +1,80 @@
+//! Federation engine cost: bridged multi-segment runs simulated and
+//! judged per second.
+//!
+//! Two aspects are measured:
+//!
+//! * `federation_run` — one complete federated run (8-node segments
+//!   in a ring, one scheduled crash, and — for multi-segment shapes —
+//!   a gateway crash plus an inter-segment partition window) at 1, 2
+//!   and 4 segments. The 1-segment point is the degenerate case that
+//!   bypasses every bridge, so the group exposes the marginal cost of
+//!   the lockstep pump and the digest/relay traffic.
+//! * `federation_export` — the same 4-segment run with full trace
+//!   capture: the per-segment logs are merged into one seg-tagged
+//!   JSONL document, the input format of `tq`'s segment-qualified
+//!   queries.
+
+use can_types::BitTime;
+use canely_campaign::{execute, CampaignSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A federated matrix of one run: `segments` bridged 8-node segments
+/// in a ring with one scheduled crash; multi-segment shapes add one
+/// gateway crash and one 20 ms partition window.
+fn fed_spec(segments: u8) -> CampaignSpec {
+    let federated = segments > 1;
+    let spec = CampaignSpec {
+        name: "bench-fed".into(),
+        nodes: vec![8],
+        seeds: (0, 1),
+        crash_budgets: vec![1],
+        segments: vec![segments],
+        gateway_crash_budgets: vec![u32::from(federated)],
+        partition_lens: vec![if federated {
+            BitTime::new(20_000)
+        } else {
+            BitTime::ZERO
+        }],
+        until: BitTime::new(400_000),
+        settle: BitTime::new(180_000),
+        ..CampaignSpec::default()
+    };
+    assert_eq!(spec.run_count(), 1);
+    spec
+}
+
+/// One federated run end to end, at increasing segment counts.
+fn bench_federation_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("federation_run");
+    group.sample_size(10);
+    for &segments in &[1u8, 2, 4] {
+        let run = fed_spec(segments).expand().remove(0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(segments),
+            &run,
+            |b, run| {
+                b.iter(|| {
+                    let outcome = execute(run, false);
+                    assert!(outcome.violations.is_empty());
+                    outcome.events
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The 4-segment run with full capture and the merged seg-tagged
+/// JSONL export.
+fn bench_federation_export(c: &mut Criterion) {
+    let run = fed_spec(4).expand().remove(0);
+    c.bench_function("federation_export", |b| {
+        b.iter(|| {
+            let outcome = execute(&run, true);
+            outcome.trace_jsonl.expect("capture was requested").len()
+        });
+    });
+}
+
+criterion_group!(benches, bench_federation_run, bench_federation_export);
+criterion_main!(benches);

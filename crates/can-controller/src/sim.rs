@@ -355,6 +355,32 @@ impl Simulator {
             .expect("application type mismatch")
     }
 
+    /// Runs an external callback against a node's application with a
+    /// live [`Ctx`] handle, exactly as a driver callback would — used
+    /// by harnesses that compose simulators (e.g. a federation layer
+    /// injecting frames relayed from another segment). Returns `false`
+    /// without invoking the callback if the node is dead, so injected
+    /// work naturally stops at a crashed gateway.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was never added.
+    pub fn drive(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut dyn Application, &mut Ctx<'_>),
+    ) -> bool {
+        assert!(
+            self.slots[node.as_usize()].is_some(),
+            "node {node} does not exist"
+        );
+        if !self.alive.contains(node) {
+            return false;
+        }
+        self.with_app(node, f);
+        true
+    }
+
     /// Read access to a node's controller.
     ///
     /// # Panics

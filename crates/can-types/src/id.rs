@@ -154,13 +154,18 @@ pub enum MsgType {
     /// used by alternative failure-detector backends. Remote frame;
     /// clusters on the wire like life-signs.
     Ping = 19,
+    /// Segment-view digest exchanged between federation gateways
+    /// (hierarchical membership). Data frame: the payload carries the
+    /// claimed segment view and its epoch; the reference encodes the
+    /// reporting and subject segments.
+    Digest = 20,
     /// Application data (implicit heartbeat traffic).
     AppData = 24,
 }
 
 impl MsgType {
     /// All message types, in priority order.
-    pub const ALL: [MsgType; 20] = [
+    pub const ALL: [MsgType; 21] = [
         MsgType::Fda,
         MsgType::Rha,
         MsgType::Els,
@@ -180,6 +185,7 @@ impl MsgType {
         MsgType::TtpSlot,
         MsgType::Group,
         MsgType::Ping,
+        MsgType::Digest,
         MsgType::AppData,
     ];
 
@@ -211,6 +217,7 @@ impl MsgType {
             17 => MsgType::TtpSlot,
             18 => MsgType::Group,
             19 => MsgType::Ping,
+            20 => MsgType::Digest,
             24 => MsgType::AppData,
             _ => return None,
         })
@@ -248,6 +255,7 @@ impl fmt::Display for MsgType {
             MsgType::TtpSlot => "TTP-SLOT",
             MsgType::Group => "GROUP",
             MsgType::Ping => "PING",
+            MsgType::Digest => "DIGEST",
             MsgType::AppData => "DATA",
         };
         f.write_str(name)

@@ -67,11 +67,11 @@ pub mod shootout;
 pub mod shrink;
 pub mod spec;
 
-pub use oracle::{check, InvariantKind, NodeFinal, OracleInput, Violation};
+pub use oracle::{check, check_global, GatewayFinal, GlobalOracleInput, InvariantKind, NodeFinal, OracleInput, Violation};
 pub use run::{execute, execute_in, latency_samples, RunOutcome, WorldArena};
 pub use runner::{
     run_campaign, run_campaign_analytics, CampaignReport, CampaignResult, Counterexample,
     RunLatency,
 };
 pub use shootout::{BackendQoS, ShootoutReport};
-pub use spec::{CampaignSpec, RunSpec};
+pub use spec::{CampaignSpec, FederationSpec, RunSpec};

@@ -45,6 +45,13 @@ pub enum InvariantKind {
     ViewAgreement,
     /// The agreed view differs from members − crashed − left.
     ViewValidity,
+    /// Live gateways ended the run with diverging globally installed
+    /// segment views.
+    GlobalAgreement,
+    /// A globally installed view differs from the subject segment's
+    /// actual final membership (checked only for subjects whose
+    /// representative survived to report it).
+    GlobalValidity,
 }
 
 impl InvariantKind {
@@ -56,6 +63,8 @@ impl InvariantKind {
             InvariantKind::ViewChangeLatency => "view-change-latency",
             InvariantKind::ViewAgreement => "view-agreement",
             InvariantKind::ViewValidity => "view-validity",
+            InvariantKind::GlobalAgreement => "global-view-agreement",
+            InvariantKind::GlobalValidity => "global-view-validity",
         }
     }
 }
@@ -346,6 +355,119 @@ pub fn check(input: &OracleInput<'_>) -> Vec<Violation> {
     violations
 }
 
+/// A gateway's end-of-run federation state, as read off the simulator.
+#[derive(Debug, Clone)]
+pub struct GatewayFinal {
+    /// The segment this gateway represents.
+    pub seg: u8,
+    /// Powered and not crashed at the horizon.
+    pub alive: bool,
+    /// Globally installed `(epoch, view)` per subject segment
+    /// (indexed by subject; `None` = no quorum ever formed).
+    pub installed: Vec<Option<(u32, NodeSet)>>,
+}
+
+/// What the global (federation-level) oracle judges: each gateway's
+/// installed views against the segments' actual final memberships.
+#[derive(Debug, Clone)]
+pub struct GlobalOracleInput<'a> {
+    /// Final state of every segment's gateway.
+    pub gateways: &'a [GatewayFinal],
+    /// Each segment's actual final membership (initial members minus
+    /// everything that crashed there, including a crashed gateway).
+    pub expected: &'a [NodeSet],
+    /// Whether every scheduled disturbance — including bridge-level
+    /// ones — settled before the horizon. The stable-cut rule only
+    /// promises convergence after the digest gossip has had a
+    /// propagation round, which the settle margin must cover; nothing
+    /// is checked on non-quiescent runs.
+    pub quiescent: bool,
+    /// Representatives required for a global install
+    /// (`canely_federation::quorum`).
+    pub quorum: usize,
+}
+
+/// Checks the hierarchical-membership invariants of a federated run:
+///
+/// * **global-view-agreement** — all *live* gateways hold identical
+///   globally installed views for every subject segment (skipped when
+///   fewer than a quorum of gateways survived: without a quorum the
+///   stable-cut rule freezes by design, and stale-but-identical is the
+///   only guarantee left — which the pairwise check still covers for
+///   whatever was installed);
+/// * **global-view-validity** — for every subject whose own
+///   representative survived (so fresh digests kept flowing), the
+///   installed view equals the segment's actual final membership.
+///   Subjects with a crashed representative are exempt: their last
+///   reported view is legitimately frozen.
+pub fn check_global(input: &GlobalOracleInput<'_>) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if !input.quiescent {
+        return violations;
+    }
+    let live: Vec<&GatewayFinal> = input.gateways.iter().filter(|g| g.alive).collect();
+    let rep_alive = |seg: u8| live.iter().any(|g| g.seg == seg);
+
+    // Agreement: pairwise identical installed views among live
+    // gateways, per subject.
+    for (subject, _) in input.expected.iter().enumerate() {
+        let mut claims = live
+            .iter()
+            .map(|g| (g.seg, g.installed.get(subject).copied().flatten()));
+        if let Some((first_seg, first)) = claims.next() {
+            for (seg, claim) in claims {
+                if claim != first {
+                    violations.push(Violation {
+                        invariant: InvariantKind::GlobalAgreement,
+                        node: None,
+                        time: None,
+                        detail: format!(
+                            "gateways of segments {first_seg} and {seg} disagree about \
+                             segment {subject}: {} vs {}",
+                            fmt_claim(first),
+                            fmt_claim(claim)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Validity: needs a quorum of live reporters to have been able to
+    // re-install after the last disturbance.
+    if live.len() >= input.quorum {
+        for (subject, &expected) in input.expected.iter().enumerate() {
+            if !rep_alive(subject as u8) {
+                continue; // frozen by representative loss — exempt
+            }
+            for g in &live {
+                let installed = g.installed.get(subject).copied().flatten();
+                if installed.map(|(_, view)| view) != Some(expected) {
+                    violations.push(Violation {
+                        invariant: InvariantKind::GlobalValidity,
+                        node: None,
+                        time: None,
+                        detail: format!(
+                            "gateway of segment {} holds {} for segment {subject}, \
+                             whose actual final membership is {expected}",
+                            g.seg,
+                            fmt_claim(installed)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
+fn fmt_claim(claim: Option<(u32, NodeSet)>) -> String {
+    match claim {
+        Some((epoch, view)) => format!("{view}@e{epoch}"),
+        None => "nothing installed".to_string(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,6 +476,71 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(InvariantKind::FalseSuspicion.label(), "false-suspicion");
         assert_eq!(InvariantKind::ViewAgreement.label(), "view-agreement");
+    }
+
+    fn gw(seg: u8, alive: bool, installed: Vec<Option<(u32, NodeSet)>>) -> GatewayFinal {
+        GatewayFinal {
+            seg,
+            alive,
+            installed,
+        }
+    }
+
+    #[test]
+    fn global_oracle_flags_disagreement_and_staleness() {
+        let full = NodeSet::first_n(4);
+        let reduced = full - NodeSet::singleton(NodeId::new(2));
+        let expected = vec![full, reduced, full];
+        // Segment 1's rep is alive but gateway 2 still holds the stale
+        // full view about it: both agreement and validity break.
+        let gateways = vec![
+            gw(0, true, vec![Some((1, full)), Some((2, reduced)), Some((1, full))]),
+            gw(1, true, vec![Some((1, full)), Some((2, reduced)), Some((1, full))]),
+            gw(2, true, vec![Some((1, full)), Some((1, full)), Some((1, full))]),
+        ];
+        let violations = check_global(&GlobalOracleInput {
+            gateways: &gateways,
+            expected: &expected,
+            quiescent: true,
+            quorum: 2,
+        });
+        assert!(violations
+            .iter()
+            .any(|v| v.invariant == InvariantKind::GlobalAgreement));
+        assert!(violations
+            .iter()
+            .any(|v| v.invariant == InvariantKind::GlobalValidity));
+    }
+
+    #[test]
+    fn global_oracle_exempts_frozen_and_quorumless_states() {
+        let full = NodeSet::first_n(4);
+        let reduced = full - NodeSet::singleton(NodeId::new(3));
+        // Segment 1's gateway crashed *and* a node crashed there after:
+        // the frozen full view about segment 1 is legitimate as long as
+        // the live gateways agree on it.
+        let gateways = vec![
+            gw(0, true, vec![Some((1, full)), Some((1, full))]),
+            gw(1, false, vec![Some((1, full)), Some((1, full))]),
+        ];
+        let violations = check_global(&GlobalOracleInput {
+            gateways: &gateways,
+            expected: &[full, reduced],
+            quiescent: true,
+            quorum: 2,
+        });
+        assert!(
+            violations.is_empty(),
+            "frozen views of dead representatives are exempt: {violations:?}"
+        );
+        // Nothing at all is checked before quiescence.
+        let violations = check_global(&GlobalOracleInput {
+            gateways: &gateways,
+            expected: &[reduced, reduced],
+            quiescent: false,
+            quorum: 2,
+        });
+        assert!(violations.is_empty());
     }
 
     #[test]

@@ -6,13 +6,14 @@
 //! execute many runs concurrently by giving each its own thread-local
 //! world — determinism comes from the spec, not from scheduling.
 
-use crate::oracle::{self, NodeFinal, OracleInput, Violation};
-use crate::spec::RunSpec;
+use crate::oracle::{self, GatewayFinal, GlobalOracleInput, NodeFinal, OracleInput, Violation};
+use crate::spec::{segment_seed, RunSpec};
 use can_bus::{BusConfig, FaultPlan};
 use can_controller::Simulator;
 use can_types::{BitTime, MsgType, NodeId, NodeSet};
 use canely::obs::{export_jsonl, ObsLog, ProtocolEvent};
 use canely::{CanelyStack, TrafficConfig};
+use canely_federation::{quorum, FederationConfig, FederationSim, Gateway};
 
 /// The judged result of one run.
 #[derive(Debug, Clone)]
@@ -153,7 +154,14 @@ pub fn execute(spec: &RunSpec, capture_trace: bool) -> RunOutcome {
 
 /// Like [`execute`], but reuses the arena's simulator and log
 /// allocations across calls (the campaign hot path).
+///
+/// Federated runs build their own multi-segment world each time — the
+/// arena's single recycled simulator cannot host K buses — so they
+/// bypass (and leave untouched) the arena.
 pub fn execute_in(arena: &mut WorldArena, spec: &RunSpec, capture_trace: bool) -> RunOutcome {
+    if spec.federation.is_some() {
+        return execute_federated(spec, capture_trace);
+    }
     let config = spec.config();
     let mut faults = FaultPlan::seeded(spec.seed)
         .with_consistent_rate(spec.consistent_rate)
@@ -264,6 +272,150 @@ pub fn execute_in(arena: &mut WorldArena, spec: &RunSpec, capture_trace: bool) -
             trace_jsonl,
         }
     })
+}
+
+/// Builds, runs and judges one *federated* simulation: K bridged
+/// segments in a [`FederationSim`], the per-segment invariant oracle
+/// applied to each segment's trace, plus the global hierarchical-
+/// membership checks over the gateways' installed views.
+fn execute_federated(spec: &RunSpec, capture_trace: bool) -> RunOutcome {
+    let fed_spec = spec.federation.as_ref().expect("caller checked");
+    let segments = fed_spec.segments;
+    let config = FederationConfig::new(spec.config(), segments, spec.nodes)
+        .with_topology(fed_spec.topology)
+        .with_gateway(fed_spec.gateway)
+        .with_filter(fed_spec.relay.clone());
+    let plan_of = |seed: u64| {
+        let mut faults = FaultPlan::seeded(seed)
+            .with_consistent_rate(spec.consistent_rate)
+            .with_inconsistent_rate(spec.inconsistent_rate)
+            .with_omission_bound(spec.omission_degree, BitTime::new(100_000))
+            .with_inconsistent_bound(spec.inconsistent_degree);
+        for &(from, until) in &spec.inaccessibility {
+            faults.push_inaccessibility(from, until);
+        }
+        faults
+    };
+    let mut fed = FederationSim::new(
+        &config,
+        spec.traffic,
+        |seg| segment_seed(spec.seed, seg),
+        plan_of,
+    );
+    for &(node, at) in &spec.crashes {
+        fed.sim_mut(0).schedule_crash(NodeId::new(node), at);
+    }
+    for &(seg, node, at) in &fed_spec.seg_crashes {
+        fed.sim_mut(seg).schedule_crash(NodeId::new(node), at);
+    }
+    for &(seg, at) in &fed_spec.gateway_crashes {
+        fed.schedule_gateway_crash(seg, at);
+    }
+    for &(from, until) in &fed_spec.partitions {
+        fed.schedule_partition(from, until);
+    }
+    for &(from_seg, to_seg, from, until) in &fed_spec.asymmetric {
+        fed.schedule_asymmetric(from_seg, to_seg, from, until);
+    }
+    fed.run_until(spec.until);
+
+    for seg in 0..segments {
+        let markers: Vec<(BitTime, NodeId)> = fed.sim(seg).crash_times().to_vec();
+        for (t, node) in markers {
+            fed.log(seg).record(t, node, ProtocolEvent::NodeCrashed);
+        }
+    }
+
+    let gateway = fed.gateway();
+    let mut violations = Vec::new();
+    let mut events = 0;
+    let mut detection = Vec::new();
+    let mut view_change = Vec::new();
+    let mut false_suspicions = 0;
+    let mut detector_frames = 0;
+    let mut detector_busy = 0;
+    let mut gateway_finals = Vec::new();
+    let mut expected_views = Vec::new();
+
+    for seg in 0..segments {
+        let sim = fed.sim(seg);
+        let finals: Vec<NodeFinal> = (0..spec.nodes)
+            .map(|id| {
+                let node = NodeId::new(id);
+                let alive = sim.alive().contains(node);
+                let stack = if node == gateway {
+                    sim.app::<Gateway>(node).stack()
+                } else {
+                    sim.app::<CanelyStack>(node)
+                };
+                NodeFinal {
+                    node,
+                    alive,
+                    in_service: alive && !stack.is_out_of_service(),
+                    view: stack.view(),
+                }
+            })
+            .collect();
+        let mut crashed_here = NodeSet::EMPTY;
+        for &(_, node) in sim.crash_times() {
+            crashed_here.insert(node);
+        }
+        expected_views.push(spec.members() - crashed_here);
+        let gw = sim.app::<Gateway>(gateway);
+        gateway_finals.push(GatewayFinal {
+            seg,
+            alive: sim.alive().contains(gateway),
+            installed: gw.installed_views(),
+        });
+
+        let bus = sim.trace().stats(BitTime::ZERO, spec.until);
+        for stats in [MsgType::Els, MsgType::Ping].map(|t| bus.of_type(t)) {
+            detector_frames += stats.frames as u64;
+            detector_busy += stats.busy.as_u64();
+        }
+
+        fed.log(seg).with_events(|seg_events| {
+            let input = OracleInput {
+                events: seg_events,
+                finals: &finals,
+                horizon: spec.until,
+                members: spec.members(),
+                quiescent: spec.statically_quiescent(),
+                operational_from: spec.operational_from(),
+                detection_bound: spec.detection_bound(),
+                view_change_bound: spec.view_change_bound(),
+            };
+            violations.extend(oracle::check(&input).into_iter().map(|mut v| {
+                v.detail = format!("segment {seg}: {}", v.detail);
+                v
+            }));
+            events += seg_events.len();
+            let (d, vc) = latency_samples(seg_events);
+            detection.extend(d);
+            view_change.extend(vc);
+            false_suspicions += false_suspicion_count(seg_events);
+        });
+    }
+
+    violations.extend(oracle::check_global(&GlobalOracleInput {
+        gateways: &gateway_finals,
+        expected: &expected_views,
+        quiescent: spec.statically_quiescent(),
+        quorum: quorum(usize::from(segments)),
+    }));
+    violations.sort_by_key(|v| (v.invariant, v.node.map(NodeId::as_u8), v.time));
+
+    RunOutcome {
+        id: spec.id,
+        violations,
+        events,
+        detection,
+        view_change,
+        false_suspicions,
+        detector_frames,
+        detector_busy,
+        trace_jsonl: capture_trace.then(|| fed.export_jsonl()),
+    }
 }
 
 #[cfg(test)]
@@ -390,6 +542,37 @@ mod tests {
             busy(DetectorKind::Swim),
             busy(DetectorKind::AddPhi)
         );
+    }
+
+    #[test]
+    fn federated_run_survives_gateway_crash_and_partition() {
+        let spec = CampaignSpec::parse(
+            "name fed\nnodes 4\ntm 30ms\nseeds 0..1\ncrash-budget 1\nsegments 3\n\
+             gateway-crash 0 1\nsegment-partition 0 20ms\nuntil 500ms\nsettle 200ms\n",
+        )
+        .unwrap();
+        let runs = spec.expand();
+        // 2 gateway-crash budgets × 2 partition lens × 1 seed.
+        assert_eq!(runs.len(), 4);
+        for run in &runs {
+            let fed = run.federation.as_ref().expect("all combos are federated");
+            let a = execute(run, true);
+            assert!(
+                a.violations.is_empty(),
+                "run {} (gateway-crashes {:?}, partitions {:?}): {:?}",
+                run.id,
+                fed.gateway_crashes,
+                fed.partitions,
+                a.violations
+            );
+            assert!(!a.detection.is_empty(), "the crash must be detected");
+            assert_eq!(a.false_suspicions, 0);
+            let b = execute(run, true);
+            assert_eq!(a.trace_jsonl, b.trace_jsonl, "federated runs replay exactly");
+            let trace = a.trace_jsonl.as_deref().unwrap();
+            assert!(trace.contains("\"seg\":2"), "export must be segment-tagged");
+            assert!(trace.contains("fed.install"), "global installs must be traced");
+        }
     }
 
     #[test]

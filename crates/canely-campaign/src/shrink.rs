@@ -62,6 +62,41 @@ pub fn minimize(spec: &RunSpec) -> RunSpec {
             continue;
         }
 
+        // Drop bridge-level federation faults, one at a time.
+        if let Some(fed) = &current.federation {
+            let mut candidates: Vec<RunSpec> = Vec::new();
+            for i in 0..fed.seg_crashes.len() {
+                let mut c = current.clone();
+                c.federation.as_mut().unwrap().seg_crashes.remove(i);
+                candidates.push(c);
+            }
+            for i in 0..fed.gateway_crashes.len() {
+                let mut c = current.clone();
+                c.federation.as_mut().unwrap().gateway_crashes.remove(i);
+                candidates.push(c);
+            }
+            for i in 0..fed.partitions.len() {
+                let mut c = current.clone();
+                c.federation.as_mut().unwrap().partitions.remove(i);
+                candidates.push(c);
+            }
+            for i in 0..fed.asymmetric.len() {
+                let mut c = current.clone();
+                c.federation.as_mut().unwrap().asymmetric.remove(i);
+                candidates.push(c);
+            }
+            for candidate in candidates {
+                if violates(&candidate) {
+                    current = candidate;
+                    progressed = true;
+                    break;
+                }
+            }
+            if progressed {
+                continue;
+            }
+        }
+
         // Zero the stochastic rates.
         for zero in [
             |c: &mut RunSpec| c.consistent_rate = 0.0,

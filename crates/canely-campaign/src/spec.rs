@@ -29,8 +29,10 @@
 //! machine, with any worker count.
 
 use can_types::{BitTime, NodeId, NodeSet, MAX_NODES};
+use canely::tags::MAX_SEGMENTS;
 use canely::{CanelyConfig, DetectorKind};
 use canely_analysis::ProtocolBounds;
+use canely_federation::{BridgeKind, RelayFilter};
 use rand::rngs::SmallRng;
 use rand::{Rng as _, SeedableRng as _};
 use std::fmt::Write as _;
@@ -41,6 +43,17 @@ fn mix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// The per-segment fault-plan seed of a federated run: segment 0 uses
+/// the run seed verbatim (so the 1-segment degenerate case replays the
+/// plain run bit-for-bit), the rest get decorrelated derived streams.
+pub(crate) fn segment_seed(seed: u64, seg: u8) -> u64 {
+    if seg == 0 {
+        seed
+    } else {
+        mix64(seed ^ GOLDEN ^ (u64::from(seg) << 32))
+    }
 }
 
 /// Parses `30ms` / `2500us` / raw bit-times (1 µs = 1 bit-time at the
@@ -121,6 +134,25 @@ pub struct CampaignSpec {
     /// out of the schedule key — so multi-backend campaigns are fair
     /// head-to-head shootouts (see `docs/DETECTORS.md`).
     pub detectors: Vec<DetectorKind>,
+    /// Matrix: segment counts (`1` = the plain single-bus stack; `> 1`
+    /// federates that many bridged segments of `nodes` each).
+    pub segments: Vec<u8>,
+    /// Local node id of each segment's gateway (federated combos).
+    pub gateway: u8,
+    /// Bridge topology of federated combos.
+    pub bridge: BridgeKind,
+    /// Which application frames gateways relay across bridges.
+    pub relay: RelayFilter,
+    /// Matrix: gateway-crash budgets (federated combos only) — how
+    /// many segment representatives fail-silently per run.
+    pub gateway_crash_budgets: Vec<u32>,
+    /// Matrix: inter-segment partition window lengths (`ZERO` = none);
+    /// a partition blocks every bridge in both directions.
+    pub partition_lens: Vec<BitTime>,
+    /// Matrix: asymmetric inaccessibility window lengths (`ZERO` =
+    /// none); blocks one direction of one bridge — the federation
+    /// analogue of an LCAN4 inconsistent channel.
+    pub asymmetric_lens: Vec<BitTime>,
 }
 
 impl Default for CampaignSpec {
@@ -143,6 +175,13 @@ impl Default for CampaignSpec {
             latency_slack: BitTime::new(4_000),
             weaken_fda: false,
             detectors: vec![DetectorKind::Surveillance],
+            segments: vec![1],
+            gateway: 0,
+            bridge: BridgeKind::Ring,
+            relay: RelayFilter::none(),
+            gateway_crash_budgets: vec![0],
+            partition_lens: vec![BitTime::ZERO],
+            asymmetric_lens: vec![BitTime::ZERO],
         }
     }
 }
@@ -151,7 +190,50 @@ fn err<T>(line_no: usize, msg: impl std::fmt::Display) -> Result<T, String> {
     Err(format!("line {line_no}: {msg}"))
 }
 
+/// Prefixes a parse diagnostic with the source file's name, turning
+/// `line 12: bad duration` into `smoke.campaign:12: bad duration` (the
+/// `file:line:` shape editors and CI annotate). Diagnostics without a
+/// line anchor get a plain `name: ` prefix.
+fn locate(name: &str, diagnostic: String) -> String {
+    if let Some((line, msg)) = diagnostic
+        .strip_prefix("line ")
+        .and_then(|rest| rest.split_once(": "))
+    {
+        if !line.is_empty() && line.bytes().all(|b| b.is_ascii_digit()) {
+            return format!("{name}:{line}: {msg}");
+        }
+    }
+    format!("{name}: {diagnostic}")
+}
+
+fn parse_relay(rest: &[&str]) -> Option<RelayFilter> {
+    match rest {
+        ["none"] => Some(RelayFilter::none()),
+        ["all"] => Some(RelayFilter::pass_through()),
+        ["below", bound] => bound.parse().ok().map(RelayFilter::app_below),
+        _ => None,
+    }
+}
+
+fn fmt_relay(filter: &RelayFilter) -> String {
+    match (filter.app_data, filter.reference_below) {
+        (false, _) => "none".to_string(),
+        (true, None) => "all".to_string(),
+        (true, Some(bound)) => format!("below {bound}"),
+    }
+}
+
 impl CampaignSpec {
+    /// Parses a `.campaign` document read from the named file,
+    /// reporting errors as `name:line: message`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic naming the file and offending line.
+    pub fn parse_named(name: &str, text: &str) -> Result<CampaignSpec, String> {
+        Self::parse(text).map_err(|e| locate(name, e))
+    }
+
     /// Parses a `.campaign` document.
     ///
     /// # Errors
@@ -274,6 +356,62 @@ impl CampaignSpec {
                 "settle" => spec.settle = duration(&rest)?,
                 "latency-slack" => spec.latency_slack = duration(&rest)?,
                 "weaken-fda" => spec.weaken_fda = true,
+                "segments" => {
+                    spec.segments = rest
+                        .iter()
+                        .map(|w| {
+                            w.parse::<u8>()
+                                .ok()
+                                .filter(|&k| k >= 1 && usize::from(k) <= MAX_SEGMENTS)
+                                .ok_or_else(|| {
+                                    format!("line {line_no}: bad segment count `{w}`")
+                                })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    if spec.segments.is_empty() {
+                        return err(line_no, "expected at least one segment count");
+                    }
+                }
+                "gateway" => {
+                    spec.gateway = rest
+                        .first()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| format!("line {line_no}: bad gateway node id"))?;
+                }
+                "bridge" => {
+                    spec.bridge = rest
+                        .first()
+                        .and_then(|w| BridgeKind::from_key(w))
+                        .ok_or_else(|| {
+                            format!(
+                                "line {line_no}: unknown bridge topology \
+                                 (expected line/ring/star/full)"
+                            )
+                        })?;
+                }
+                "relay" => {
+                    spec.relay = parse_relay(&rest).ok_or_else(|| {
+                        format!(
+                            "line {line_no}: bad relay filter \
+                             (expected `none`, `all` or `below <ref>`)"
+                        )
+                    })?;
+                }
+                "gateway-crash" => {
+                    spec.gateway_crash_budgets = rest
+                        .iter()
+                        .map(|w| {
+                            w.parse::<u32>().map_err(|_| {
+                                format!("line {line_no}: bad gateway-crash budget `{w}`")
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    if spec.gateway_crash_budgets.is_empty() {
+                        return err(line_no, "expected at least one gateway-crash budget");
+                    }
+                }
+                "segment-partition" => spec.partition_lens = durations(&rest)?,
+                "asymmetric-inaccessibility" => spec.asymmetric_lens = durations(&rest)?,
                 "detector" => {
                     spec.detectors = rest
                         .iter()
@@ -331,6 +469,62 @@ impl CampaignSpec {
                     ));
                 }
             }
+            for (label, lens) in [
+                ("segment-partition", &self.partition_lens),
+                ("asymmetric-inaccessibility", &self.asymmetric_lens),
+            ] {
+                for &len in lens {
+                    if !len.is_zero() && operational + len >= active {
+                        return Err(format!(
+                            "{label} window {len} does not fit the active \
+                             phase after bootstrap ({operational} at tm={tm})"
+                        ));
+                    }
+                }
+            }
+        }
+        if self.segments.is_empty() {
+            return Err("expected at least one segment count".into());
+        }
+        let federated = self.segments.iter().any(|&k| k > 1);
+        if federated {
+            for &n in &self.nodes {
+                if n > 32 {
+                    return Err(format!(
+                        "federated segment populations cap at 32 nodes \
+                         (digest views are 32-bit), got {n}"
+                    ));
+                }
+                if self.gateway >= n {
+                    return Err(format!(
+                        "gateway node {} outside a {n}-node segment",
+                        self.gateway
+                    ));
+                }
+            }
+        } else {
+            let fed_faults = self.gateway_crash_budgets.iter().any(|&g| g > 0)
+                || self.partition_lens.iter().any(|l| !l.is_zero())
+                || self.asymmetric_lens.iter().any(|l| !l.is_zero());
+            if fed_faults {
+                return Err(
+                    "gateway-crash / segment-partition / asymmetric-inaccessibility \
+                     need a multi-segment combo (add `segments` with a value > 1)"
+                        .into(),
+                );
+            }
+        }
+        if self.segments.contains(&1)
+            && !(self.gateway_crash_budgets.contains(&0)
+                && self.partition_lens.contains(&BitTime::ZERO)
+                && self.asymmetric_lens.contains(&BitTime::ZERO))
+        {
+            return Err(
+                "single-segment combos need the zero federation-fault combo \
+                 (include 0 in gateway-crash and the window dimensions, or \
+                 drop `segments 1`)"
+                    .into(),
+            );
         }
         for &tm in &self.tm {
             let config = CanelyConfig::default()
@@ -345,6 +539,20 @@ impl CampaignSpec {
         Ok(())
     }
 
+    /// The federation-fault combinations one segment-count dimension
+    /// value contributes: single-segment combos collapse to the one
+    /// zero-fault combo (validated to exist), federated combos take
+    /// the full product.
+    fn federation_combos(&self, segments: u8) -> usize {
+        if segments > 1 {
+            self.gateway_crash_budgets.len()
+                * self.partition_lens.len()
+                * self.asymmetric_lens.len()
+        } else {
+            1
+        }
+    }
+
     /// Number of runs the spec expands into, without materializing
     /// them.
     pub fn run_count(&self) -> usize {
@@ -355,6 +563,11 @@ impl CampaignSpec {
             * self.inconsistent_rates.len()
             * self.crash_budgets.len()
             * self.inaccessibility_lens.len()
+            * self
+                .segments
+                .iter()
+                .map(|&k| self.federation_combos(k))
+                .sum::<usize>()
             * (self.seeds.1 - self.seeds.0) as usize
     }
 
@@ -373,18 +586,23 @@ impl CampaignSpec {
                         for &inconsistent_rate in &self.inconsistent_rates {
                             for &budget in &self.crash_budgets {
                                 for &window_len in &self.inaccessibility_lens {
-                                    for seed in self.seeds.0..self.seeds.1 {
-                                        runs.push(self.materialize(
-                                            runs.len(),
-                                            detector,
-                                            nodes,
-                                            tm,
-                                            consistent_rate,
-                                            inconsistent_rate,
-                                            budget,
-                                            window_len,
-                                            seed,
-                                        ));
+                                    for &segments in &self.segments {
+                                        for fed in self.federation_matrix(segments) {
+                                            for seed in self.seeds.0..self.seeds.1 {
+                                                runs.push(self.materialize(
+                                                    runs.len(),
+                                                    detector,
+                                                    nodes,
+                                                    tm,
+                                                    consistent_rate,
+                                                    inconsistent_rate,
+                                                    budget,
+                                                    window_len,
+                                                    fed,
+                                                    seed,
+                                                ));
+                                            }
+                                        }
                                     }
                                 }
                             }
@@ -394,6 +612,25 @@ impl CampaignSpec {
             }
         }
         runs
+    }
+
+    /// The federation-fault combos for one segment count: the single
+    /// `None` for plain runs, the full dimension product (as
+    /// `(segments, gateway-crash budget, partition len, asymmetric
+    /// len)`) for federated ones.
+    fn federation_matrix(&self, segments: u8) -> Vec<Option<(u8, u32, BitTime, BitTime)>> {
+        if segments == 1 {
+            return vec![None];
+        }
+        let mut combos = Vec::with_capacity(self.federation_combos(segments));
+        for &gateway_crash in &self.gateway_crash_budgets {
+            for &partition_len in &self.partition_lens {
+                for &asymmetric_len in &self.asymmetric_lens {
+                    combos.push(Some((segments, gateway_crash, partition_len, asymmetric_len)));
+                }
+            }
+        }
+        combos
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -407,13 +644,16 @@ impl CampaignSpec {
         inconsistent_rate: f64,
         budget: u32,
         window_len: BitTime,
+        fed: Option<(u8, u32, BitTime, BitTime)>,
         seed: u64,
     ) -> RunSpec {
         // Schedule key: seed + every dimension value, never the run
         // index, so schedules are stable under spec edits. The
         // detector backend is deliberately *excluded*: every backend
         // must face the identical fault schedule for the shootout
-        // comparison to be apples-to-apples.
+        // comparison to be apples-to-apples. Single-segment runs fold
+        // no federation words at all, so adding a `segments` dimension
+        // to an existing campaign leaves its plain schedules intact.
         let mut key = mix64(seed ^ GOLDEN);
         for word in [
             u64::from(nodes),
@@ -425,26 +665,125 @@ impl CampaignSpec {
         ] {
             key = mix64(key.wrapping_add(GOLDEN) ^ word);
         }
+        if let Some((segments, gateway_crash, partition_len, asymmetric_len)) = fed {
+            let topology = match self.bridge {
+                BridgeKind::Line => 1,
+                BridgeKind::Ring => 2,
+                BridgeKind::Star => 3,
+                BridgeKind::Full => 4,
+            };
+            for word in [
+                u64::from(segments),
+                u64::from(self.gateway),
+                topology,
+                u64::from(gateway_crash),
+                partition_len.as_u64(),
+                asymmetric_len.as_u64(),
+            ] {
+                key = mix64(key.wrapping_add(GOLDEN) ^ word);
+            }
+        }
         let mut rng = SmallRng::seed_from_u64(key);
 
-        // Crashes: `f` distinct victims, instants inside the active
-        // phase and after the population is operational — the campaign
-        // studies steady-state failures, not boot races.
-        let f = budget.min(u32::from(nodes).saturating_sub(2));
         let lo = operational_from(tm).as_u64();
         let hi = self.until.saturating_sub(self.settle).as_u64();
-        let mut victims = NodeSet::EMPTY;
+        let f = budget.min(u32::from(nodes).saturating_sub(2));
         let mut crashes = Vec::new();
-        while (crashes.len() as u32) < f {
-            let victim = NodeId::new((rng.next_u64() % u64::from(nodes)) as u8);
-            if victims.contains(victim) {
-                continue;
+        let mut federation = None;
+
+        if let Some((segments, gateway_crash, partition_len, asymmetric_len)) = fed {
+            // Federated crashes: `f` distinct (segment, node) victims
+            // anywhere in the federation, never a gateway — gateway
+            // crashes are their own dimension with their own global
+            // semantics.
+            let mut taken: Vec<(u8, u8)> = Vec::new();
+            let mut seg_crashes = Vec::new();
+            while (taken.len() as u32) < f {
+                let seg = (rng.next_u64() % u64::from(segments)) as u8;
+                let victim = (rng.next_u64() % u64::from(nodes)) as u8;
+                if victim == self.gateway || taken.contains(&(seg, victim)) {
+                    continue;
+                }
+                taken.push((seg, victim));
+                let at = BitTime::new(lo + rng.next_u64() % (hi - lo).max(1));
+                if seg == 0 {
+                    crashes.push((victim, at));
+                } else {
+                    seg_crashes.push((seg, victim, at));
+                }
             }
-            victims.insert(victim);
-            let at = lo + rng.next_u64() % (hi - lo).max(1);
-            crashes.push((victim.as_u8(), BitTime::new(at)));
+            crashes.sort_by_key(|&(_, at)| (at, 0));
+            seg_crashes.sort_by_key(|&(seg, victim, at)| (at, seg, victim));
+
+            // Gateway crashes: that many *distinct* segments lose
+            // their representative.
+            let g = gateway_crash.min(u32::from(segments));
+            let mut gone = Vec::new();
+            let mut gateway_crashes = Vec::new();
+            while (gateway_crashes.len() as u32) < g {
+                let seg = (rng.next_u64() % u64::from(segments)) as u8;
+                if gone.contains(&seg) {
+                    continue;
+                }
+                gone.push(seg);
+                let at = BitTime::new(lo + rng.next_u64() % (hi - lo).max(1));
+                gateway_crashes.push((seg, at));
+            }
+            gateway_crashes.sort_by_key(|&(seg, at)| (at, seg));
+
+            // One inter-segment partition window, placed after
+            // bootstrap (all bridges, both directions).
+            let mut partitions = Vec::new();
+            if !partition_len.is_zero() {
+                let latest = hi.saturating_sub(partition_len.as_u64());
+                let start = lo + rng.next_u64() % latest.saturating_sub(lo).max(1);
+                partitions.push((BitTime::new(start), BitTime::new(start) + partition_len));
+            }
+
+            // One asymmetric window: a random direction of a random
+            // bridge goes deaf.
+            let mut asymmetric = Vec::new();
+            if !asymmetric_len.is_zero() {
+                let bridges = self.bridge.bridges(segments);
+                let (a, b) = bridges[(rng.next_u64() as usize) % bridges.len()];
+                let (from_seg, to_seg) = if rng.next_u64() % 2 == 0 { (a, b) } else { (b, a) };
+                let latest = hi.saturating_sub(asymmetric_len.as_u64());
+                let start = lo + rng.next_u64() % latest.saturating_sub(lo).max(1);
+                asymmetric.push((
+                    from_seg,
+                    to_seg,
+                    BitTime::new(start),
+                    BitTime::new(start) + asymmetric_len,
+                ));
+            }
+
+            federation = Some(FederationSpec {
+                segments,
+                gateway: self.gateway,
+                topology: self.bridge,
+                relay: self.relay.clone(),
+                seg_crashes,
+                gateway_crashes,
+                partitions,
+                asymmetric,
+            });
+        } else {
+            // Crashes: `f` distinct victims, instants inside the
+            // active phase and after the population is operational —
+            // the campaign studies steady-state failures, not boot
+            // races.
+            let mut victims = NodeSet::EMPTY;
+            while (crashes.len() as u32) < f {
+                let victim = NodeId::new((rng.next_u64() % u64::from(nodes)) as u8);
+                if victims.contains(victim) {
+                    continue;
+                }
+                victims.insert(victim);
+                let at = lo + rng.next_u64() % (hi - lo).max(1);
+                crashes.push((victim.as_u8(), BitTime::new(at)));
+            }
+            crashes.sort_by_key(|&(_, at)| (at, 0));
         }
-        crashes.sort_by_key(|&(_, at)| (at, 0));
 
         // One inaccessibility window, placed after bootstrap.
         let mut inaccessibility = Vec::new();
@@ -472,8 +811,37 @@ impl CampaignSpec {
             inaccessibility,
             weaken_fda: self.weaken_fda,
             latency_slack: self.latency_slack,
+            federation,
         }
     }
+}
+
+/// The federated extension of a run: the segment topology plus the
+/// bridge-level fault schedule. Present iff the run spans more than
+/// one segment; the plain fields of [`RunSpec`] then describe *each*
+/// segment's population, with [`RunSpec::crashes`] applying to
+/// segment 0 and [`FederationSpec::seg_crashes`] to the rest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FederationSpec {
+    /// Number of bridged segments (≥ 2).
+    pub segments: u8,
+    /// Local node id of every segment's gateway.
+    pub gateway: u8,
+    /// Bridge topology.
+    pub topology: BridgeKind,
+    /// Which application frames gateways relay.
+    pub relay: RelayFilter,
+    /// Scheduled non-gateway crashes in segments ≥ 1:
+    /// `(segment, node, instant)`.
+    pub seg_crashes: Vec<(u8, u8, BitTime)>,
+    /// Scheduled gateway crashes: `(segment, instant)`.
+    pub gateway_crashes: Vec<(u8, BitTime)>,
+    /// Inter-segment partitions `[from, until)` — every bridge, both
+    /// directions.
+    pub partitions: Vec<(BitTime, BitTime)>,
+    /// Asymmetric windows `(from_seg, to_seg, from, until)` — one
+    /// direction of one bridge.
+    pub asymmetric: Vec<(u8, u8, BitTime, BitTime)>,
 }
 
 /// One fully scheduled simulation: everything needed to reproduce the
@@ -514,6 +882,9 @@ pub struct RunSpec {
     pub weaken_fda: bool,
     /// Oracle slack on latency bounds.
     pub latency_slack: BitTime,
+    /// Multi-segment topology and bridge-level fault schedule;
+    /// `None` = the plain single-bus stack.
+    pub federation: Option<FederationSpec>,
 }
 
 impl RunSpec {
@@ -548,7 +919,13 @@ impl RunSpec {
             self.tm,
             config.rha_timeout,
             self.inconsistent_degree,
-            self.crashes.len() as u32,
+            // Conservative for federated runs: count every crash in
+            // the federation even though each lands in one segment —
+            // overcounting only loosens the bound.
+            (self.crashes.len()
+                + self.federation.as_ref().map_or(0, |fed| {
+                    fed.seg_crashes.len() + fed.gateway_crashes.len()
+                })) as u32,
         )
     }
 
@@ -602,6 +979,20 @@ impl RunSpec {
         for &(_, until) in &self.inaccessibility {
             last = last.max(until);
         }
+        if let Some(fed) = &self.federation {
+            for &(_, _, at) in &fed.seg_crashes {
+                last = last.max(at);
+            }
+            for &(_, at) in &fed.gateway_crashes {
+                last = last.max(at);
+            }
+            for &(_, until) in &fed.partitions {
+                last = last.max(until);
+            }
+            for &(_, _, _, until) in &fed.asymmetric {
+                last = last.max(until);
+            }
+        }
         last + self.settle <= self.until
     }
 
@@ -644,6 +1035,34 @@ impl RunSpec {
                 fmt_duration(until)
             );
         }
+        if let Some(fed) = &self.federation {
+            let _ = writeln!(out, "segments {}", fed.segments);
+            let _ = writeln!(out, "gateway {}", fed.gateway);
+            let _ = writeln!(out, "bridge {}", fed.topology.key());
+            let _ = writeln!(out, "relay {}", fmt_relay(&fed.relay));
+            for &(seg, node, at) in &fed.seg_crashes {
+                let _ = writeln!(out, "seg-crash {seg} {node} {}", fmt_duration(at));
+            }
+            for &(seg, at) in &fed.gateway_crashes {
+                let _ = writeln!(out, "gateway-crash {seg} {}", fmt_duration(at));
+            }
+            for &(from, until) in &fed.partitions {
+                let _ = writeln!(
+                    out,
+                    "segment-partition {} {}",
+                    fmt_duration(from),
+                    fmt_duration(until)
+                );
+            }
+            for &(from_seg, to_seg, from, until) in &fed.asymmetric {
+                let _ = writeln!(
+                    out,
+                    "asymmetric {from_seg} {to_seg} {} {}",
+                    fmt_duration(from),
+                    fmt_duration(until)
+                );
+            }
+        }
         if self.weaken_fda {
             let _ = writeln!(out, "weaken-fda");
         }
@@ -664,6 +1083,16 @@ impl RunSpec {
     /// rejected; `expect-view` lines are ignored (the oracle computes
     /// the expectation itself).
     ///
+    /// Like [`RunSpec::from_scenario`], but reports errors as
+    /// `name:line: message` for scenarios read from a named file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic naming the file and offending line.
+    pub fn from_scenario_named(name: &str, text: &str) -> Result<RunSpec, String> {
+        Self::from_scenario(text).map_err(|e| locate(name, e))
+    }
+
     /// # Errors
     ///
     /// Returns a diagnostic naming the offending line.
@@ -686,8 +1115,17 @@ impl RunSpec {
             inaccessibility: Vec::new(),
             weaken_fda: false,
             latency_slack: BitTime::new(4_000),
+            federation: None,
         };
         let mut traffic_periods: Vec<BitTime> = Vec::new();
+        let mut segments: u8 = 1;
+        let mut gateway: u8 = 0;
+        let mut topology = BridgeKind::Ring;
+        let mut relay = RelayFilter::none();
+        let mut seg_crashes: Vec<(u8, u8, BitTime)> = Vec::new();
+        let mut gateway_crashes: Vec<(u8, BitTime)> = Vec::new();
+        let mut partitions: Vec<(BitTime, BitTime)> = Vec::new();
+        let mut asymmetric: Vec<(u8, u8, BitTime, BitTime)> = Vec::new();
         for (idx, raw) in text.lines().enumerate() {
             let line_no = idx + 1;
             let line = raw.split('#').next().unwrap_or("").trim();
@@ -783,6 +1221,88 @@ impl RunSpec {
                         .and_then(|w| DetectorKind::from_key(w))
                         .ok_or_else(|| format!("line {line_no}: unknown detector backend"))?;
                 }
+                "segments" => {
+                    segments = rest
+                        .first()
+                        .and_then(|w| w.parse::<u8>().ok())
+                        .filter(|&k| k >= 1 && usize::from(k) <= MAX_SEGMENTS)
+                        .ok_or_else(|| format!("line {line_no}: bad segment count"))?;
+                }
+                "gateway" => {
+                    gateway = rest
+                        .first()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| format!("line {line_no}: bad gateway node id"))?;
+                }
+                "bridge" => {
+                    topology = rest
+                        .first()
+                        .and_then(|w| BridgeKind::from_key(w))
+                        .ok_or_else(|| {
+                            format!(
+                                "line {line_no}: unknown bridge topology \
+                                 (expected line/ring/star/full)"
+                            )
+                        })?;
+                }
+                "relay" => {
+                    relay = parse_relay(&rest).ok_or_else(|| {
+                        format!(
+                            "line {line_no}: bad relay filter \
+                             (expected `none`, `all` or `below <ref>`)"
+                        )
+                    })?;
+                }
+                "seg-crash" => {
+                    if rest.len() != 3 {
+                        return err(line_no, "expected `<segment> <node> <time>`");
+                    }
+                    let seg: u8 = rest[0]
+                        .parse()
+                        .map_err(|_| format!("line {line_no}: bad segment index"))?;
+                    let node: u8 = rest[1]
+                        .parse()
+                        .map_err(|_| format!("line {line_no}: bad node id"))?;
+                    let at = parse_duration(rest[2])
+                        .ok_or_else(|| format!("line {line_no}: bad duration"))?;
+                    seg_crashes.push((seg, node, at));
+                }
+                "gateway-crash" => {
+                    let (seg, at) = node_time(&rest)?;
+                    gateway_crashes.push((seg, at));
+                }
+                "segment-partition" => {
+                    if rest.len() != 2 {
+                        return err(line_no, "expected `<from> <until>`");
+                    }
+                    let from = parse_duration(rest[0])
+                        .ok_or_else(|| format!("line {line_no}: bad duration"))?;
+                    let until = parse_duration(rest[1])
+                        .ok_or_else(|| format!("line {line_no}: bad duration"))?;
+                    if until <= from {
+                        return err(line_no, "empty partition window");
+                    }
+                    partitions.push((from, until));
+                }
+                "asymmetric" => {
+                    if rest.len() != 4 {
+                        return err(line_no, "expected `<from_seg> <to_seg> <from> <until>`");
+                    }
+                    let from_seg: u8 = rest[0]
+                        .parse()
+                        .map_err(|_| format!("line {line_no}: bad segment index"))?;
+                    let to_seg: u8 = rest[1]
+                        .parse()
+                        .map_err(|_| format!("line {line_no}: bad segment index"))?;
+                    let from = parse_duration(rest[2])
+                        .ok_or_else(|| format!("line {line_no}: bad duration"))?;
+                    let until = parse_duration(rest[3])
+                        .ok_or_else(|| format!("line {line_no}: bad duration"))?;
+                    if until <= from {
+                        return err(line_no, "empty asymmetric window");
+                    }
+                    asymmetric.push((from_seg, to_seg, from, until));
+                }
                 "expect-view" => {} // oracle computes the expectation
                 "join" | "leave" | "restart" => {
                     return err(
@@ -801,6 +1321,68 @@ impl RunSpec {
             if node >= spec.nodes {
                 return Err(format!("crash victim {node} outside population"));
             }
+        }
+        if segments > 1 {
+            if spec.nodes > 32 {
+                return Err(format!(
+                    "federated segment populations cap at 32 nodes, got {}",
+                    spec.nodes
+                ));
+            }
+            if gateway >= spec.nodes {
+                return Err(format!("gateway node {gateway} outside population"));
+            }
+            for &(seg, node, _) in &seg_crashes {
+                if seg == 0 || seg >= segments {
+                    return Err(format!(
+                        "seg-crash segment {seg} outside 1..{segments} \
+                         (segment-0 crashes use plain `crash` lines)"
+                    ));
+                }
+                if node >= spec.nodes || node == gateway {
+                    return Err(format!("seg-crash victim {node} invalid"));
+                }
+            }
+            for &(seg, _) in &gateway_crashes {
+                if seg >= segments {
+                    return Err(format!("gateway-crash segment {seg} outside population"));
+                }
+            }
+            let bridged = topology.bridges(segments);
+            for &(from_seg, to_seg, ..) in &asymmetric {
+                let key = (from_seg.min(to_seg), from_seg.max(to_seg));
+                if from_seg == to_seg || !bridged.contains(&key) {
+                    return Err(format!(
+                        "asymmetric window names unbridged segments {from_seg} {to_seg}"
+                    ));
+                }
+            }
+            for &(node, _) in &spec.crashes {
+                if node == gateway {
+                    return Err(format!(
+                        "crash victim {node} is the gateway \
+                         (use `gateway-crash 0 <time>` instead)"
+                    ));
+                }
+            }
+            spec.federation = Some(FederationSpec {
+                segments,
+                gateway,
+                topology,
+                relay,
+                seg_crashes,
+                gateway_crashes,
+                partitions,
+                asymmetric,
+            });
+        } else if !seg_crashes.is_empty()
+            || !gateway_crashes.is_empty()
+            || !partitions.is_empty()
+            || !asymmetric.is_empty()
+        {
+            return Err(
+                "federation fault lines need a `segments` line with a value > 1".into(),
+            );
         }
         Ok(spec)
     }
@@ -934,6 +1516,136 @@ settle 150ms
         assert!(CampaignSpec::parse("detector swim swim")
             .unwrap_err()
             .contains("duplicate"));
+    }
+
+    const FED: &str = "\
+name fed
+nodes 8
+tm 30ms
+seeds 0..2
+crash-budget 1
+segments 1 3
+bridge ring
+relay below 8
+gateway-crash 0 1
+segment-partition 0 20ms
+until 400ms
+settle 150ms
+";
+
+    #[test]
+    fn named_diagnostics_carry_file_and_line() {
+        let e = CampaignSpec::parse_named("bad.campaign", "nodes 4\nfrobnicate 1\n").unwrap_err();
+        assert_eq!(e, "bad.campaign:2: unknown keyword `frobnicate`");
+        let e = CampaignSpec::parse_named("bad.campaign", "tm 30ms\nnodes 1\n").unwrap_err();
+        assert_eq!(e, "bad.campaign:2: bad node count `1`");
+        let e =
+            RunSpec::from_scenario_named("repro.canely", "nodes 4\ncrash x 10ms\n").unwrap_err();
+        assert_eq!(e, "repro.canely:2: bad node id");
+        // Diagnostics without a line anchor keep a plain file prefix.
+        let e = CampaignSpec::parse_named("geo.campaign", "until 100ms\nsettle 100ms\n")
+            .unwrap_err();
+        assert_eq!(
+            e,
+            "geo.campaign: invalid campaign: horizon (until) must exceed the settle margin"
+        );
+    }
+
+    #[test]
+    fn federation_dimensions_expand_and_skip_plain_combos() {
+        let spec = CampaignSpec::parse(FED).unwrap();
+        // Non-fed dims give 2 runs (1 crash budget × 2 seeds); the
+        // segment dimension contributes 1 (plain) + 2×2 (gateway-crash
+        // × partition) federated combos.
+        assert_eq!(spec.run_count(), 10);
+        let runs = spec.expand();
+        assert_eq!(runs.len(), 10);
+        assert_eq!(runs, spec.expand(), "expansion must be deterministic");
+        let plain = runs.iter().filter(|r| r.federation.is_none()).count();
+        assert_eq!(plain, 2, "one plain combo × two seeds");
+        for run in runs.iter().filter(|r| r.federation.is_some()) {
+            let fed = run.federation.as_ref().unwrap();
+            assert_eq!(fed.segments, 3);
+            assert_eq!(fed.relay, RelayFilter::app_below(8));
+            // The generic crash budget never hits a gateway.
+            assert!(run.crashes.iter().all(|&(n, _)| n != fed.gateway));
+            assert!(fed.seg_crashes.iter().all(|&(s, n, _)| {
+                (1..fed.segments).contains(&s) && n != fed.gateway
+            }));
+            assert_eq!(
+                run.crashes.len() + fed.seg_crashes.len(),
+                1,
+                "the crash budget spans the whole federation"
+            );
+            assert!(run.statically_quiescent());
+        }
+        assert!(
+            runs.iter().any(|r| r
+                .federation
+                .as_ref()
+                .is_some_and(|f| !f.gateway_crashes.is_empty())),
+            "the gateway-crash budget must materialize"
+        );
+        assert!(
+            runs.iter().any(|r| r
+                .federation
+                .as_ref()
+                .is_some_and(|f| !f.partitions.is_empty())),
+            "the partition window must materialize"
+        );
+    }
+
+    #[test]
+    fn plain_schedules_unaffected_by_federation_dimensions() {
+        let base = CampaignSpec::parse(
+            "name fed\nnodes 8\ntm 30ms\nseeds 0..2\ncrash-budget 1\nuntil 400ms\nsettle 150ms\n",
+        )
+        .unwrap();
+        let fed = CampaignSpec::parse(FED).unwrap();
+        let plain: Vec<_> = fed
+            .expand()
+            .into_iter()
+            .filter(|r| r.federation.is_none())
+            .collect();
+        let baseline = base.expand();
+        assert_eq!(plain.len(), baseline.len());
+        for (a, b) in plain.iter().zip(&baseline) {
+            assert_eq!(a.crashes, b.crashes, "plain schedules must be key-stable");
+            assert_eq!(a.inaccessibility, b.inaccessibility);
+            assert_eq!(a.seed, b.seed);
+        }
+    }
+
+    #[test]
+    fn federated_scenario_round_trip() {
+        let spec = CampaignSpec::parse(FED).unwrap();
+        for run in spec.expand() {
+            let mut back = RunSpec::from_scenario(&run.to_scenario()).unwrap();
+            back.id = run.id;
+            assert_eq!(back, run, "round-trip of run {}", run.id);
+        }
+    }
+
+    #[test]
+    fn rejects_incoherent_federation_specs() {
+        // Federation faults without a multi-segment combo.
+        assert!(CampaignSpec::parse("gateway-crash 1")
+            .unwrap_err()
+            .contains("multi-segment"));
+        // Populations past the digest encoding.
+        assert!(CampaignSpec::parse("nodes 40\nsegments 2")
+            .unwrap_err()
+            .contains("cap at 32"));
+        // Scenario-side: fed lines without segments.
+        assert!(RunSpec::from_scenario("gateway-crash 0 100ms")
+            .unwrap_err()
+            .contains("segments"));
+        // Asymmetric windows must name a bridged pair.
+        assert!(RunSpec::from_scenario(
+            "nodes 4\nsegments 3\nbridge line\nasymmetric 0 2 100ms 120ms"
+        )
+        .unwrap_err()
+        .contains("unbridged"));
     }
 
     #[test]

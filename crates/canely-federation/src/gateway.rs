@@ -1,0 +1,482 @@
+//! The gateway node: a CANELy stack plus the federation layer.
+//!
+//! A gateway is an ordinary member of its segment — it runs the
+//! unmodified [`CanelyStack`] and is detected, expelled and agreed
+//! upon exactly like any other node — that *additionally* acts as the
+//! segment's representative in the hierarchical membership protocol
+//! and as the frame relay of its inter-segment bridges:
+//!
+//! * **Representative.** Whenever the local stack installs a new
+//!   segment view, the gateway bumps the segment's *epoch* and gossips
+//!   the `(epoch, view)` digest. Digests are broadcast periodically on
+//!   the local bus as [`MsgType::Digest`] data frames (so they appear
+//!   in the trace, and double as implicit heartbeats of the gateway)
+//!   and relayed across every bridge. On learning a fresher digest
+//!   about any segment, a representative *endorses* it — re-stamps it
+//!   with its own reporter id — so agreement is observable: a segment
+//!   view is only installed into the global view once a quorum
+//!   (`⌊K/2⌋ + 1` of `K` representatives) report byte-identical
+//!   digests for it. This is the Rapid-style stable-cut rule: no
+//!   single representative's observation can flip the global view.
+//! * **Relay.** Data frames passing the configured [`RelayFilter`]
+//!   are shipped over the bridges and re-broadcast on the peer
+//!   segment's bus with the relaying gateway's own node id — the
+//!   membership micro-protocols (ELS/FDA/RHA/JOIN/LEAVE/PING) are
+//!   *never* relayed, which is what keeps every segment an unmodified
+//!   single-bus CANELy world.
+//!
+//! A gateway with no bridges (the 1-segment degenerate federation)
+//! arms no timer, emits no event and relays nothing: its observable
+//! behaviour is byte-identical to a plain [`CanelyStack`].
+
+use can_controller::{Application, Ctx, DriverEvent, TimerId};
+use can_types::{BitTime, Mid, MsgType, NodeSet, Payload};
+use canely::obs::{EventSink, ProtocolEvent};
+use canely::tags::{digest_mid, digest_mid_segments, TimerOwner, MAX_SEGMENTS};
+use canely::{CanelyConfig, CanelyStack, TrafficConfig};
+use std::any::Any;
+
+/// Which non-control data frames a gateway relays across its bridges.
+///
+/// Membership control traffic (every remote-frame micro-protocol plus
+/// RHA data frames) is categorically excluded — the filter only
+/// selects among application frames. Digest frames are the
+/// federation's own control plane and always cross.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelayFilter {
+    /// Relay [`MsgType::AppData`] frames.
+    pub app_data: bool,
+    /// If set, only app frames whose mid `reference` is strictly below
+    /// this bound are relayed (the "ID-filtered subset": low
+    /// references name the segment-spanning streams).
+    pub reference_below: Option<u16>,
+}
+
+impl RelayFilter {
+    /// Relay nothing but the digest control plane.
+    pub fn none() -> Self {
+        RelayFilter {
+            app_data: false,
+            reference_below: None,
+        }
+    }
+
+    /// Relay every application data frame.
+    pub fn pass_through() -> Self {
+        RelayFilter {
+            app_data: true,
+            reference_below: None,
+        }
+    }
+
+    /// Relay only app frames with `reference < bound`.
+    pub fn app_below(bound: u16) -> Self {
+        RelayFilter {
+            app_data: true,
+            reference_below: Some(bound),
+        }
+    }
+
+    /// Whether an application frame with this mid crosses the bridge.
+    /// Digest frames are decided separately (they always cross).
+    fn passes(&self, mid: Mid) -> bool {
+        if mid.msg_type() != MsgType::AppData || !self.app_data {
+            return false;
+        }
+        self.reference_below
+            .is_none_or(|bound| mid.reference() < bound)
+    }
+}
+
+/// A data frame in flight across a bridge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BridgeFrame {
+    /// The frame's mid as captured on the originating bus.
+    pub mid: Mid,
+    /// The frame payload.
+    pub payload: Payload,
+    /// Segment the frame was captured in.
+    pub from_seg: u8,
+}
+
+/// One digest claim: what some representative reports a segment's
+/// membership to be.
+pub type Claim = (u32, NodeSet);
+
+/// The number of consistent reporters required to install a segment
+/// digest globally.
+pub fn quorum(segments: usize) -> usize {
+    segments / 2 + 1
+}
+
+/// A segment representative: the unmodified per-segment CANELy stack
+/// composed with digest gossip, stable-cut view installation and the
+/// bridge relay (see the module docs).
+#[derive(Debug)]
+pub struct Gateway {
+    stack: CanelyStack,
+    seg: u8,
+    segments: u8,
+    filter: RelayFilter,
+    digest_period: BitTime,
+    /// Set once the federation attaches at least one bridge; an
+    /// unbridged gateway is behaviourally a plain stack.
+    bridged: bool,
+    last_view: NodeSet,
+    /// `claims[reporter][subject]`; own row doubles as "what I will
+    /// gossip next tick".
+    claims: [[Option<Claim>; MAX_SEGMENTS]; MAX_SEGMENTS],
+    /// Globally installed views, per subject segment.
+    installed: [Option<Claim>; MAX_SEGMENTS],
+    /// Highest epoch relayed onward per `(reporter, subject)` — the
+    /// flood-dedup that terminates digest propagation on cyclic
+    /// topologies.
+    relayed: [[u32; MAX_SEGMENTS]; MAX_SEGMENTS],
+    outbox: Vec<BridgeFrame>,
+    obs: EventSink,
+}
+
+impl Gateway {
+    /// A gateway for segment `seg` of a `segments`-wide federation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg >= segments` or `segments` exceeds
+    /// [`MAX_SEGMENTS`].
+    pub fn new(config: CanelyConfig, seg: u8, segments: u8, filter: RelayFilter) -> Self {
+        assert!((segments as usize) <= MAX_SEGMENTS, "too many segments");
+        assert!(seg < segments, "segment index out of range");
+        Gateway {
+            stack: CanelyStack::new(config),
+            seg,
+            segments,
+            filter,
+            digest_period: BitTime::new(10_000),
+            bridged: false,
+            last_view: NodeSet::EMPTY,
+            claims: [[None; MAX_SEGMENTS]; MAX_SEGMENTS],
+            installed: [None; MAX_SEGMENTS],
+            relayed: [[0; MAX_SEGMENTS]; MAX_SEGMENTS],
+            outbox: Vec::new(),
+            obs: EventSink::disabled(),
+        }
+    }
+
+    /// Attaches the observability sink (gateway events and the
+    /// delegated stack share it).
+    pub fn with_obs(mut self, sink: EventSink) -> Self {
+        self.obs = sink.clone();
+        self.stack = self.stack.with_obs(sink);
+        self
+    }
+
+    /// Adds cyclic application traffic, exactly as on a plain stack.
+    pub fn with_traffic(mut self, traffic: TrafficConfig) -> Self {
+        self.stack = self.stack.with_traffic(traffic);
+        self
+    }
+
+    /// Overrides the digest gossip period (default 10 ms).
+    pub fn with_digest_period(mut self, period: BitTime) -> Self {
+        assert!(!period.is_zero(), "digest period must be positive");
+        self.digest_period = period;
+        self
+    }
+
+    /// Marks the gateway as bridged: arms the gossip machinery. Called
+    /// by the federation harness while wiring topologies; never called
+    /// in the 1-segment degenerate case.
+    pub fn attach_bridge(&mut self) {
+        self.bridged = true;
+    }
+
+    /// The wrapped per-segment stack.
+    pub fn stack(&self) -> &CanelyStack {
+        &self.stack
+    }
+
+    /// This gateway's segment index.
+    pub fn segment(&self) -> u8 {
+        self.seg
+    }
+
+    /// The globally installed view of one subject segment, if a quorum
+    /// ever agreed on it.
+    pub fn installed(&self, subject: u8) -> Option<Claim> {
+        self.installed[subject as usize]
+    }
+
+    /// All installed views, indexed by subject segment.
+    pub fn installed_views(&self) -> Vec<Option<Claim>> {
+        self.installed[..self.segments as usize].to_vec()
+    }
+
+    /// Drains the frames queued for bridge relay.
+    pub fn take_outbox(&mut self) -> Vec<BridgeFrame> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Re-broadcasts a frame that arrived over a bridge onto the local
+    /// bus. The mid's node field is rewritten to the gateway's own id:
+    /// relayed traffic must act as an implicit heartbeat of the relay
+    /// that actually transmitted it here, never of a foreign node that
+    /// happens to share a local id.
+    pub fn inject(&mut self, ctx: &mut Ctx<'_>, frame: &BridgeFrame) {
+        let mid = Mid::new(frame.mid.msg_type(), frame.mid.reference(), ctx.me());
+        self.obs.clear_cause();
+        self.obs.emit(
+            ctx.now(),
+            ctx.me(),
+            ProtocolEvent::FedRelay {
+                mid,
+                from_seg: frame.from_seg,
+            },
+        );
+        ctx.can_data_req(mid, frame.payload);
+    }
+
+    /// Adopts a digest claim into the table; returns `true` if it was
+    /// fresher than what the table held for `(reporter, subject)`.
+    fn adopt(&mut self, reporter: u8, subject: u8, claim: Claim) -> bool {
+        let slot = &mut self.claims[reporter as usize][subject as usize];
+        if slot.is_some_and(|(epoch, _)| epoch >= claim.0) {
+            return false;
+        }
+        *slot = Some(claim);
+        true
+    }
+
+    /// Re-evaluates the stable-cut install rule for one subject: the
+    /// highest-epoch claim wins once a quorum of distinct reporters
+    /// carry it byte-identically.
+    fn try_install(&mut self, ctx: &mut Ctx<'_>, subject: u8) {
+        let s = subject as usize;
+        let candidate = (0..self.segments as usize)
+            .filter_map(|r| self.claims[r][s])
+            .max_by_key(|&(epoch, _)| epoch);
+        let Some(candidate) = candidate else { return };
+        let votes = (0..self.segments as usize)
+            .filter(|&r| self.claims[r][s] == Some(candidate))
+            .count();
+        if votes < quorum(self.segments as usize) {
+            return;
+        }
+        if self.installed[s].is_some_and(|(epoch, _)| epoch >= candidate.0) {
+            return;
+        }
+        self.installed[s] = Some(candidate);
+        self.obs.emit(
+            ctx.now(),
+            ctx.me(),
+            ProtocolEvent::FedInstall {
+                subject,
+                epoch: candidate.0,
+                view: candidate.1,
+            },
+        );
+    }
+
+    /// Reacts to a digest frame observed on the local bus: adopt,
+    /// endorse, re-check the install rule, and queue the frame for
+    /// onward flooding if it was news.
+    fn on_digest(&mut self, ctx: &mut Ctx<'_>, mid: Mid, payload: &Payload) {
+        let Some((reporter, subject)) = digest_mid_segments(mid) else {
+            return;
+        };
+        let Some(claim) = decode_digest(payload) else {
+            return;
+        };
+        if reporter >= self.segments || subject >= self.segments {
+            return;
+        }
+        let fresh = self.adopt(reporter, subject, claim);
+        if fresh {
+            self.obs.emit(
+                ctx.now(),
+                ctx.me(),
+                ProtocolEvent::FedDigest {
+                    reporter,
+                    subject,
+                    epoch: claim.0,
+                    view: claim.1,
+                },
+            );
+            // Endorse: our own row now carries the freshest claim we
+            // know for this subject, so the next gossip tick spreads
+            // it under our reporter stamp — that is what makes the
+            // quorum count *distinct* representatives.
+            if subject != self.seg {
+                self.adopt(self.seg, subject, claim);
+            }
+            self.try_install(ctx, subject);
+        }
+        // Flood-relay digest frames that carry news for some bridge
+        // peer: anything fresher than what we relayed before.
+        let seen = &mut self.relayed[reporter as usize][subject as usize];
+        if claim.0 > *seen {
+            *seen = claim.0;
+            self.outbox.push(BridgeFrame {
+                mid,
+                payload: *payload,
+                from_seg: self.seg,
+            });
+        }
+    }
+
+    /// Tracks the wrapped stack's view after a delegated callback: a
+    /// change bumps the segment epoch and refreshes the own-segment
+    /// claim.
+    fn track_view(&mut self, ctx: &mut Ctx<'_>) {
+        let view = self.stack.view();
+        if view == self.last_view {
+            return;
+        }
+        self.last_view = view;
+        let epoch = self.claims[self.seg as usize][self.seg as usize]
+            .map_or(0, |(e, _)| e)
+            + 1;
+        self.claims[self.seg as usize][self.seg as usize] = Some((epoch, view));
+        self.obs.emit(
+            ctx.now(),
+            ctx.me(),
+            ProtocolEvent::FedDigest {
+                reporter: self.seg,
+                subject: self.seg,
+                epoch,
+                view,
+            },
+        );
+        self.try_install(ctx, self.seg);
+    }
+
+    /// Gossip tick: broadcast every claim of the own row as a digest
+    /// data frame on the local bus *and* queue it for the bridges,
+    /// then re-arm. The unconditional bridge copy is the anti-entropy
+    /// that repairs loss: a digest dropped inside a partition window
+    /// re-crosses on the first tick after heal, while the `relayed`
+    /// dedup still keeps the reactive flood from echoing stale claims.
+    fn on_gossip_tick(&mut self, ctx: &mut Ctx<'_>) {
+        for subject in 0..self.segments {
+            if let Some(claim) = self.claims[self.seg as usize][subject as usize] {
+                let mid = digest_mid(self.seg, subject, ctx.me());
+                let payload = encode_digest(claim);
+                ctx.can_data_req(mid, payload);
+                self.outbox.push(BridgeFrame {
+                    mid,
+                    payload,
+                    from_seg: self.seg,
+                });
+                let seen = &mut self.relayed[self.seg as usize][subject as usize];
+                *seen = (*seen).max(claim.0);
+            }
+        }
+        ctx.start_alarm(self.digest_period, TimerOwner::FederationDigest.encode());
+    }
+}
+
+/// Digest wire payload: view bits (low 32) then epoch, little-endian.
+/// Segment populations are capped at 32 nodes so the claim fits one
+/// CAN data frame.
+fn encode_digest((epoch, view): Claim) -> Payload {
+    let mut bytes = [0u8; 8];
+    bytes[..4].copy_from_slice(&(view.bits() as u32).to_le_bytes());
+    bytes[4..].copy_from_slice(&epoch.to_le_bytes());
+    Payload::from_slice(&bytes).expect("8 bytes fit a CAN frame")
+}
+
+fn decode_digest(payload: &Payload) -> Option<Claim> {
+    let bytes: [u8; 8] = payload.as_slice().try_into().ok()?;
+    let view = u64::from(u32::from_le_bytes(bytes[..4].try_into().ok()?));
+    let epoch = u32::from_le_bytes(bytes[4..].try_into().ok()?);
+    Some((epoch, NodeSet::from_bits(view)))
+}
+
+impl Application for Gateway {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.stack.on_start(ctx);
+        if self.bridged {
+            self.track_view(ctx);
+            ctx.start_alarm(self.digest_period, TimerOwner::FederationDigest.encode());
+        }
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, event: &DriverEvent) {
+        self.stack.on_event(ctx, event);
+        if !self.bridged {
+            return;
+        }
+        self.track_view(ctx);
+        if let DriverEvent::DataInd { mid, payload } = event {
+            if mid.msg_type() == MsgType::Digest {
+                self.on_digest(ctx, *mid, payload);
+            } else if self.filter.passes(*mid) && mid.node() != ctx.me() {
+                // Own transmissions never cross: the gateway's
+                // injections would otherwise ping-pong between
+                // segments forever. App relay is thus single-hop,
+                // neighbour-to-neighbour; the digest plane floods.
+                self.outbox.push(BridgeFrame {
+                    mid: *mid,
+                    payload: *payload,
+                    from_seg: self.seg,
+                });
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, id: TimerId, tag: u64) {
+        if self.bridged && TimerOwner::decode(tag) == Some(TimerOwner::FederationDigest) {
+            self.on_gossip_tick(ctx);
+            return;
+        }
+        self.stack.on_timer(ctx, id, tag);
+        if self.bridged {
+            self.track_view(ctx);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use can_types::NodeId;
+
+    #[test]
+    fn digest_payload_round_trips() {
+        let claim = (7, NodeSet::from_bits(0b1011));
+        assert_eq!(decode_digest(&encode_digest(claim)), Some(claim));
+    }
+
+    #[test]
+    fn quorum_is_a_majority() {
+        assert_eq!(quorum(1), 1);
+        assert_eq!(quorum(2), 2);
+        assert_eq!(quorum(3), 2);
+        assert_eq!(quorum(4), 3);
+        assert_eq!(quorum(5), 3);
+    }
+
+    #[test]
+    fn filter_never_passes_control_traffic() {
+        let filter = RelayFilter::pass_through();
+        let app = Mid::new(MsgType::AppData, 3, NodeId::new(1));
+        assert!(filter.passes(app));
+        for control in [
+            Mid::new(MsgType::Els, 0, NodeId::new(1)),
+            Mid::new(MsgType::Fda, 0, NodeId::new(1)),
+            Mid::new(MsgType::Rha, 0, NodeId::new(1)),
+            Mid::new(MsgType::Join, 0, NodeId::new(1)),
+        ] {
+            assert!(!filter.passes(control));
+        }
+        assert!(!RelayFilter::none().passes(app));
+        assert!(RelayFilter::app_below(4).passes(app));
+        assert!(!RelayFilter::app_below(3).passes(app));
+    }
+}

@@ -1,0 +1,33 @@
+//! # canely-federation — bridged CAN segments and hierarchical membership
+//!
+//! A single CAN bus caps out at a few dozen stations and a few hundred
+//! metres; larger CANELy deployments bridge several segments. This
+//! crate federates complete, unmodified single-segment CANELy stacks:
+//!
+//! * **[`Gateway`]** — a [`canely::CanelyStack`] wrapper that is an
+//!   ordinary member of its segment *and* the segment's representative
+//!   in the federation. It relays a configurable, ID-filtered subset
+//!   of application frames across bridges ([`RelayFilter`]) and
+//!   gossips segment-view *digests* to the other representatives.
+//! * **Hierarchical membership** — each representative summarises its
+//!   segment's locally-agreed view as an epoch-stamped digest. The
+//!   global view is composed with a Rapid-style stable-cut rule: a
+//!   claim about segment *S* installs only once a majority
+//!   ([`quorum`]) of representatives report an identical `(epoch,
+//!   view)` for *S*. Representatives endorse fresher claims they
+//!   adopt, so a single gossip round after convergence suffices.
+//! * **[`FederationSim`]** — K per-segment simulators advanced in
+//!   lockstep quanta with bridge pumps in between, plus bridge-level
+//!   fault injection (gateway crashes, inter-segment partitions,
+//!   asymmetric one-way windows) and a merged segment-qualified trace
+//!   export.
+//!
+//! The single-segment degenerate case is exact: one segment, no
+//! bridges, a pass-through gateway — byte-identical traces to the
+//! non-federated stack (enforced by a differential property test).
+
+pub mod gateway;
+pub mod sim;
+
+pub use gateway::{quorum, BridgeFrame, Claim, Gateway, RelayFilter};
+pub use sim::{BridgeKind, FederationConfig, FederationSim};

@@ -1,0 +1,557 @@
+//! The federation harness: K per-segment simulators in lockstep, plus
+//! the bridges between their gateways.
+//!
+//! Every segment is a complete, unmodified single-bus CANELy world —
+//! its own [`Simulator`], its own fault plan, its own [`ObsLog`]. The
+//! federation couples them only through the gateways: the harness
+//! advances all segments to the same instant in fixed *quanta*, then
+//! pumps each gateway's outbox across its bridges and injects the
+//! frames at the far end (see [`Gateway::inject`]). Iteration order is
+//! fixed (segment 0, 1, …), so a federated run is exactly as
+//! deterministic and replayable as a single-segment run.
+//!
+//! Bridge-level fault injection mirrors the single-bus fault kinds one
+//! level up: a **gateway crash** is an ordinary scheduled node crash
+//! that happens to hit a representative; an **inter-segment
+//! partition** drops every bridge frame in both directions for a
+//! window; an **asymmetric inaccessibility** window drops one
+//! direction of one bridge — the federation analogue of LCAN4's
+//! inconsistent channel.
+
+use crate::gateway::{BridgeFrame, Gateway, RelayFilter};
+use can_bus::{BusConfig, FaultPlan};
+use can_controller::Simulator;
+use can_types::{BitTime, NodeId};
+use canely::obs::ObsLog;
+use canely::tags::MAX_SEGMENTS;
+use canely::{CanelyConfig, CanelyStack, TrafficConfig};
+
+/// How the segments' bridges are wired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BridgeKind {
+    /// Segment `i` bridges to `i + 1`.
+    Line,
+    /// A line plus the closing `K−1 ↔ 0` bridge.
+    Ring,
+    /// Every segment bridges to segment 0.
+    Star,
+    /// Every pair of segments is bridged.
+    Full,
+}
+
+impl BridgeKind {
+    /// The stable keyword used by scenario and campaign documents.
+    pub fn key(self) -> &'static str {
+        match self {
+            BridgeKind::Line => "line",
+            BridgeKind::Ring => "ring",
+            BridgeKind::Star => "star",
+            BridgeKind::Full => "full",
+        }
+    }
+
+    /// Parses a scenario keyword.
+    pub fn from_key(word: &str) -> Option<BridgeKind> {
+        match word {
+            "line" => Some(BridgeKind::Line),
+            "ring" => Some(BridgeKind::Ring),
+            "star" => Some(BridgeKind::Star),
+            "full" => Some(BridgeKind::Full),
+            _ => None,
+        }
+    }
+
+    /// The bridge set for `k` segments, as ordered pairs `(a, b)` with
+    /// `a < b`.
+    pub fn bridges(self, k: u8) -> Vec<(u8, u8)> {
+        let mut out = Vec::new();
+        match self {
+            BridgeKind::Line => out.extend((1..k).map(|i| (i - 1, i))),
+            BridgeKind::Ring => {
+                out.extend((1..k).map(|i| (i - 1, i)));
+                if k > 2 {
+                    out.push((0, k - 1));
+                }
+            }
+            BridgeKind::Star => out.extend((1..k).map(|i| (0, i))),
+            BridgeKind::Full => {
+                for a in 0..k {
+                    for b in (a + 1)..k {
+                        out.push((a, b));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for BridgeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// The static shape of a federation.
+#[derive(Debug, Clone)]
+pub struct FederationConfig {
+    /// Per-node stack configuration (identical across segments).
+    pub config: CanelyConfig,
+    /// Number of segments `K`.
+    pub segments: u8,
+    /// Population of every segment (local ids `0..nodes`); at most 32
+    /// so segment views fit the digest wire encoding.
+    pub nodes: u8,
+    /// Local id of each segment's gateway.
+    pub gateway: u8,
+    /// Bridge topology.
+    pub topology: BridgeKind,
+    /// What crosses the bridges besides digests.
+    pub filter: RelayFilter,
+    /// Digest gossip period.
+    pub digest_period: BitTime,
+    /// Lockstep quantum: how far segments run between bridge pumps.
+    /// Bounds the extra cross-segment propagation delay a bridge hop
+    /// adds on top of arbitration.
+    pub quantum: BitTime,
+}
+
+impl FederationConfig {
+    /// A federation of `segments × nodes` with defaults matching the
+    /// single-bus campaign model.
+    pub fn new(config: CanelyConfig, segments: u8, nodes: u8) -> Self {
+        assert!(segments >= 1, "a federation has at least one segment");
+        assert!(
+            (segments as usize) <= MAX_SEGMENTS,
+            "the digest encoding addresses at most {MAX_SEGMENTS} segments"
+        );
+        assert!(
+            (2..=32).contains(&nodes),
+            "segment populations must be 2..=32 (digest views are 32-bit)"
+        );
+        FederationConfig {
+            config,
+            segments,
+            nodes,
+            gateway: 0,
+            topology: BridgeKind::Ring,
+            filter: RelayFilter::none(),
+            digest_period: BitTime::new(10_000),
+            quantum: BitTime::new(1_000),
+        }
+    }
+
+    /// Sets the bridge topology.
+    pub fn with_topology(mut self, topology: BridgeKind) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Sets the relay filter.
+    pub fn with_filter(mut self, filter: RelayFilter) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Sets the gateway's local node id.
+    pub fn with_gateway(mut self, gateway: u8) -> Self {
+        assert!(gateway < self.nodes, "gateway outside the population");
+        self.gateway = gateway;
+        self
+    }
+}
+
+/// One direction of one bridge being blocked for a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DirectedBlock {
+    from_seg: u8,
+    to_seg: u8,
+    from: BitTime,
+    until: BitTime,
+}
+
+/// K coupled per-segment simulators (see the module docs).
+pub struct FederationSim {
+    sims: Vec<Simulator>,
+    logs: Vec<ObsLog>,
+    bridges: Vec<(u8, u8)>,
+    gateway: NodeId,
+    segments: u8,
+    quantum: BitTime,
+    now: BitTime,
+    /// Inter-segment partitions: all bridges, both directions.
+    partitions: Vec<(BitTime, BitTime)>,
+    /// Asymmetric windows: one bridge, one direction.
+    asymmetric: Vec<DirectedBlock>,
+}
+
+impl FederationSim {
+    /// Builds the federation: every segment gets a fresh simulator
+    /// seeded from `seed_of(segment)` and a population of
+    /// [`CanelyStack`]s with the gateway node wrapped in a
+    /// [`Gateway`]. `traffic` mirrors the campaign's per-node cyclic
+    /// traffic model.
+    pub fn new(
+        fed: &FederationConfig,
+        traffic: Option<BitTime>,
+        seed_of: impl Fn(u8) -> u64,
+        plan_of: impl Fn(u64) -> FaultPlan,
+    ) -> Self {
+        let bridges = if fed.segments > 1 {
+            fed.topology.bridges(fed.segments)
+        } else {
+            Vec::new()
+        };
+        let mut sims = Vec::with_capacity(fed.segments as usize);
+        let mut logs = Vec::with_capacity(fed.segments as usize);
+        for seg in 0..fed.segments {
+            let log = ObsLog::default();
+            let mut sim = Simulator::new(BusConfig::default(), plan_of(seed_of(seg)));
+            for id in 0..fed.nodes {
+                let node = NodeId::new(id);
+                let node_traffic = traffic.map(|period| {
+                    TrafficConfig::periodic(period, 8)
+                        .with_offset(BitTime::new(u64::from(id) * 131 + 17))
+                });
+                if id == fed.gateway {
+                    let mut gw = Gateway::new(
+                        fed.config.clone(),
+                        seg,
+                        fed.segments,
+                        fed.filter.clone(),
+                    )
+                    .with_obs(log.sink())
+                    .with_digest_period(fed.digest_period);
+                    if let Some(t) = node_traffic {
+                        gw = gw.with_traffic(t);
+                    }
+                    if !bridges.is_empty() {
+                        gw.attach_bridge();
+                    }
+                    sim.add_node(node, gw);
+                } else {
+                    let mut stack =
+                        CanelyStack::new(fed.config.clone()).with_obs(log.sink());
+                    if let Some(t) = node_traffic {
+                        stack = stack.with_traffic(t);
+                    }
+                    sim.add_node(node, stack);
+                }
+            }
+            sims.push(sim);
+            logs.push(log);
+        }
+        FederationSim {
+            sims,
+            logs,
+            bridges,
+            gateway: NodeId::new(fed.gateway),
+            segments: fed.segments,
+            quantum: fed.quantum,
+            now: BitTime::ZERO,
+            partitions: Vec::new(),
+            asymmetric: Vec::new(),
+        }
+    }
+
+    /// Number of segments.
+    pub fn segments(&self) -> u8 {
+        self.segments
+    }
+
+    /// The gateway's local node id (same in every segment).
+    pub fn gateway(&self) -> NodeId {
+        self.gateway
+    }
+
+    /// One segment's simulator.
+    pub fn sim(&self, seg: u8) -> &Simulator {
+        &self.sims[seg as usize]
+    }
+
+    /// Mutable access to one segment's simulator (crash scheduling).
+    pub fn sim_mut(&mut self, seg: u8) -> &mut Simulator {
+        &mut self.sims[seg as usize]
+    }
+
+    /// One segment's observation log.
+    pub fn log(&self, seg: u8) -> &ObsLog {
+        &self.logs[seg as usize]
+    }
+
+    /// One segment's gateway application.
+    pub fn gateway_app(&self, seg: u8) -> &Gateway {
+        self.sims[seg as usize].app::<Gateway>(self.gateway)
+    }
+
+    /// Schedules a fail-silent crash of `seg`'s gateway.
+    pub fn schedule_gateway_crash(&mut self, seg: u8, at: BitTime) {
+        let gw = self.gateway;
+        self.sims[seg as usize].schedule_crash(gw, at);
+    }
+
+    /// Blocks every bridge in both directions during `[from, until)`.
+    pub fn schedule_partition(&mut self, from: BitTime, until: BitTime) {
+        assert!(from < until, "empty partition window");
+        self.partitions.push((from, until));
+    }
+
+    /// Blocks the `from_seg → to_seg` direction of that pair's bridge
+    /// during `[from, until)` (the pair must be bridged).
+    pub fn schedule_asymmetric(&mut self, from_seg: u8, to_seg: u8, from: BitTime, until: BitTime) {
+        assert!(from < until, "empty asymmetric window");
+        let key = (from_seg.min(to_seg), from_seg.max(to_seg));
+        assert!(
+            self.bridges.contains(&key),
+            "segments {from_seg} and {to_seg} are not bridged"
+        );
+        self.asymmetric.push(DirectedBlock {
+            from_seg,
+            to_seg,
+            from,
+            until,
+        });
+    }
+
+    fn blocked(&self, from_seg: u8, to_seg: u8, at: BitTime) -> bool {
+        self.partitions
+            .iter()
+            .any(|&(from, until)| at >= from && at < until)
+            || self.asymmetric.iter().any(|b| {
+                b.from_seg == from_seg && b.to_seg == to_seg && at >= b.from && at < b.until
+            })
+    }
+
+    /// Advances every segment to `deadline`, pumping the bridges once
+    /// per quantum.
+    pub fn run_until(&mut self, deadline: BitTime) {
+        while self.now < deadline {
+            let next = (self.now + self.quantum).min(deadline);
+            for sim in &mut self.sims {
+                sim.run_until(next);
+            }
+            self.now = next;
+            if !self.bridges.is_empty() {
+                self.pump();
+            }
+        }
+    }
+
+    /// One bridge pump: drain every live gateway's outbox, fan frames
+    /// out across that segment's bridges (minus blocked directions),
+    /// then inject at the far ends — all in fixed segment order.
+    fn pump(&mut self) {
+        let mut inbound: Vec<Vec<BridgeFrame>> = vec![Vec::new(); self.segments as usize];
+        for seg in 0..self.segments {
+            let gw = self.gateway;
+            let alive = self.sims[seg as usize].alive().contains(gw);
+            let frames = self.sims[seg as usize]
+                .app_mut::<Gateway>(gw)
+                .take_outbox();
+            if !alive {
+                continue; // a dead relay ships nothing
+            }
+            for &(a, b) in &self.bridges {
+                let dest = if a == seg {
+                    b
+                } else if b == seg {
+                    a
+                } else {
+                    continue;
+                };
+                if self.blocked(seg, dest, self.now) {
+                    continue;
+                }
+                inbound[dest as usize].extend(frames.iter().cloned());
+            }
+        }
+        for (seg, frames) in inbound.into_iter().enumerate() {
+            let gw = self.gateway;
+            for frame in frames {
+                self.sims[seg].drive(gw, |app, ctx| {
+                    app.as_any_mut()
+                        .downcast_mut::<Gateway>()
+                        .expect("gateway slot hosts a Gateway")
+                        .inject(ctx, &frame);
+                });
+            }
+        }
+    }
+
+    /// The current federated instant.
+    pub fn now(&self) -> BitTime {
+        self.now
+    }
+
+    /// The merged, segment-qualified JSONL trace: each segment's
+    /// merged bus + protocol export tagged with a `seg` field, then
+    /// interleaved by time (ties: segment order). The single-segment
+    /// degenerate case emits segment 0's export verbatim — no `seg`
+    /// field — so it is byte-identical to the non-federated exporter.
+    pub fn export_jsonl(&self) -> String {
+        if self.segments == 1 {
+            return self.logs[0].export_jsonl(Some(self.sims[0].trace()));
+        }
+        // (t, seg, per-segment line index) is a total order because
+        // each per-segment export is already (t, class, seq)-sorted.
+        let mut tagged: Vec<(u64, u8, usize, String)> = Vec::new();
+        for seg in 0..self.segments {
+            let export = self.logs[seg as usize].export_jsonl(Some(self.sims[seg as usize].trace()));
+            for (idx, line) in export.lines().enumerate() {
+                let t: u64 = line
+                    .strip_prefix("{\"t\":")
+                    .and_then(|rest| {
+                        rest.split(|c: char| !c.is_ascii_digit())
+                            .next()?
+                            .parse()
+                            .ok()
+                    })
+                    .expect("exporter lines start with {\"t\":<num>");
+                let tagged_line = {
+                    let (head, tail) = line.split_at(line.find(',').expect("multi-field line"));
+                    format!("{head},\"seg\":{seg}{tail}")
+                };
+                tagged.push((t, seg, idx, tagged_line));
+            }
+        }
+        tagged.sort_by_key(|&(t, seg, idx, _)| (t, seg, idx));
+        let mut out = String::new();
+        for (_, _, _, line) in tagged {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use can_types::NodeSet;
+
+    fn fed(segments: u8, nodes: u8) -> FederationSim {
+        let cfg = FederationConfig::new(CanelyConfig::default(), segments, nodes);
+        FederationSim::new(&cfg, Some(BitTime::new(4_000)), u64::from, |_| {
+            FaultPlan::none()
+        })
+    }
+
+    #[test]
+    fn bridge_topologies() {
+        assert_eq!(BridgeKind::Line.bridges(3), vec![(0, 1), (1, 2)]);
+        assert_eq!(BridgeKind::Ring.bridges(3), vec![(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(BridgeKind::Ring.bridges(2), vec![(0, 1)]);
+        assert_eq!(BridgeKind::Star.bridges(4), vec![(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(BridgeKind::Full.bridges(3).len(), 3);
+        assert_eq!(BridgeKind::Full.bridges(4).len(), 6);
+    }
+
+    #[test]
+    fn quiet_federation_installs_every_segment_view_everywhere() {
+        let mut sim = fed(3, 4);
+        sim.run_until(BitTime::new(300_000));
+        let expected = NodeSet::first_n(4);
+        for seg in 0..3 {
+            let gw = sim.gateway_app(seg);
+            for subject in 0..3 {
+                let (_, view) = gw
+                    .installed(subject)
+                    .unwrap_or_else(|| panic!("segment {seg} never installed {subject}"));
+                assert_eq!(view, expected, "segment {seg}, subject {subject}");
+            }
+        }
+    }
+
+    #[test]
+    fn segment_crash_updates_the_global_view() {
+        let mut sim = fed(3, 4);
+        // Crash a non-gateway node of segment 1.
+        sim.sim_mut(1).schedule_crash(NodeId::new(2), BitTime::new(150_000));
+        sim.run_until(BitTime::new(400_000));
+        let full = NodeSet::first_n(4);
+        let reduced = full - NodeSet::singleton(NodeId::new(2));
+        for seg in 0..3 {
+            let gw = sim.gateway_app(seg);
+            assert_eq!(gw.installed(0).unwrap().1, full, "segment {seg} about 0");
+            assert_eq!(
+                gw.installed(1).unwrap().1,
+                reduced,
+                "segment {seg} about 1"
+            );
+            assert_eq!(gw.installed(2).unwrap().1, full, "segment {seg} about 2");
+        }
+    }
+
+    #[test]
+    fn healed_partition_converges() {
+        let mut sim = fed(3, 4);
+        sim.schedule_partition(BitTime::new(100_000), BitTime::new(180_000));
+        sim.sim_mut(1).schedule_crash(NodeId::new(3), BitTime::new(120_000));
+        sim.run_until(BitTime::new(450_000));
+        let reduced = NodeSet::first_n(4) - NodeSet::singleton(NodeId::new(3));
+        for seg in 0..3 {
+            assert_eq!(
+                sim.gateway_app(seg).installed(1).unwrap().1,
+                reduced,
+                "segment {seg} must learn the post-partition view of 1"
+            );
+        }
+    }
+
+    #[test]
+    fn crashed_gateway_freezes_its_segment_in_the_global_view() {
+        let mut sim = fed(4, 4);
+        sim.schedule_gateway_crash(2, BitTime::new(150_000));
+        // A later change in segment 2 can no longer be reported…
+        sim.sim_mut(2).schedule_crash(NodeId::new(3), BitTime::new(250_000));
+        // …but a change in segment 0 still installs: 3 of 4 reps live.
+        sim.sim_mut(0).schedule_crash(NodeId::new(1), BitTime::new(250_000));
+        sim.run_until(BitTime::new(500_000));
+        let full = NodeSet::first_n(4);
+        for seg in [0u8, 1, 3] {
+            let gw = sim.gateway_app(seg);
+            let about_2 = gw.installed(2).unwrap().1;
+            assert!(
+                about_2 == full || about_2 == full - NodeSet::singleton(NodeId::new(0)),
+                "segment {seg} holds 2's last reported view, got {about_2}"
+            );
+            assert!(
+                about_2.contains(NodeId::new(3)),
+                "the unreportable crash must not reach the global view"
+            );
+            assert_eq!(
+                gw.installed(0).unwrap().1,
+                full - NodeSet::singleton(NodeId::new(1)),
+                "segment {seg}: live quorum still installs segment 0's change"
+            );
+        }
+    }
+
+    #[test]
+    fn single_segment_export_has_no_seg_field() {
+        let mut sim = fed(1, 3);
+        sim.run_until(BitTime::new(150_000));
+        let export = sim.export_jsonl();
+        assert!(!export.is_empty());
+        assert!(!export.contains("\"seg\":"));
+    }
+
+    #[test]
+    fn federated_export_is_seg_tagged_and_deterministic() {
+        let run = || {
+            let mut sim = fed(2, 3);
+            sim.run_until(BitTime::new(200_000));
+            sim.export_jsonl()
+        };
+        let export = run();
+        assert!(export.contains("\"seg\":0"));
+        assert!(export.contains("\"seg\":1"));
+        for line in export.lines() {
+            assert!(
+                line.starts_with("{\"t\":") && line.contains("\"seg\":"),
+                "line not seg-tagged: {line}"
+            );
+        }
+        assert_eq!(export, run(), "federated runs must be deterministic");
+    }
+}

@@ -6,9 +6,12 @@ use can_types::{BitTime, MsgType, NodeSet};
 use canely::{CanelyConfig, CanelyStack, TrafficConfig, UpperEvent};
 use std::any::Any;
 
-/// Tag space for scripted group operations (disjoint from the CANELy
-/// stack's `TimerOwner` encodings, which live in the top byte).
-const TAG_GROUP_SCRIPT: u64 = 6 << 56;
+/// Tag space for scripted group operations, drawn from the registry's
+/// reserved wrapper range so it can never collide with a `TimerOwner`
+/// encoding. (It used to hardcode `6 << 56`, which PR 5 silently
+/// claimed for the detector period tick: a group script slot 0 alarm
+/// carried the *same* tag as the SWIM backend's period timer.)
+const TAG_GROUP_SCRIPT: u64 = canely::tags::TAG_EXTERNAL_SCRIPT;
 
 /// A scripted group operation.
 #[derive(Debug, Clone, Copy)]
@@ -287,6 +290,35 @@ mod tests {
             assert!(saw_join, "node {id} must have seen the diffused join");
             // … and then purged by the failure notification.
             assert_eq!(stack.group_view(g(7)), NodeSet::EMPTY, "node {id}");
+        }
+    }
+
+    #[test]
+    fn group_script_does_not_shadow_detector_period_ticks() {
+        // Regression: TAG_GROUP_SCRIPT used to be 6 << 56 — exactly
+        // the TimerOwner::DetectorPeriod encoding — so a group stack
+        // with a scripted op in slot 0 would consume the SWIM
+        // backend's period tick as a group join/leave and the
+        // detector would never probe. With the reserved external tag
+        // space the script and the period timer coexist: the crash is
+        // still detected and the scripted join still happens.
+        let config =
+            CanelyConfig::default().with_detector(canely::DetectorKind::Swim);
+        let mut sim = Simulator::new(BusConfig::default(), FaultPlan::none());
+        for id in 0..4u8 {
+            sim.add_node(
+                n(id),
+                GroupStack::new(config.clone())
+                    .with_group_join_at(g(1), BitTime::new(200_000)),
+            );
+        }
+        sim.schedule_crash(n(2), BitTime::new(300_000));
+        sim.run_until(BitTime::new(700_000));
+        let expected = NodeSet::first_n(4) - NodeSet::singleton(n(2));
+        for id in [0u8, 1, 3] {
+            let stack = sim.app::<GroupStack>(n(id));
+            assert_eq!(stack.site_view(), expected, "node {id} site");
+            assert_eq!(stack.group_view(g(1)), expected, "node {id} g1");
         }
     }
 

@@ -3,8 +3,13 @@
 //! surveillance expiry, failure-sign diffusion and reception-history
 //! agreement, to the view install — each step justified by a recorded
 //! `cause` reference or a schema-level correlation.
+//!
+//! In federated (multi-segment) traces every correlation is
+//! segment-local, and a chain whose trigger frame was injected by a
+//! gateway additionally walks the bridge hop: the `fed.relay` record
+//! names the segment the frame originated on.
 
-use crate::model::{parse_node_set, BusTx, Event, Parent, TraceModel};
+use crate::model::{parse_node_set, seg_node, BusTx, Event, Parent, TraceModel};
 
 /// One step of a causal chain.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,6 +27,9 @@ pub struct ChainStep {
 /// The reconstructed causal chain of one suspicion.
 #[derive(Debug, Clone)]
 pub struct SuspicionChain {
+    /// Segment the suspicion lives on (`None` in single-segment
+    /// traces).
+    pub seg: Option<u8>,
     /// The suspected node.
     pub suspect: u8,
     /// The node that raised the suspicion.
@@ -69,8 +77,9 @@ fn bus_step(tx: &BusTx<'_>, note: &str) -> ChainStep {
     }
 }
 
-/// Every suspicion in the trace, as `(suspect, observer, instant)`.
-pub fn suspicions(model: &TraceModel<'_>) -> Vec<(u8, u8, u64)> {
+/// Every suspicion in the trace, as
+/// `(segment, suspect, observer, instant)`.
+pub fn suspicions(model: &TraceModel<'_>) -> Vec<(Option<u8>, u8, u8, u64)> {
     model
         .events
         .iter()
@@ -79,26 +88,61 @@ pub fn suspicions(model: &TraceModel<'_>) -> Vec<(u8, u8, u64)> {
             model
                 .line_of(e)
                 .u64("suspect")
-                .map(|s| (s as u8, e.node, e.t))
+                .map(|s| (e.seg, s as u8, e.node, e.t))
         })
         .collect()
 }
 
 /// Reconstructs the chain for the first suspicion of `suspect`
 /// (optionally restricted to one observing node). `None` when the
-/// trace contains no such suspicion.
+/// trace contains no such suspicion. Single-segment entry point; see
+/// [`chain_for_in`] for federated traces.
 pub fn chain_for(
     model: &TraceModel<'_>,
+    suspect: u8,
+    observer: Option<u8>,
+) -> Option<SuspicionChain> {
+    chain_for_in(model, None, suspect, observer)
+}
+
+/// The `fed.relay` record behind a relayed frame: the gateway's
+/// injection event on the same segment, for the same mid, at or
+/// before the transmission start.
+fn relay_of<'m, 'a>(model: &'m TraceModel<'a>, tx: &BusTx<'_>) -> Option<&'m Event<'a>> {
+    model
+        .events
+        .iter()
+        .filter(|e| {
+            e.kind == "fed.relay"
+                && e.seg == tx.seg
+                && e.t <= tx.start
+                && tx.transmitters.contains(&e.node)
+                && model.line_of(e).str("mid") == Some(tx.mid.as_ref())
+        })
+        .max_by_key(|e| (e.t, e.seq))
+}
+
+/// Reconstructs the chain for the first suspicion of `suspect` on
+/// segment `seg` (`None` matches any segment — and is the only
+/// sensible value for single-segment traces, whose records carry no
+/// segment tag).
+pub fn chain_for_in(
+    model: &TraceModel<'_>,
+    seg: Option<u8>,
     suspect: u8,
     observer: Option<u8>,
 ) -> Option<SuspicionChain> {
     let suspicion = model.events.iter().find(|e| {
         e.kind == "fd.suspect"
             && model.line_of(e).u64("suspect") == Some(u64::from(suspect))
+            && (seg.is_none() || e.seg == seg)
             && observer.is_none_or(|o| e.node == o)
     })?;
     let observer = suspicion.node;
+    // All further correlation is local to the suspicion's segment.
+    let home = suspicion.seg;
     let mut chain = SuspicionChain {
+        seg: home,
         suspect,
         observer,
         suspected_at: suspicion.t,
@@ -106,7 +150,8 @@ pub fn chain_for(
         complete: false,
     };
 
-    // Backward: suspicion → expiry → arming → triggering delivery.
+    // Backward: suspicion → expiry → arming → triggering delivery —
+    // and across the bridge when a gateway injected that frame.
     let mut backward = vec![event_step(model, suspicion)];
     let mut cursor = Some(suspicion);
     for _ in 0..MAX_BACK_STEPS {
@@ -118,11 +163,24 @@ pub fn chain_for(
             }
             Some(Parent::Bus(tx)) => {
                 let note = if tx.transmitters.contains(&suspect) {
-                    format!("last activity of n{suspect} on the bus")
+                    format!(
+                        "last activity of {} on the bus",
+                        seg_node(home, suspect)
+                    )
                 } else {
                     String::new()
                 };
                 backward.push(bus_step(tx, &note));
+                // Gateway hop: a relayed frame was injected by the
+                // segment's gateway; surface the bridge crossing.
+                if let Some(relay) = relay_of(model, tx) {
+                    let mut step = event_step(model, relay);
+                    if let Some(from) = model.line_of(relay).u64("from_seg") {
+                        step.detail
+                            .push_str(&format!(" — bridged from segment s{from}"));
+                    }
+                    backward.push(step);
+                }
                 cursor = None;
             }
             None => cursor = None,
@@ -137,6 +195,7 @@ pub fn chain_for(
         let needs_failed = matches!(kind, "fda.invoked" | "fda.sign.tx" | "fd.notified");
         model.events.iter().find(|e| {
             e.kind == kind
+                && e.seg == home
                 && e.node == node
                 && e.t >= from
                 && (!needs_failed
@@ -152,6 +211,7 @@ pub fn chain_for(
     }
     let frame = model.bus.iter().find(|tx| {
         tx.delivered
+            && tx.seg == home
             && tx.msg_type() == "FDA"
             && tx.subject() == Some(suspect)
             && tx.start >= from
@@ -163,6 +223,7 @@ pub fn chain_for(
             .iter()
             .filter(|e| {
                 e.kind == "fda.delivered"
+                    && e.seg == tx.seg
                     && e.cause == Some(crate::model::CauseRef::Bus(tx.deliver))
             })
             .map(|e| format!("n{}", e.node))
@@ -189,6 +250,7 @@ pub fn chain_for(
     }
     let install = model.events.iter().find(|e| {
         (e.kind == "view.installed" || e.kind == "view.bootstrap")
+            && e.seg == home
             && e.node == observer
             && e.t >= from
             && model
@@ -270,7 +332,42 @@ mod tests {
     #[test]
     fn suspicions_enumerate_suspect_observer_pairs() {
         let model = TraceModel::parse(DOC).unwrap();
-        assert_eq!(suspicions(&model), vec![(2, 0, 6_000)]);
+        assert_eq!(suspicions(&model), vec![(None, 2, 0, 6_000)]);
+    }
+
+    /// A two-segment trace: on segment 1 the surveillance timer for n2
+    /// was armed by a frame the gateway (n0) relayed across the
+    /// bridge, recorded as `fed.relay`; segment 0 holds an unrelated
+    /// suspicion of the same local id.
+    const FED_DOC: &str = "\
+{\"t\":0,\"seg\":1,\"kind\":\"bus.tx\",\"mid\":\"DAT[5,n0]\",\"frame\":\"data\",\"transmitters\":\"{0}\",\"bus_free\":120,\"deliver\":115,\"queued\":0,\"arb_losses\":0,\"delivered\":true,\"errored\":false}\n\
+{\"t\":0,\"seg\":1,\"seq\":0,\"node\":0,\"kind\":\"fed.relay\",\"mid\":\"DAT[5,n0]\",\"from_seg\":0}\n\
+{\"t\":115,\"seg\":1,\"seq\":1,\"node\":1,\"kind\":\"timer.armed\",\"timer\":\"surveillance:2\",\"deadline\":6000,\"cause\":\"bus:115\"}\n\
+{\"t\":6000,\"seg\":1,\"seq\":2,\"node\":1,\"kind\":\"timer.expired\",\"timer\":\"surveillance:2\",\"cause\":\"event:1\"}\n\
+{\"t\":6000,\"seg\":1,\"seq\":3,\"node\":1,\"kind\":\"fd.suspect\",\"suspect\":2,\"cause\":\"event:2\"}\n\
+{\"t\":9000,\"seg\":0,\"seq\":0,\"node\":3,\"kind\":\"fd.suspect\",\"suspect\":2}\n";
+
+    #[test]
+    fn federated_chain_stays_segment_local_and_walks_the_bridge_hop() {
+        let model = TraceModel::parse(FED_DOC).unwrap();
+        let chain = chain_for_in(&model, Some(1), 2, None).unwrap();
+        assert_eq!(chain.seg, Some(1));
+        assert_eq!(chain.observer, 1, "segment 0's decoy must not match");
+        let labels: Vec<&str> = chain.steps.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec!["fed.relay", "bus.tx", "timer.armed", "timer.expired", "fd.suspect"],
+            "{chain:#?}"
+        );
+        assert!(
+            chain.steps[0].detail.contains("bridged from segment s0"),
+            "{chain:#?}"
+        );
+
+        // Selecting segment 0 finds the other suspicion.
+        let other = chain_for_in(&model, Some(0), 2, None).unwrap();
+        assert_eq!((other.seg, other.observer), (Some(0), 3));
+        assert_eq!(suspicions(&model).len(), 2);
     }
 
     #[test]

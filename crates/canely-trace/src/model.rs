@@ -38,6 +38,9 @@ impl CauseRef {
 pub struct BusTx<'a> {
     /// Index of the backing line in [`TraceModel::lines`].
     pub line: usize,
+    /// Segment the transaction happened on (`None` in single-segment
+    /// traces, which carry no `seg` field).
+    pub seg: Option<u8>,
     /// Transmission start (arbitration won), bit-times.
     pub start: u64,
     /// Instant the bus went idle again.
@@ -81,6 +84,9 @@ impl BusTx<'_> {
 pub struct Event<'a> {
     /// Index of the backing line in [`TraceModel::lines`].
     pub line: usize,
+    /// Segment the event happened on (`None` in single-segment
+    /// traces).
+    pub seg: Option<u8>,
     /// Event instant, bit-times.
     pub t: u64,
     /// Log sequence number (absent in pre-causal traces).
@@ -112,8 +118,11 @@ pub struct TraceModel<'a> {
     pub bus: Vec<BusTx<'a>>,
     /// Protocol events, in document order.
     pub events: Vec<Event<'a>>,
-    seq_index: HashMap<u64, usize>,
-    deliver_index: HashMap<u64, usize>,
+    // Cause references are segment-local: each segment's log has its
+    // own sequence space and its own bus timeline, so both indexes
+    // are keyed by `(seg, …)`.
+    seq_index: HashMap<(Option<u8>, u64), usize>,
+    deliver_index: HashMap<(Option<u8>, u64), usize>,
 }
 
 /// A line that failed to parse, with its 1-based line number.
@@ -132,6 +141,27 @@ impl std::fmt::Display for TraceError {
 }
 
 impl std::error::Error for TraceError {}
+
+/// Renders a segment-qualified node id: `n3` in single-segment
+/// traces, `s1:n3` when the record carries a segment tag.
+pub fn seg_node(seg: Option<u8>, node: u8) -> String {
+    match seg {
+        Some(s) => format!("s{s}:n{node}"),
+        None => format!("n{node}"),
+    }
+}
+
+/// Parses a (possibly segment-qualified) node reference: `n3` or `3`
+/// → `(None, 3)`, `s1:n3` → `(Some(1), 3)`.
+pub fn parse_seg_node(text: &str) -> Option<(Option<u8>, u8)> {
+    if let Some((seg, node)) = text.split_once(':') {
+        let seg = seg.strip_prefix('s')?.parse().ok()?;
+        let node = node.trim_start_matches('n').parse().ok()?;
+        Some((Some(seg), node))
+    } else {
+        text.trim_start_matches('n').parse().ok().map(|n| (None, n))
+    }
+}
 
 /// Parses a `{0,2,5}`-style node-set rendering into sorted node ids.
 pub fn parse_node_set(text: &str) -> Vec<u8> {
@@ -165,10 +195,12 @@ impl<'a> TraceModel<'a> {
                 error,
             })?;
             let index = model.lines.len();
+            let seg = line.u64("seg").map(|s| s as u8);
             if line.str("kind") == Some("bus.tx") {
                 let bus_free = line.u64("bus_free").unwrap_or(0);
                 let tx = BusTx {
                     line: index,
+                    seg,
                     start: line.u64("t").unwrap_or(0),
                     bus_free,
                     // Pre-profiling traces lack the deliver/queued
@@ -187,12 +219,15 @@ impl<'a> TraceModel<'a> {
                     errored: line.bool("errored").unwrap_or(false),
                 };
                 if tx.delivered {
-                    model.deliver_index.insert(tx.deliver, model.bus.len());
+                    model
+                        .deliver_index
+                        .insert((seg, tx.deliver), model.bus.len());
                 }
                 model.bus.push(tx);
             } else {
                 let event = Event {
                     line: index,
+                    seg,
                     t: line.u64("t").unwrap_or(0),
                     seq: line.u64("seq"),
                     node: line.u64("node").unwrap_or(0) as u8,
@@ -200,7 +235,7 @@ impl<'a> TraceModel<'a> {
                     cause: line.str("cause").and_then(CauseRef::parse),
                 };
                 if let Some(seq) = event.seq {
-                    model.seq_index.insert(seq, model.events.len());
+                    model.seq_index.insert((seg, seq), model.events.len());
                 }
                 model.events.push(event);
             }
@@ -226,22 +261,36 @@ impl<'a> TraceModel<'a> {
         &self.lines[event.line]
     }
 
-    /// The event with log sequence number `seq`.
+    /// The event with log sequence number `seq` (single-segment
+    /// traces; see [`TraceModel::event_by_seq_in`]).
     pub fn event_by_seq(&self, seq: u64) -> Option<&Event<'a>> {
-        self.seq_index.get(&seq).map(|&i| &self.events[i])
+        self.event_by_seq_in(None, seq)
     }
 
-    /// The delivered bus transaction with delivery instant `deliver`.
+    /// The event with log sequence number `seq` on segment `seg`.
+    pub fn event_by_seq_in(&self, seg: Option<u8>, seq: u64) -> Option<&Event<'a>> {
+        self.seq_index.get(&(seg, seq)).map(|&i| &self.events[i])
+    }
+
+    /// The delivered bus transaction with delivery instant `deliver`
+    /// (single-segment traces; see [`TraceModel::bus_by_deliver_in`]).
     pub fn bus_by_deliver(&self, deliver: u64) -> Option<&BusTx<'a>> {
-        self.deliver_index.get(&deliver).map(|&i| &self.bus[i])
+        self.bus_by_deliver_in(None, deliver)
+    }
+
+    /// The delivered bus transaction with delivery instant `deliver`
+    /// on segment `seg`.
+    pub fn bus_by_deliver_in(&self, seg: Option<u8>, deliver: u64) -> Option<&BusTx<'a>> {
+        self.deliver_index.get(&(seg, deliver)).map(|&i| &self.bus[i])
     }
 
     /// Resolves an event's causal parent, if it has one and the
-    /// referenced record exists in this document.
+    /// referenced record exists in this document. References are
+    /// segment-local: the parent lives on the event's own segment.
     pub fn parent(&self, event: &Event<'_>) -> Option<Parent<'_>> {
         match event.cause? {
-            CauseRef::Bus(deliver) => self.bus_by_deliver(deliver).map(Parent::Bus),
-            CauseRef::Event(seq) => self.event_by_seq(seq).map(Parent::Event),
+            CauseRef::Bus(deliver) => self.bus_by_deliver_in(event.seg, deliver).map(Parent::Bus),
+            CauseRef::Event(seq) => self.event_by_seq_in(event.seg, seq).map(Parent::Event),
         }
     }
 
@@ -261,6 +310,7 @@ impl<'a> TraceModel<'a> {
             .iter()
             .filter(|e| {
                 e.kind == kind
+                    && e.seg == tx.seg
                     && e.t <= tx.start
                     && tx.transmitters.contains(&e.node)
                     && (tx.msg_type() != "FDA"
@@ -358,5 +408,37 @@ mod tests {
     fn node_set_strings_parse() {
         assert_eq!(parse_node_set("{0,1,3}"), vec![0, 1, 3]);
         assert_eq!(parse_node_set("{}"), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn seg_node_references_render_and_parse() {
+        assert_eq!(seg_node(None, 3), "n3");
+        assert_eq!(seg_node(Some(1), 3), "s1:n3");
+        assert_eq!(parse_seg_node("3"), Some((None, 3)));
+        assert_eq!(parse_seg_node("n3"), Some((None, 3)));
+        assert_eq!(parse_seg_node("s1:n3"), Some((Some(1), 3)));
+        assert_eq!(parse_seg_node("s1:3"), Some((Some(1), 3)));
+        assert_eq!(parse_seg_node("x1:n3"), None);
+    }
+
+    #[test]
+    fn cause_references_resolve_segment_locally() {
+        // Two segments with colliding seq numbers and delivery
+        // instants: each event must resolve to the parent on its own
+        // segment.
+        let doc = "\
+{\"t\":0,\"seg\":0,\"kind\":\"bus.tx\",\"mid\":\"ELS[0,n2]\",\"frame\":\"rtr\",\"transmitters\":\"{2}\",\"bus_free\":58,\"deliver\":55,\"queued\":0,\"arb_losses\":0,\"delivered\":true,\"errored\":false}\n\
+{\"t\":0,\"seg\":1,\"kind\":\"bus.tx\",\"mid\":\"ELS[0,n1]\",\"frame\":\"rtr\",\"transmitters\":\"{1}\",\"bus_free\":58,\"deliver\":55,\"queued\":0,\"arb_losses\":0,\"delivered\":true,\"errored\":false}\n\
+{\"t\":55,\"seg\":0,\"seq\":0,\"node\":0,\"kind\":\"fd.lifesign.rx\",\"of\":2,\"cause\":\"bus:55\"}\n\
+{\"t\":55,\"seg\":1,\"seq\":0,\"node\":0,\"kind\":\"fd.lifesign.rx\",\"of\":1,\"cause\":\"bus:55\"}\n";
+        let model = TraceModel::parse(doc).unwrap();
+        for event in &model.events {
+            let Some(Parent::Bus(tx)) = model.parent(event) else {
+                panic!("cause should resolve");
+            };
+            assert_eq!(tx.seg, event.seg, "parent must be segment-local");
+        }
+        assert!(model.bus_by_deliver(55).is_none(), "no untagged record at 55");
+        assert!(model.bus_by_deliver_in(Some(1), 55).is_some());
     }
 }

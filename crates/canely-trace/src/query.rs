@@ -4,14 +4,16 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use crate::chain::{chain_for, suspicions};
-use crate::model::TraceModel;
+use crate::chain::{chain_for_in, suspicions};
+use crate::model::{seg_node, TraceModel};
 use crate::phases::PhaseProfile;
 use crate::stats::Summary;
 
 /// Line filters for [`filter`].
 #[derive(Debug, Clone, Default)]
 pub struct Filter {
+    /// Only records on this segment (federated traces).
+    pub seg: Option<u8>,
     /// Only records of (or transmitted by) this node.
     pub node: Option<u8>,
     /// Only records whose kind starts with this prefix (`bus` matches
@@ -34,6 +36,11 @@ pub fn filter(model: &TraceModel<'_>, filter: &Filter) -> String {
         let t = line.u64("t").unwrap_or(0);
         if filter.since.is_some_and(|s| t < s) || filter.until.is_some_and(|u| t >= u) {
             continue;
+        }
+        if let Some(seg) = filter.seg {
+            if line.u64("seg") != Some(u64::from(seg)) {
+                continue;
+            }
         }
         if let Some(kind) = &filter.kind {
             if !line.str("kind").unwrap_or("").starts_with(kind.as_str()) {
@@ -74,6 +81,17 @@ pub fn summary(model: &TraceModel<'_>) -> String {
         *counts.entry(event.kind.as_ref()).or_default() += 1;
     }
     let mut out = String::from("trace summary\n");
+    // Federated traces announce their segment count; single-segment
+    // documents carry no `seg` tags and render exactly as before.
+    let segments: std::collections::BTreeSet<u8> = model
+        .bus
+        .iter()
+        .filter_map(|tx| tx.seg)
+        .chain(model.events.iter().filter_map(|e| e.seg))
+        .collect();
+    if !segments.is_empty() {
+        let _ = writeln!(out, "  segments: {}", segments.len());
+    }
     let _ = writeln!(out, "  protocol events: {}", model.events.len());
     for (kind, count) in &counts {
         let _ = writeln!(out, "    {kind:<16} {count}");
@@ -114,7 +132,8 @@ pub fn summary(model: &TraceModel<'_>) -> String {
     out
 }
 
-/// Renders the causal chain of the first suspicion of `suspect`.
+/// Renders the causal chain of the first suspicion of `suspect`
+/// (optionally on one segment of a federated trace).
 ///
 /// # Errors
 ///
@@ -122,17 +141,20 @@ pub fn summary(model: &TraceModel<'_>) -> String {
 /// matches.
 pub fn render_chain(
     model: &TraceModel<'_>,
+    seg: Option<u8>,
     suspect: u8,
     observer: Option<u8>,
 ) -> Result<String, String> {
-    let Some(chain) = chain_for(model, suspect, observer) else {
+    let Some(chain) = chain_for_in(model, seg, suspect, observer) else {
         let all = suspicions(model);
         return Err(if all.is_empty() {
             "no suspicions in this trace".to_string()
         } else {
             let list: Vec<String> = all
                 .iter()
-                .map(|(s, o, t)| format!("n{s} by n{o} at t={t}"))
+                .map(|&(g, s, o, t)| {
+                    format!("{} by {} at t={t}", seg_node(g, s), seg_node(g, o))
+                })
                 .collect();
             format!(
                 "no matching suspicion; the trace contains: {}",
@@ -141,13 +163,15 @@ pub fn render_chain(
         });
     };
     let mut out = format!(
-        "causal chain: suspicion of n{} raised by n{} at t={}\n",
-        chain.suspect, chain.observer, chain.suspected_at
+        "causal chain: suspicion of {} raised by {} at t={}\n",
+        seg_node(chain.seg, chain.suspect),
+        seg_node(chain.seg, chain.observer),
+        chain.suspected_at
     );
     for step in &chain.steps {
         let place = step
             .node
-            .map_or_else(|| "bus".to_string(), |n| format!("n{n}"));
+            .map_or_else(|| "bus".to_string(), |n| seg_node(chain.seg, n));
         let _ = writeln!(
             out,
             "  t={:<10} {place:<4} {:<16} {}",
@@ -157,14 +181,14 @@ pub fn render_chain(
     if chain.complete {
         let _ = writeln!(
             out,
-            "chain complete: view installed without n{}",
-            chain.suspect
+            "chain complete: view installed without {}",
+            seg_node(chain.seg, chain.suspect)
         );
     } else {
         let _ = writeln!(
             out,
-            "chain incomplete: no view install without n{} found",
-            chain.suspect
+            "chain incomplete: no view install without {} found",
+            seg_node(chain.seg, chain.suspect)
         );
     }
     Ok(out)
@@ -282,8 +306,33 @@ mod tests {
     #[test]
     fn chain_errors_list_available_suspicions() {
         let model = TraceModel::parse(DOC).unwrap();
-        let err = render_chain(&model, 5, None).unwrap_err();
+        let err = render_chain(&model, None, 5, None).unwrap_err();
         assert_eq!(err, "no suspicions in this trace");
+    }
+
+    #[test]
+    fn seg_filter_and_summary_cover_federated_traces() {
+        let doc = "\
+{\"t\":10,\"seg\":0,\"seq\":0,\"node\":1,\"kind\":\"fd.suspect\",\"suspect\":2}\n\
+{\"t\":20,\"seg\":1,\"seq\":0,\"node\":1,\"kind\":\"fd.suspect\",\"suspect\":3}\n";
+        let model = TraceModel::parse(doc).unwrap();
+        let only_seg1 = filter(
+            &model,
+            &Filter {
+                seg: Some(1),
+                ..Filter::default()
+            },
+        );
+        assert_eq!(only_seg1.lines().count(), 1, "{only_seg1}");
+        assert!(only_seg1.contains("\"seg\":1"), "{only_seg1}");
+        assert!(summary(&model).contains("segments: 2"));
+
+        // Segment-qualified chain rendering and error listing.
+        let out = render_chain(&model, Some(1), 3, None).unwrap();
+        assert!(out.contains("suspicion of s1:n3 raised by s1:n1"), "{out}");
+        let err = render_chain(&model, Some(1), 7, None).unwrap_err();
+        assert!(err.contains("s0:n2 by s0:n1"), "{err}");
+        assert!(err.contains("s1:n3 by s1:n1"), "{err}");
     }
 
     #[test]

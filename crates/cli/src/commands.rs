@@ -493,6 +493,17 @@ fn node_opt(args: &mut Args, name: &str) -> Result<Option<u8>, String> {
     }
 }
 
+/// Parses an optional, possibly segment-qualified node-id option:
+/// `--name 3`, `--name n3` or (in federated traces) `--name s1:n3`.
+fn seg_node_opt(args: &mut Args, name: &str) -> Result<Option<(Option<u8>, u8)>, String> {
+    match args.str_opt(name) {
+        None => Ok(None),
+        Some(s) => canely_trace::parse_seg_node(&s).map(Some).ok_or_else(|| {
+            format!("error: --{name} expects a node id (n3 or s1:n3), got `{s}`")
+        }),
+    }
+}
+
 /// `canelyctl tq <chain|phases|filter|summary|reexport>` — query a
 /// causal trace: explain a suspicion's full causal chain, profile
 /// phase-level latency against the analytic bounds, filter records, or
@@ -506,10 +517,20 @@ pub fn tq(args: &mut Args) -> CmdResult {
     let model = canely_trace::TraceModel::parse(&jsonl).map_err(|e| format!("error: {e}"))?;
     match sub.as_str() {
         "chain" => {
-            let suspect =
-                node_opt(args, "suspect")?.ok_or("error: --suspect <node> is required")?;
-            let observer = node_opt(args, "observer")?;
-            canely_trace::query::render_chain(&model, suspect, observer)
+            let (seg, suspect) =
+                seg_node_opt(args, "suspect")?.ok_or("error: --suspect <node> is required")?;
+            let observer = match seg_node_opt(args, "observer")? {
+                Some((oseg, node)) => {
+                    if oseg.is_some() && oseg != seg {
+                        return Err(
+                            "error: --suspect and --observer name different segments".into()
+                        );
+                    }
+                    Some(node)
+                }
+                None => None,
+            };
+            canely_trace::query::render_chain(&model, seg, suspect, observer)
                 .map_err(|e| format!("error: {e}"))
         }
         "phases" => {
@@ -534,6 +555,12 @@ pub fn tq(args: &mut Args) -> CmdResult {
         "filter" => {
             let window = |t: BitTime| (!t.is_zero()).then(|| t.as_u64());
             let filter = canely_trace::query::Filter {
+                seg: match args.str_opt("seg") {
+                    None => None,
+                    Some(s) => Some(s.trim_start_matches('s').parse::<u8>().map_err(|_| {
+                        format!("error: --seg expects a segment id, got `{s}`")
+                    })?),
+                },
                 node: node_opt(args, "node")?,
                 kind: args.str_opt("kind"),
                 view: args.str_opt("view"),
@@ -568,7 +595,7 @@ fn campaign_spec(args: &mut Args) -> Result<canely_campaign::CampaignSpec, Strin
         .ok_or("error: --spec <file.campaign> is required")?;
     let text = std::fs::read_to_string(&path)
         .map_err(|e| format!("error: cannot read `{path}`: {e}"))?;
-    canely_campaign::CampaignSpec::parse(&text).map_err(|e| format!("error: {path}: {e}"))
+    canely_campaign::CampaignSpec::parse_named(&path, &text).map_err(|e| format!("error: {e}"))
 }
 
 fn campaign_run(args: &mut Args) -> CmdResult {
@@ -692,14 +719,50 @@ fn campaign_report(args: &mut Args) -> CmdResult {
     Ok(out)
 }
 
+/// Executes a federated (multi-segment) scenario file for `canelyctl
+/// run`. The single-bus [`crate::scenario::Scenario`] engine cannot
+/// host bridged segments, so these delegate to the campaign replay
+/// engine and are judged by the invariant oracle — including
+/// global-view agreement across the gateways.
+pub fn run_federated_scenario(path: &str, text: &str) -> CmdResult {
+    let run = canely_campaign::RunSpec::from_scenario_named(path, text)
+        .map_err(|e| format!("error: {e}"))?;
+    let fed = run.federation.clone().expect("caller gated on is_federated");
+    let outcome = canely_campaign::execute(&run, false);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "federated scenario: {} segments × {} nodes, bridge {}, gateway n{}, tm {}, seed {}",
+        fed.segments,
+        run.nodes,
+        fed.topology,
+        fed.gateway,
+        render::ms(run.tm),
+        run.seed,
+    );
+    if outcome.violations.is_empty() {
+        let _ = writeln!(
+            out,
+            "verdict: clean — every invariant held (including global-view agreement)"
+        );
+        Ok(out)
+    } else {
+        let _ = writeln!(out, "verdict: {} violation(s)", outcome.violations.len());
+        for v in &outcome.violations {
+            let _ = writeln!(out, "  {v}");
+        }
+        Err(out.trim_end().to_string())
+    }
+}
+
 fn campaign_replay(args: &mut Args) -> CmdResult {
     let path = args
         .str_opt("scenario")
         .ok_or("error: --scenario <file.canely> is required")?;
     let text = std::fs::read_to_string(&path)
         .map_err(|e| format!("error: cannot read `{path}`: {e}"))?;
-    let run = canely_campaign::RunSpec::from_scenario(&text)
-        .map_err(|e| format!("error: {path}: {e}"))?;
+    let run = canely_campaign::RunSpec::from_scenario_named(&path, &text)
+        .map_err(|e| format!("error: {e}"))?;
     let outcome = canely_campaign::execute(&run, false);
     let mut out = String::new();
     let _ = writeln!(
@@ -984,6 +1047,67 @@ mod tests {
         let verdict = run(&argv(&["campaign", "replay", "--scenario", &cx])).unwrap_err();
         assert!(verdict.contains("verdict:"), "{verdict}");
         assert!(verdict.contains("violation(s)"), "{verdict}");
+    }
+
+    /// The federated scenario shared by the multi-segment CLI tests:
+    /// two bridged 3-node segments, a non-gateway crash on segment 1.
+    const FED_SCENARIO: &str = "\
+nodes 3\ntm 30ms\nseed 0\nsegments 2\ngateway 0\nbridge line\nrelay none\n\
+seg-crash 1 2 100ms\nuntil 500ms\nsettle 200ms\n";
+
+    #[test]
+    fn federated_scenario_runs_through_the_campaign_engine() {
+        let dir = std::env::temp_dir().join("canelyctl-fed-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("fed.canely");
+        std::fs::write(&file, FED_SCENARIO).unwrap();
+        let out = run(&argv(&["run", &file.to_string_lossy()])).unwrap();
+        assert!(out.contains("federated scenario: 2 segments × 3 nodes"), "{out}");
+        assert!(out.contains("bridge line"), "{out}");
+        assert!(out.contains("verdict: clean"), "{out}");
+    }
+
+    #[test]
+    fn tq_seg_qualified_queries_cover_federated_traces() {
+        // Produce a federated trace via the campaign engine, then
+        // query it with segment-qualified ids.
+        let spec = canely_campaign::RunSpec::from_scenario(FED_SCENARIO).unwrap();
+        let outcome = canely_campaign::execute(&spec, true);
+        let dir = std::env::temp_dir().join("canelyctl-fed-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("fed.trace.jsonl");
+        std::fs::write(&file, outcome.trace_jsonl.as_deref().unwrap()).unwrap();
+        let path = file.to_string_lossy().to_string();
+
+        let chain = run(&argv(&[
+            "tq", "chain", "--trace", &path, "--suspect", "s1:n2",
+        ]))
+        .unwrap();
+        assert!(chain.contains("suspicion of s1:n2"), "{chain}");
+        assert!(
+            chain.contains("chain complete: view installed without s1:n2"),
+            "{chain}"
+        );
+
+        let filtered = run(&argv(&[
+            "tq", "filter", "--trace", &path, "--seg", "1", "--kind", "view",
+        ]))
+        .unwrap();
+        assert!(!filtered.is_empty());
+        assert!(
+            filtered.lines().all(|l| l.contains("\"seg\":1")),
+            "{filtered}"
+        );
+
+        let summary = run(&argv(&["tq", "summary", "--trace", &path])).unwrap();
+        assert!(summary.contains("segments: 2"), "{summary}");
+
+        // A cross-segment suspect/observer mismatch is rejected.
+        let err = run(&argv(&[
+            "tq", "chain", "--trace", &path, "--suspect", "s1:n2", "--observer", "s0:n1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("different segments"), "{err}");
     }
 
     #[test]

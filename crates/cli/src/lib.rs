@@ -51,8 +51,15 @@ pub fn run(argv: &[String]) -> Result<String, String> {
                 .ok_or("error: run requires a scenario file path")?;
             let text = std::fs::read_to_string(path)
                 .map_err(|e| format!("error: cannot read `{path}`: {e}"))?;
-            let parsed = scenario::Scenario::parse(&text).map_err(|e| e.to_string())?;
-            parsed.execute().map_err(|e| e.to_string())
+            if scenario::is_federated(&text) {
+                // Multi-segment scenarios need K bridged buses; the
+                // campaign replay engine owns that topology and the
+                // global-view oracle.
+                commands::run_federated_scenario(path, &text)
+            } else {
+                let parsed = scenario::Scenario::parse(&text).map_err(|e| e.to_string())?;
+                parsed.execute().map_err(|e| e.to_string())
+            }
         }
         "help" | "--help" | "-h" => return Ok(usage()),
         other => return Err(format!("unknown command `{other}`\n\n{}", usage())),
@@ -114,7 +121,9 @@ COMMANDS:
     tq chain --suspect N [--observer N]   full causal chain behind the
                           first suspicion of node N: last life-sign,
                           timer expiry, failure-sign diffusion, RHA
-                          rounds, view install
+                          rounds, view install; federated traces take
+                          segment-qualified ids (s1:n3) and walk
+                          gateway bridge hops
     tq phases             phase-level latency table (surveillance,
                           queuing, arbitration, diffusion, cycle-wait,
                           agreement, install) plus detection and
@@ -122,7 +131,7 @@ COMMANDS:
                           analytic bounds
       --detection-bound DUR    override the paper-default bound
       --view-change-bound DUR  override the paper-default bound
-    tq filter [--node N] [--kind PREFIX] [--view SET]
+    tq filter [--seg N] [--node N] [--kind PREFIX] [--view SET]
               [--since DUR] [--until DUR]   re-render matching records
     tq summary            event-kind counts and bus occupancy
     tq reexport           parse + re-render the full document (the
@@ -140,7 +149,9 @@ COMMANDS:
                  inconsistent-degree, inaccessible, weaken-fda,
                  expect-view — see the `scenario` module docs);
                  `expect-view` turns the file into an executable
-                 regression test
+                 regression test; federated scenarios (segments,
+                 bridge, gateway-crash, segment-partition, …) run on
+                 K bridged buses via the campaign replay engine
 
   campaign <run|report|replay>   deterministic parallel fault-injection
                  campaigns with an invariant oracle (canely-campaign)

@@ -67,6 +67,29 @@ fn err<T>(line_no: usize, msg: impl std::fmt::Display) -> Result<T, ArgError> {
     Err(ArgError(format!("line {line_no}: {msg}")))
 }
 
+/// Whether a scenario document uses the multi-segment (federation)
+/// vocabulary. Such files describe K bridged buses and cannot run on
+/// the single-bus [`Scenario`] engine; `canelyctl run` delegates them
+/// to the campaign replay path instead.
+pub fn is_federated(text: &str) -> bool {
+    text.lines().any(|raw| {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        matches!(
+            line.split_whitespace().next(),
+            Some(
+                "segments"
+                    | "gateway"
+                    | "bridge"
+                    | "relay"
+                    | "seg-crash"
+                    | "gateway-crash"
+                    | "segment-partition"
+                    | "asymmetric"
+            )
+        )
+    })
+}
+
 impl Scenario {
     /// Parses a scenario document.
     ///

@@ -26,40 +26,14 @@
 //! carry the [`TimerOwner::Surveillance`] tag (so causal timer
 //! tracing works unchanged), probe rounds tick on
 //! [`TimerOwner::DetectorPeriod`], and the probe wire protocol rides
-//! on [`MsgType::Ping`] remote frames.
+//! on [`can_types::MsgType::Ping`] remote frames.
 
 use crate::fd::{els_mid, DetectorTimer, FailureDetector, FdAction};
 use crate::obs::{EventSink, ObsTimer, ProtocolEvent};
-use crate::tags::TimerOwner;
+use crate::tags::{detector_skew as skew, ping_mid, TimerOwner, PING_DIRECT, PING_REQ, SWIM_HELPERS};
 use can_controller::{Ctx, TimerId};
-use can_types::{BitTime, Mid, MsgType, NodeId, NodeSet};
+use can_types::{BitTime, Mid, NodeId, NodeSet};
 use std::collections::HashMap;
-
-/// Deterministic per-observer skew, mirroring the surveillance
-/// detector: independent oscillators never expire in lock-step, and
-/// 512 bit-times per rank exceeds a worst-case frame plus error
-/// signalling.
-fn skew(me: NodeId) -> BitTime {
-    BitTime::new(u64::from(me.as_u8()) * 512)
-}
-
-/// Wire encoding of a probe frame: the `reference` field carries the
-/// probe subkind in its high byte and the prober in its low byte; the
-/// `node` field carries the probe target.
-fn ping_mid(subkind: u16, prober: NodeId, target: NodeId) -> Mid {
-    Mid::new(
-        MsgType::Ping,
-        (subkind << 8) | u16::from(prober.as_u8()),
-        target,
-    )
-}
-
-/// Direct probe: "target, please emit a life-sign".
-const PING_DIRECT: u16 = 0;
-/// Indirect probe request: "helpers, please probe target for me".
-const PING_REQ: u16 = 1;
-/// Number of helper nodes enlisted by a ping-req.
-const SWIM_HELPERS: usize = 3;
 
 /// Phase of an in-flight SWIM probe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,7 +57,7 @@ struct Probe {
 ///
 /// Every `Th` the period timer ticks and the node probes each
 /// monitored peer it has not heard from for at least `Th`: a direct
-/// [`MsgType::Ping`] remote frame asks the target to emit a life-sign
+/// [`can_types::MsgType::Ping`] remote frame asks the target to emit a life-sign
 /// (any node answers pings addressed to it with an ELS broadcast,
 /// which — the bus being a broadcast medium — simultaneously
 /// acquits it to every other prober). If the direct probe is not

@@ -29,7 +29,7 @@
 use crate::obs::{EventSink, ObsTimer, ProtocolEvent};
 use crate::tags::TimerOwner;
 use can_controller::{Ctx, TimerId};
-use can_types::{BitTime, Mid, MsgType, NodeId, NodeSet};
+use can_types::{BitTime, Mid, NodeId, NodeSet};
 use std::collections::HashMap;
 
 /// Actions the failure detector hands back to the enclosing stack.
@@ -56,10 +56,7 @@ pub enum DetectorTimer {
     Period,
 }
 
-/// The mid of an explicit life-sign of node `r`.
-pub fn els_mid(r: NodeId) -> Mid {
-    Mid::new(MsgType::Els, 0, r)
-}
+pub use crate::tags::els_mid;
 
 /// The failure-detection seam of the stack.
 ///
@@ -69,7 +66,7 @@ pub fn els_mid(r: NodeId) -> Mid {
 /// life-signs), timer expiries tagged [`TimerOwner::Surveillance`] or
 /// [`TimerOwner::DetectorPeriod`], agreed FDA failure notifications,
 /// and — for backends with their own wire protocol — incoming
-/// [`MsgType::Ping`] frames. Time reaches the backend through the
+/// [`can_types::MsgType::Ping`] frames. Time reaches the backend through the
 /// bit-time clock of the [`Ctx`] handle, and structured events leave
 /// through the installed [`EventSink`]; a backend holds no other
 /// channel to the outside world, which is what makes the campaign
@@ -112,7 +109,7 @@ pub trait FailureDetector: std::fmt::Debug {
     /// (lines f13–f16).
     fn on_fda_nty(&mut self, ctx: &mut Ctx<'_>, r: NodeId) -> FdAction;
 
-    /// A detector-protocol frame ([`MsgType::Ping`]) was observed on
+    /// A detector-protocol frame ([`can_types::MsgType::Ping`]) was observed on
     /// the bus. Backends without a wire protocol ignore it.
     fn on_detector_frame(&mut self, _ctx: &mut Ctx<'_>, _mid: Mid) {}
 

@@ -31,7 +31,7 @@
 //! CLI and the benches are exactly the numbers visible in the trace.
 
 use can_bus::{BusStats, BusTrace};
-use can_types::{BitTime, NodeId, NodeSet, MAX_NODES};
+use can_types::{BitTime, Mid, NodeId, NodeSet, MAX_NODES};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -213,6 +213,37 @@ pub enum ProtocolEvent {
     NodeCrashed,
     /// External marker: the node was power-cycled at this instant.
     NodeRestarted,
+    /// A federation gateway accepted a fresher segment-view digest
+    /// (its own segment's change, or one relayed by a peer).
+    FedDigest {
+        /// Segment whose representative reported the digest.
+        reporter: u8,
+        /// Segment the digest describes.
+        subject: u8,
+        /// Epoch of the claimed view (monotonic per subject segment).
+        epoch: u32,
+        /// The claimed segment view.
+        view: NodeSet,
+    },
+    /// A quorum of representatives agreed on a segment's digest: the
+    /// gateway installed it into its global view (Rapid-style stable
+    /// cut).
+    FedInstall {
+        /// Segment the installed view describes.
+        subject: u8,
+        /// Installed epoch.
+        epoch: u32,
+        /// Installed segment view.
+        view: NodeSet,
+    },
+    /// A federation gateway relayed a frame that arrived over an
+    /// inter-segment bridge onto the local bus.
+    FedRelay {
+        /// The relayed frame's mid (as re-transmitted locally).
+        mid: Mid,
+        /// Segment the frame came from.
+        from_seg: u8,
+    },
 }
 
 impl ProtocolEvent {
@@ -247,6 +278,9 @@ impl ProtocolEvent {
             ProtocolEvent::LeftService => "msh.left",
             ProtocolEvent::NodeCrashed => "node.crashed",
             ProtocolEvent::NodeRestarted => "node.restarted",
+            ProtocolEvent::FedDigest { .. } => "fed.digest",
+            ProtocolEvent::FedInstall { .. } => "fed.install",
+            ProtocolEvent::FedRelay { .. } => "fed.relay",
         }
     }
 
@@ -323,6 +357,30 @@ impl ProtocolEvent {
             }
             ProtocolEvent::ViewChanged { view, failed } => {
                 let _ = write!(out, ",\"view\":\"{view}\",\"failed\":\"{failed}\"");
+            }
+            ProtocolEvent::FedDigest {
+                reporter,
+                subject,
+                epoch,
+                view,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"reporter\":{reporter},\"subject\":{subject},\"epoch\":{epoch},\"view\":\"{view}\""
+                );
+            }
+            ProtocolEvent::FedInstall {
+                subject,
+                epoch,
+                view,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"subject\":{subject},\"epoch\":{epoch},\"view\":\"{view}\""
+                );
+            }
+            ProtocolEvent::FedRelay { mid, from_seg } => {
+                let _ = write!(out, ",\"mid\":\"{mid}\",\"from_seg\":{from_seg}");
             }
             ProtocolEvent::LifeSignSent
             | ProtocolEvent::JoinRequested
@@ -845,6 +903,11 @@ impl Counters {
             ProtocolEvent::LeftService => self.leaves_completed += 1,
             ProtocolEvent::NodeCrashed => self.crashes += 1,
             ProtocolEvent::NodeRestarted => self.restarts += 1,
+            // Federation events have their own aggregation in the
+            // federation layer; the per-segment counters ignore them.
+            ProtocolEvent::FedDigest { .. }
+            | ProtocolEvent::FedInstall { .. }
+            | ProtocolEvent::FedRelay { .. } => {}
         }
     }
 }

@@ -463,7 +463,10 @@ impl Application for CanelyStack {
             TimerOwner::MembershipCycle => Some(ObsTimer::MembershipCycle),
             // Detector period ticks are untraced like traffic ticks:
             // they are pacing, not protocol state.
-            TimerOwner::Traffic | TimerOwner::Scripted(_) | TimerOwner::DetectorPeriod => None,
+            TimerOwner::Traffic
+            | TimerOwner::Scripted(_)
+            | TimerOwner::DetectorPeriod
+            | TimerOwner::FederationDigest => None,
         } {
             // The expiry links back to its arming (resolved inside the
             // log); everything handled below is caused by the expiry.
@@ -503,7 +506,10 @@ impl Application for CanelyStack {
             }
             TimerOwner::Scripted(SCRIPT_JOIN) => self.msh.request_join(ctx),
             TimerOwner::Scripted(SCRIPT_LEAVE) => self.msh.request_leave(ctx),
-            TimerOwner::Scripted(_) | TimerOwner::Traffic => {}
+            // Federation digest ticks belong to the gateway wrapper,
+            // which intercepts them before delegating here; a plain
+            // stack ignores them.
+            TimerOwner::Scripted(_) | TimerOwner::Traffic | TimerOwner::FederationDigest => {}
         }
     }
 

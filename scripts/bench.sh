@@ -9,6 +9,8 @@
 #                          zero-copy parse of a ≥1 MiB trace
 #   BENCH_detectors.json — warm per-run cost of each failure-detector
 #                          backend (surveillance / swim / add-phi)
+#   BENCH_federation.json — federated run cost at 1/2/4 bridged
+#                          segments plus the merged seg-tagged export
 #
 # Everything runs --offline against the vendored criterion harness.
 #
@@ -57,3 +59,4 @@ run_bench trace
 run_bench campaign
 run_bench sim
 run_bench detectors
+run_bench federation

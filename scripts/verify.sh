@@ -69,6 +69,27 @@ if [ "$shootout" != "$reshootout" ]; then
     exit 1
 fi
 
+# Federation smoke gate: four bridged 32-node segments under node
+# crashes, gateway crashes and an inter-segment partition/heal. The
+# oracle must come back clean — including the global-view agreement
+# and validity invariants across the surviving gateways — and the
+# summary must stay byte-identical across worker counts.
+echo "==> target/release/canelyctl campaign run --spec scenarios/federation.campaign"
+federation="$(target/release/canelyctl campaign run --spec scenarios/federation.campaign --workers 4 --json)"
+echo "$federation"
+case "$federation" in
+*'"violating_runs":[]'*) ;;
+*)
+    echo "verify: federation campaign reported invariant violations" >&2
+    exit 1
+    ;;
+esac
+refederation="$(target/release/canelyctl campaign run --spec scenarios/federation.campaign --workers 2 --json)"
+if [ "$federation" != "$refederation" ]; then
+    echo "verify: federation summary differs across worker counts" >&2
+    exit 1
+fi
+
 # Campaign scaling smoke gate: fanning the same matrix out to 8
 # workers must never be *slower* than running it on 1. On a multi-core
 # host this also catches lost parallelism; on a single hardware thread
