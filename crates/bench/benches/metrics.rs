@@ -1,0 +1,104 @@
+//! Telemetry-plane cost: handle bumps, an instrumented campaign run,
+//! and the exposition formats.
+//!
+//! * `metrics_bump` — one counter add and one histogram record, with
+//!   disabled and enabled handles. The disabled points put a number on
+//!   the "zero-cost when off" claim (a branch on an `Option`); the
+//!   enabled points price the relaxed atomic.
+//! * `metrics_run` — one complete campaign run with telemetry off vs
+//!   streaming into a live registry (detector counters, step stats,
+//!   latency histograms, phase profiler): the end-to-end overhead the
+//!   `--progress` path pays per run.
+//! * `metrics_exposition` — rendering a populated registry to the
+//!   Prometheus text and JSON snapshot formats.
+
+use canely_campaign::{CampaignSpec, RunSpec, WorldArena};
+use canely_metrics::{Registry, Stability};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn one_run() -> RunSpec {
+    let spec = CampaignSpec {
+        name: "bench-metrics".into(),
+        seeds: (0, 1),
+        crash_budgets: vec![1],
+        ..CampaignSpec::default()
+    };
+    spec.expand().remove(0)
+}
+
+/// Handle-level cost, enabled and disabled.
+fn bench_bump(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_bump");
+    let disabled = Registry::disabled();
+    let enabled = Registry::new();
+    for (label, reg) in [("disabled", &disabled), ("enabled", &enabled)] {
+        let counter = reg.counter("bench_total", "bench", Stability::Stable);
+        let hist = reg.histogram("bench_hist", "bench", Stability::Stable, &[10, 100, 1000]);
+        group.bench_with_input(BenchmarkId::new("counter", label), &counter, |b, counter| {
+            b.iter(|| {
+                for i in 0..1024u64 {
+                    counter.add(black_box(i & 1));
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("histogram", label), &hist, |b, hist| {
+            b.iter(|| {
+                for i in 0..1024u64 {
+                    hist.record(black_box(i));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+/// One warm-arena campaign run, telemetry off vs on.
+fn bench_instrumented_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_run");
+    group.sample_size(20);
+    let run = one_run();
+    group.bench_function("off", |b| {
+        let mut arena = WorldArena::new();
+        b.iter(|| {
+            let outcome = canely_campaign::execute_in(&mut arena, &run, false);
+            assert!(outcome.violations.is_empty());
+            outcome.events
+        });
+    });
+    group.bench_function("on", |b| {
+        let registry = Registry::new();
+        let mut arena = WorldArena::with_registry(&registry);
+        b.iter(|| {
+            let outcome = canely_campaign::execute_in(&mut arena, &run, false);
+            assert!(outcome.violations.is_empty());
+            outcome.events
+        });
+    });
+    group.finish();
+}
+
+/// Rendering a realistically populated registry.
+fn bench_exposition(c: &mut Criterion) {
+    let registry = Registry::new();
+    let mut arena = WorldArena::with_registry(&registry);
+    let run = one_run();
+    let outcome = canely_campaign::execute_in(&mut arena, &run, false);
+    assert!(outcome.violations.is_empty());
+    let mut group = c.benchmark_group("metrics_exposition");
+    group.bench_function("prometheus", |b| {
+        b.iter(|| registry.to_prometheus(true).len());
+    });
+    group.bench_function("json", |b| {
+        b.iter(|| registry.to_json(true).len());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bump,
+    bench_instrumented_run,
+    bench_exposition
+);
+criterion_main!(benches);

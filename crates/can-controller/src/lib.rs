@@ -35,5 +35,5 @@ pub use app::{Application, Ctx, JournalEntry};
 pub use controller::{Controller, FaultConfinement, FaultState};
 pub use driver::DriverEvent;
 pub use guardian::{Guardian, GuardianPolicy};
-pub use sim::Simulator;
+pub use sim::{Simulator, StepStats, SIM_PHASES};
 pub use timer::{TimerId, TimerWheel};

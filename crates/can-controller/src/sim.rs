@@ -24,8 +24,44 @@ use crate::guardian::{Guardian, GuardianPolicy};
 use crate::timer::TimerWheel;
 use can_bus::{BusConfig, FaultPlan, Medium, Transaction, TxOutcome};
 use can_types::{BitTime, Frame, FrameKind, Mid, NodeId, NodeSet, MAX_NODES};
+use canely_metrics::{PhaseProfiler, PhaseReport};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// The phases the simulator's self-profiler attributes wall time to,
+/// in index order: event scheduling (finding the next event),
+/// lifecycle events (power-on / crash / restart / guardian wake),
+/// timer-wheel expiry, bus arbitration (medium resolution and
+/// in-frame interleaving bookkeeping), and protocol dispatch (driver
+/// events into the applications). See `docs/METRICS.md`.
+pub const SIM_PHASES: &[&str] = &[
+    "sched",
+    "lifecycle",
+    "timer-expiry",
+    "bus-arbitration",
+    "protocol-dispatch",
+];
+
+const PH_SCHED: usize = 0;
+const PH_LIFECYCLE: usize = 1;
+const PH_TIMER: usize = 2;
+const PH_ARB: usize = 3;
+const PH_DISPATCH: usize = 4;
+
+/// Deterministic step-loop counters: derived purely from simulation
+/// state, so for a given world and fault plan they are identical on
+/// every execution regardless of wall clock or thread placement.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepStats {
+    /// Scheduling-loop iterations (events processed).
+    pub steps: u64,
+    /// Timer-wheel expiries fired into applications.
+    pub timer_expiries: u64,
+    /// Bus transactions resolved (delivered or errored).
+    pub bus_transactions: u64,
+    /// Lifecycle events: power-ons, crashes, restarts, guardian wakes.
+    pub lifecycle_events: u64,
+}
 
 struct Slot {
     controller: Controller,
@@ -89,6 +125,8 @@ pub struct Simulator {
     guardian_wake: BinaryHeap<Reverse<(BitTime, NodeId)>>,
     restart_schedule: Vec<(BitTime, NodeId, Box<dyn Application>)>,
     crash_log: Vec<(BitTime, NodeId)>,
+    profiler: PhaseProfiler,
+    stats: StepStats,
 }
 
 impl Simulator {
@@ -111,7 +149,39 @@ impl Simulator {
             guardian_wake: BinaryHeap::new(),
             restart_schedule: Vec::new(),
             crash_log: Vec::new(),
+            profiler: PhaseProfiler::new(SIM_PHASES),
+            stats: StepStats::default(),
         }
+    }
+
+    /// Enables the sampling self-profiler: subsequent
+    /// [`Simulator::run_until`] time is attributed to the
+    /// [`SIM_PHASES`] phases, drained with [`Simulator::take_profile`].
+    /// Off by default; when off the step loop pays one branch per
+    /// transition and reads no clock.
+    pub fn set_profiling(&mut self, enabled: bool) {
+        self.profiler.set_enabled(enabled);
+    }
+
+    /// Whether the self-profiler is recording.
+    pub fn profiling(&self) -> bool {
+        self.profiler.enabled()
+    }
+
+    /// Drains the accumulated per-phase wall-time profile, resetting
+    /// the profiler for the next run (the enabled flag is kept).
+    pub fn take_profile(&mut self) -> PhaseReport {
+        self.profiler.take()
+    }
+
+    /// The deterministic step-loop counters accumulated so far.
+    pub fn step_stats(&self) -> StepStats {
+        self.stats
+    }
+
+    /// Drains the step-loop counters, resetting them to zero.
+    pub fn take_step_stats(&mut self) -> StepStats {
+        std::mem::take(&mut self.stats)
     }
 
     /// Arena reuse: rewinds the simulator to a pristine time-zero state
@@ -145,6 +215,8 @@ impl Simulator {
         self.guardian_wake.clear();
         self.restart_schedule.clear();
         self.crash_log.clear();
+        self.profiler.pause();
+        self.stats = StepStats::default();
         let mut kept = NodeSet::EMPTY;
         for idx in 0..MAX_NODES {
             let node = NodeId::new(idx as u8);
@@ -406,6 +478,7 @@ impl Simulator {
     /// (time may end slightly past the deadline).
     pub fn run_until(&mut self, deadline: BitTime) {
         loop {
+            self.profiler.enter(PH_SCHED);
             let next_poweron = self.poweron_schedule.peek().map(|Reverse((t, _))| *t);
             let next_crash = self.crash_schedule.peek().map(|Reverse((t, _))| *t);
             let next_restart = self.next_restart();
@@ -426,6 +499,7 @@ impl Simulator {
             .min();
             let Some(t) = next else {
                 self.now = self.now.max(deadline);
+                self.profiler.pause();
                 return;
             };
             if t > deadline {
@@ -433,30 +507,43 @@ impl Simulator {
                 // past an earlier deadline may already have advanced
                 // `now` beyond this one.
                 self.now = self.now.max(deadline);
+                self.profiler.pause();
                 return;
             }
+            self.stats.steps += 1;
 
             // Priority at equal instants: power-on, crash, timer, bus.
             if next_poweron == Some(t) {
+                self.profiler.enter(PH_LIFECYCLE);
+                self.stats.lifecycle_events += 1;
                 self.now = self.now.max(t);
                 let Reverse((_, node)) = self.poweron_schedule.pop().expect("peeked");
                 self.power_on(node);
             } else if next_crash == Some(t) {
+                self.profiler.enter(PH_LIFECYCLE);
+                self.stats.lifecycle_events += 1;
                 self.now = self.now.max(t);
                 let Reverse((_, node)) = self.crash_schedule.pop().expect("peeked");
                 self.crash(node);
             } else if next_restart == Some(t) {
+                self.profiler.enter(PH_LIFECYCLE);
+                self.stats.lifecycle_events += 1;
                 self.now = self.now.max(t);
                 let (_, node, app) = self.pop_restart();
                 self.restart(node, app);
             } else if next_guardian == Some(t) {
+                self.profiler.enter(PH_LIFECYCLE);
+                self.stats.lifecycle_events += 1;
                 self.now = self.now.max(t);
                 let Reverse((_, node)) = self.guardian_wake.pop().expect("peeked");
                 self.sync_offer(node);
             } else if next_timer == Some(t) && next_bus.is_none_or(|b| t <= b) {
+                self.profiler.enter(PH_TIMER);
                 self.now = self.now.max(t);
                 self.fire_one_timer();
             } else {
+                self.profiler.enter(PH_ARB);
+                self.stats.bus_transactions += 1;
                 let start = next_bus.expect("bus candidate was the minimum");
                 self.now = self.now.max(start);
                 let tx = self
@@ -466,6 +553,7 @@ impl Simulator {
                 self.interleave_until(tx.deliver_at);
                 self.now = self.now.max(tx.deliver_at);
                 self.bus_free_at = tx.bus_free;
+                self.profiler.enter(PH_DISPATCH);
                 self.dispatch(&tx);
             }
         }
@@ -490,13 +578,18 @@ impl Simulator {
             let next_timer = self.timers.next_deadline();
             match (next_crash, next_timer) {
                 (Some(tc), _) if tc < until && next_timer.is_none_or(|tt| tc <= tt) => {
+                    self.profiler.enter(PH_LIFECYCLE);
+                    self.stats.lifecycle_events += 1;
                     self.now = self.now.max(tc);
                     let Reverse((_, node)) = self.crash_schedule.pop().expect("peeked");
                     self.crash(node);
+                    self.profiler.enter(PH_ARB);
                 }
                 (_, Some(tt)) if tt < until => {
+                    self.profiler.enter(PH_TIMER);
                     self.now = self.now.max(tt);
                     self.fire_one_timer();
+                    self.profiler.enter(PH_ARB);
                 }
                 _ => return,
             }
@@ -567,6 +660,7 @@ impl Simulator {
         let Some(fired) = self.timers.pop_due(self.now) else {
             return;
         };
+        self.stats.timer_expiries += 1;
         if !self.alive.contains(fired.node) {
             return;
         }

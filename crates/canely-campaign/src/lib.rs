@@ -66,12 +66,14 @@ pub mod runner;
 pub mod shootout;
 pub mod shrink;
 pub mod spec;
+pub mod telemetry;
 
 pub use oracle::{check, check_global, GatewayFinal, GlobalOracleInput, InvariantKind, NodeFinal, OracleInput, Violation};
 pub use run::{execute, execute_in, latency_samples, RunOutcome, WorldArena};
 pub use runner::{
-    run_campaign, run_campaign_analytics, CampaignReport, CampaignResult, Counterexample,
-    RunLatency,
+    run_campaign, run_campaign_analytics, run_campaign_with, CampaignOptions, CampaignReport,
+    CampaignResult, Counterexample, ProgressOptions, ProgressSink, RunLatency,
 };
+pub use telemetry::{RunTelemetry, LATENCY_BUCKETS, RUN_PHASES};
 pub use shootout::{BackendQoS, ShootoutReport};
 pub use spec::{CampaignSpec, FederationSpec, RunSpec};

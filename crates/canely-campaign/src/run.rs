@@ -8,6 +8,7 @@
 
 use crate::oracle::{self, GatewayFinal, GlobalOracleInput, NodeFinal, OracleInput, Violation};
 use crate::spec::{segment_seed, RunSpec};
+use crate::telemetry::{RunTelemetry, RP_OBS, RP_ORACLE, RP_SETUP};
 use can_bus::{BusConfig, FaultPlan};
 use can_controller::Simulator;
 use can_types::{BitTime, MsgType, NodeId, NodeSet};
@@ -133,12 +134,35 @@ pub fn false_suspicion_count(events: &[canely::obs::TimedEvent]) -> u64 {
 pub struct WorldArena {
     sim: Option<Simulator>,
     log: ObsLog,
+    telemetry: RunTelemetry,
 }
 
 impl WorldArena {
-    /// An empty arena; the first run populates it.
+    /// An empty arena; the first run populates it. Telemetry is
+    /// disabled: every would-be metric bump costs one branch.
     pub fn new() -> Self {
         WorldArena::default()
+    }
+
+    /// An arena whose runs stream telemetry into `registry`: campaign
+    /// and detector counters, latency histograms, and — volatile —
+    /// per-phase wall-time attribution (the simulator's own
+    /// [`SIM_PHASES`](can_controller::SIM_PHASES) profiler is switched
+    /// on for the arena's runs).
+    ///
+    /// None of this changes a run's outcome or trace: the counters
+    /// mirror quantities already derived deterministically from the
+    /// simulation, and the profiler only *reads* the clock.
+    pub fn with_registry(registry: &canely_metrics::Registry) -> Self {
+        WorldArena {
+            telemetry: RunTelemetry::new(registry),
+            ..WorldArena::default()
+        }
+    }
+
+    /// The arena's telemetry handle bundle.
+    pub fn telemetry(&self) -> &RunTelemetry {
+        &self.telemetry
     }
 }
 
@@ -160,8 +184,12 @@ pub fn execute(spec: &RunSpec, capture_trace: bool) -> RunOutcome {
 /// bypass (and leave untouched) the arena.
 pub fn execute_in(arena: &mut WorldArena, spec: &RunSpec, capture_trace: bool) -> RunOutcome {
     if spec.federation.is_some() {
-        return execute_federated(spec, capture_trace);
+        let outcome = execute_federated(&mut arena.telemetry, spec, capture_trace);
+        arena.telemetry.flush_outcome(&outcome);
+        arena.telemetry.flush_run_phases();
+        return outcome;
     }
+    arena.telemetry.profiler.enter(RP_SETUP);
     let config = spec.config();
     let mut faults = FaultPlan::seeded(spec.seed)
         .with_consistent_rate(spec.consistent_rate)
@@ -187,11 +215,13 @@ pub fn execute_in(arena: &mut WorldArena, spec: &RunSpec, capture_trace: bool) -
         NodeSet::EMPTY
     };
     let sim = arena.sim.as_mut().expect("installed above");
+    sim.set_profiling(arena.telemetry.enabled());
     for id in 0..spec.nodes {
         let node = NodeId::new(id);
         if kept.contains(node) {
             let stack = sim.app_mut::<CanelyStack>(node);
             stack.set_obs(log.sink());
+            stack.set_detector_metrics(arena.telemetry.detector_handles());
             if let Some(period) = spec.traffic {
                 stack.set_traffic(
                     TrafficConfig::periodic(period, 8)
@@ -206,13 +236,18 @@ pub fn execute_in(arena: &mut WorldArena, spec: &RunSpec, capture_trace: bool) -
                         .with_offset(BitTime::new(u64::from(id) * 131 + 17)),
                 );
             }
+            stack.set_detector_metrics(arena.telemetry.detector_handles());
             sim.add_node(node, stack);
         }
     }
     for &(node, at) in &spec.crashes {
         sim.schedule_crash(NodeId::new(node), at);
     }
+    // The step loop's own profiler owns the run window; pause the
+    // worker-side profiler so no nanosecond is attributed twice.
+    arena.telemetry.profiler.pause();
     sim.run_until(spec.until);
+    arena.telemetry.profiler.enter(RP_OBS);
 
     // Ground-truth crash markers come from the simulator's own crash
     // funnel (covers scheduled *and* fault-induced crashes), so the
@@ -245,7 +280,7 @@ pub fn execute_in(arena: &mut WorldArena, spec: &RunSpec, capture_trace: bool) -
             (frames + s.frames as u64, busy + s.busy.as_u64())
         });
 
-    log.with_events(|events| {
+    let outcome = log.with_events(|events| {
         let input = OracleInput {
             events,
             finals: &finals,
@@ -256,7 +291,9 @@ pub fn execute_in(arena: &mut WorldArena, spec: &RunSpec, capture_trace: bool) -
             detection_bound: spec.detection_bound(),
             view_change_bound: spec.view_change_bound(),
         };
+        arena.telemetry.profiler.enter(RP_ORACLE);
         let violations = oracle::check(&input);
+        arena.telemetry.profiler.enter(RP_OBS);
         let trace_jsonl = capture_trace.then(|| export_jsonl(events, Some(sim.trace())));
         let (detection, view_change) = latency_samples(events);
 
@@ -271,14 +308,20 @@ pub fn execute_in(arena: &mut WorldArena, spec: &RunSpec, capture_trace: bool) -
             detector_busy,
             trace_jsonl,
         }
-    })
+    });
+    arena.telemetry.profiler.pause();
+    arena.telemetry.flush_sim(sim.take_step_stats(), &sim.take_profile());
+    arena.telemetry.flush_run_phases();
+    arena.telemetry.flush_outcome(&outcome);
+    outcome
 }
 
 /// Builds, runs and judges one *federated* simulation: K bridged
 /// segments in a [`FederationSim`], the per-segment invariant oracle
 /// applied to each segment's trace, plus the global hierarchical-
 /// membership checks over the gateways' installed views.
-fn execute_federated(spec: &RunSpec, capture_trace: bool) -> RunOutcome {
+fn execute_federated(tel: &mut RunTelemetry, spec: &RunSpec, capture_trace: bool) -> RunOutcome {
+    tel.profiler.enter(RP_SETUP);
     let fed_spec = spec.federation.as_ref().expect("caller checked");
     let segments = fed_spec.segments;
     let config = FederationConfig::new(spec.config(), segments, spec.nodes)
@@ -302,6 +345,21 @@ fn execute_federated(spec: &RunSpec, capture_trace: bool) -> RunOutcome {
         |seg| segment_seed(spec.seed, seg),
         plan_of,
     );
+    fed.set_metrics(tel.fed_handles());
+    let gateway = fed.gateway();
+    for seg in 0..segments {
+        let sim = fed.sim_mut(seg);
+        sim.set_profiling(tel.enabled());
+        for id in 0..spec.nodes {
+            let node = NodeId::new(id);
+            // The gateway wraps its stack in a `Gateway`; detector
+            // counters cover the plain members.
+            if node != gateway {
+                sim.app_mut::<CanelyStack>(node)
+                    .set_detector_metrics(tel.detector_handles());
+            }
+        }
+    }
     for &(node, at) in &spec.crashes {
         fed.sim_mut(0).schedule_crash(NodeId::new(node), at);
     }
@@ -317,7 +375,9 @@ fn execute_federated(spec: &RunSpec, capture_trace: bool) -> RunOutcome {
     for &(from_seg, to_seg, from, until) in &fed_spec.asymmetric {
         fed.schedule_asymmetric(from_seg, to_seg, from, until);
     }
+    tel.profiler.pause();
     fed.run_until(spec.until);
+    tel.profiler.enter(RP_OBS);
 
     for seg in 0..segments {
         let markers: Vec<(BitTime, NodeId)> = fed.sim(seg).crash_times().to_vec();
@@ -326,7 +386,6 @@ fn execute_federated(spec: &RunSpec, capture_trace: bool) -> RunOutcome {
         }
     }
 
-    let gateway = fed.gateway();
     let mut violations = Vec::new();
     let mut events = 0;
     let mut detection = Vec::new();
@@ -385,10 +444,12 @@ fn execute_federated(spec: &RunSpec, capture_trace: bool) -> RunOutcome {
                 detection_bound: spec.detection_bound(),
                 view_change_bound: spec.view_change_bound(),
             };
+            tel.profiler.enter(RP_ORACLE);
             violations.extend(oracle::check(&input).into_iter().map(|mut v| {
                 v.detail = format!("segment {seg}: {}", v.detail);
                 v
             }));
+            tel.profiler.enter(RP_OBS);
             events += seg_events.len();
             let (d, vc) = latency_samples(seg_events);
             detection.extend(d);
@@ -397,6 +458,7 @@ fn execute_federated(spec: &RunSpec, capture_trace: bool) -> RunOutcome {
         });
     }
 
+    tel.profiler.enter(RP_ORACLE);
     violations.extend(oracle::check_global(&GlobalOracleInput {
         gateways: &gateway_finals,
         expected: &expected_views,
@@ -404,6 +466,15 @@ fn execute_federated(spec: &RunSpec, capture_trace: bool) -> RunOutcome {
         quorum: quorum(usize::from(segments)),
     }));
     violations.sort_by_key(|v| (v.invariant, v.node.map(NodeId::as_u8), v.time));
+
+    tel.profiler.enter(RP_OBS);
+    let trace_jsonl = capture_trace.then(|| fed.export_jsonl());
+    tel.profiler.pause();
+    for seg in 0..segments {
+        let sim = fed.sim_mut(seg);
+        let (stats, profile) = (sim.take_step_stats(), sim.take_profile());
+        tel.flush_sim(stats, &profile);
+    }
 
     RunOutcome {
         id: spec.id,
@@ -414,7 +485,7 @@ fn execute_federated(spec: &RunSpec, capture_trace: bool) -> RunOutcome {
         false_suspicions,
         detector_frames,
         detector_busy,
-        trace_jsonl: capture_trace.then(|| fed.export_jsonl()),
+        trace_jsonl,
     }
 }
 

@@ -14,11 +14,14 @@ use crate::run::{self, RunOutcome, WorldArena};
 use crate::shootout::ShootoutReport;
 use crate::shrink;
 use crate::spec::{CampaignSpec, RunSpec};
+use canely_metrics::Registry;
 use canely_trace::{CampaignAnalytics, PhaseProfile, RunAnalytics, Summary, TraceModel};
 use std::cell::UnsafeCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Per-run latency summary carried in the campaign report, so clean
 /// campaigns still report useful numbers.
@@ -179,14 +182,94 @@ pub struct CampaignResult {
     pub counterexample: Option<Counterexample>,
 }
 
+/// Where streamed progress lines go.
+#[derive(Debug, Clone)]
+pub enum ProgressSink {
+    /// Write each line to the process's standard error (the CLI
+    /// default: the summary on stdout stays clean for redirection).
+    Stderr,
+    /// Append each line to a shared vector (tests and embedders).
+    Collect(Arc<Mutex<Vec<String>>>),
+}
+
+impl ProgressSink {
+    fn emit(&self, line: &str) {
+        match self {
+            ProgressSink::Stderr => eprintln!("{line}"),
+            ProgressSink::Collect(lines) => {
+                lines.lock().expect("progress sink poisoned").push(line.to_string());
+            }
+        }
+    }
+}
+
+/// Streaming-progress configuration for [`run_campaign_with`].
+#[derive(Debug, Clone)]
+pub struct ProgressOptions {
+    /// How often the ticker reports. A final line is always emitted
+    /// when the last run lands, so even sub-interval campaigns report
+    /// at least once.
+    pub interval: Duration,
+    /// Also emit a one-line JSON registry snapshot (volatile metrics
+    /// included) after each progress line.
+    pub metrics_json: bool,
+    /// Destination for the lines.
+    pub sink: ProgressSink,
+}
+
+impl Default for ProgressOptions {
+    fn default() -> Self {
+        ProgressOptions {
+            interval: Duration::from_millis(500),
+            metrics_json: false,
+            sink: ProgressSink::Stderr,
+        }
+    }
+}
+
+/// Knobs for [`run_campaign_with`] beyond the spec itself. None of
+/// them can change the campaign summary: telemetry counters mirror
+/// quantities the summary already derives deterministically, and
+/// progress reporting only observes shared atomics from a side
+/// thread.
+#[derive(Clone, Default)]
+pub struct CampaignOptions {
+    /// Worker thread count (clamped as in [`run_campaign`]).
+    pub workers: usize,
+    /// Metric registry the workers stream telemetry into. The default
+    /// disabled registry makes every bump a no-op branch.
+    pub registry: Registry,
+    /// When set, a ticker thread streams throughput/ETA/violation
+    /// lines while the campaign runs.
+    pub progress: Option<ProgressOptions>,
+}
+
+impl CampaignOptions {
+    /// Plain options: `workers` threads, no telemetry, no progress.
+    pub fn new(workers: usize) -> Self {
+        CampaignOptions {
+            workers,
+            ..CampaignOptions::default()
+        }
+    }
+}
+
 /// Expands and executes a whole campaign on `workers` threads.
 ///
 /// The summary is deterministic for any `workers >= 1`; violating
 /// runs additionally get their first (lowest matrix index) member
 /// shrunk to a minimal reproducer.
 pub fn run_campaign(spec: &CampaignSpec, workers: usize) -> CampaignResult {
+    run_campaign_with(spec, &CampaignOptions::new(workers))
+}
+
+/// [`run_campaign`] with live telemetry and streaming progress (see
+/// [`CampaignOptions`]). The returned summary is byte-identical to
+/// the plain runner's for any worker count, registry state or
+/// progress configuration.
+pub fn run_campaign_with(spec: &CampaignSpec, options: &CampaignOptions) -> CampaignResult {
     let runs = spec.expand();
-    let outcomes = execute_all(&runs, workers, false);
+    let outcomes = execute_all_with(&runs, options, false);
 
     let mut events: u64 = 0;
     let mut violating = Vec::new();
@@ -309,20 +392,82 @@ impl OutcomeSlots {
     }
 }
 
-/// Executes every run, fanning out over `workers` threads, and
-/// returns the outcomes in matrix order.
+/// Shared observation point for the progress ticker: workers bump it
+/// after every completed run, the ticker only reads. Deliberately
+/// outside the summary data path — dropping every update would change
+/// no output byte.
+struct ProgressState {
+    completed: AtomicUsize,
+    violations: AtomicU64,
+    /// Per-worker wall nanos spent inside `execute_in`.
+    busy: Vec<AtomicU64>,
+}
+
+impl ProgressState {
+    fn new(workers: usize) -> Self {
+        ProgressState {
+            completed: AtomicUsize::new(0),
+            violations: AtomicU64::new(0),
+            busy: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// One progress line: counts, throughput, ETA, violations and
+    /// worker occupancy since `t0`.
+    fn line(&self, total: usize, t0: Instant) -> String {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let violations = self.violations.load(Ordering::Relaxed);
+        let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+        let rate = completed as f64 / elapsed;
+        let eta = if completed == 0 {
+            "?".to_string()
+        } else {
+            format!("{:.1}s", (total - completed) as f64 / rate)
+        };
+        let workers = self.busy.len();
+        let occupancy: Vec<f64> = self
+            .busy
+            .iter()
+            // Busy time is sampled at run granularity, so it can
+            // overshoot elapsed by a hair on the final tick; clamp.
+            .map(|b| (100.0 * b.load(Ordering::Relaxed) as f64 / (elapsed * 1e9)).min(100.0))
+            .collect();
+        let mean = occupancy.iter().sum::<f64>() / workers as f64;
+        let lo = occupancy.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = occupancy.iter().copied().fold(0.0, f64::max);
+        format!(
+            "progress: {completed}/{total} runs ({:.1}%), {rate:.1} runs/s, eta {eta}, \
+             violations {violations}, occupancy {mean:.0}% (min {lo:.0}% max {hi:.0}%, \
+             {workers} workers)",
+            100.0 * completed as f64 / total.max(1) as f64,
+        )
+    }
+}
+
+/// Executes every run via [`execute_all_with`] under plain options.
+fn execute_all(runs: &[RunSpec], workers: usize, capture_trace: bool) -> Vec<RunOutcome> {
+    execute_all_with(runs, &CampaignOptions::new(workers), capture_trace)
+}
+
+/// Executes every run, fanning out over `options.workers` threads,
+/// and returns the outcomes in matrix order.
 ///
 /// `workers` is clamped to the run count (spawning idle threads for a
 /// tiny matrix only buys startup latency), and `workers == 1` runs
-/// inline without spawning at all. Each worker reuses one
+/// inline without spawning at all — unless progress streaming is on,
+/// which needs the ticker thread. Each worker reuses one
 /// [`WorldArena`] across all its runs and claims run indices in small
 /// batches to keep cursor traffic off the hot path. Outcomes land in
 /// pre-sized per-index slots, so the result order — and therefore the
 /// campaign summary — is byte-identical for any worker count.
-fn execute_all(runs: &[RunSpec], workers: usize, capture_trace: bool) -> Vec<RunOutcome> {
-    let workers = workers.clamp(1, 64).min(runs.len().max(1));
-    if workers == 1 {
-        let mut arena = WorldArena::new();
+fn execute_all_with(
+    runs: &[RunSpec],
+    options: &CampaignOptions,
+    capture_trace: bool,
+) -> Vec<RunOutcome> {
+    let workers = options.workers.clamp(1, 64).min(runs.len().max(1));
+    if workers == 1 && options.progress.is_none() {
+        let mut arena = WorldArena::with_registry(&options.registry);
         return runs
             .iter()
             .map(|spec| run::execute_in(&mut arena, spec, capture_trace))
@@ -333,24 +478,83 @@ fn execute_all(runs: &[RunSpec], workers: usize, capture_trace: bool) -> Vec<Run
     let batch = (runs.len() / (workers * 8)).clamp(1, 8);
     let cursor = PaddedCursor(AtomicUsize::new(0));
     let slots = OutcomeSlots::new(runs.len());
+    let state = ProgressState::new(workers);
+    let timing = options.progress.is_some();
+    let stop_ticker = AtomicBool::new(false);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let mut arena = WorldArena::new();
+        for w in 0..workers {
+            let state = &state;
+            let cursor = &cursor;
+            let slots = &slots;
+            scope.spawn(move || {
+                let mut arena = WorldArena::with_registry(&options.registry);
                 loop {
                     let first = cursor.0.fetch_add(batch, Ordering::Relaxed);
                     if first >= runs.len() {
                         break;
                     }
                     for (i, spec) in runs.iter().enumerate().skip(first).take(batch) {
+                        let started = timing.then(Instant::now);
                         let outcome = run::execute_in(&mut arena, spec, capture_trace);
+                        if let Some(started) = started {
+                            let nanos = started.elapsed().as_nanos() as u64;
+                            state.busy[w].fetch_add(nanos, Ordering::Relaxed);
+                        }
+                        state
+                            .violations
+                            .fetch_add(outcome.violations.len() as u64, Ordering::Relaxed);
                         // SAFETY: index `i` belongs to this worker's
                         // claimed batch; no other thread touches its
                         // slot (see `OutcomeSlots`).
                         unsafe { slots.write(i, outcome) };
+                        state.completed.fetch_add(1, Ordering::Relaxed);
                     }
                 }
             });
+        }
+        if let Some(progress) = &options.progress {
+            let state = &state;
+            let stop = &stop_ticker;
+            let registry = &options.registry;
+            scope.spawn(move || {
+                let t0 = Instant::now();
+                let emit = |final_line: bool| {
+                    let mut line = state.line(runs.len(), t0);
+                    if final_line {
+                        line.push_str(" [done]");
+                    }
+                    progress.sink.emit(&line);
+                    if progress.metrics_json {
+                        progress.sink.emit(&registry.to_json(true));
+                    }
+                };
+                loop {
+                    // Sleep in small slices so the final line lands
+                    // promptly however long the interval is.
+                    let tick = Instant::now();
+                    while tick.elapsed() < progress.interval {
+                        if stop.load(Ordering::Relaxed) {
+                            emit(true);
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(5).min(progress.interval));
+                    }
+                    if stop.load(Ordering::Relaxed) {
+                        emit(true);
+                        return;
+                    }
+                    emit(false);
+                }
+            });
+        }
+        // Joining the workers without holding the ticker hostage: the
+        // scope joins everything, so flag the ticker down as soon as
+        // every run has landed.
+        if options.progress.is_some() {
+            while state.completed.load(Ordering::Relaxed) < runs.len() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            stop_ticker.store(true, Ordering::Relaxed);
         }
     });
     slots.into_outcomes()

@@ -1,0 +1,284 @@
+//! Per-worker run telemetry: the registry handles a campaign worker
+//! bumps while executing runs, plus the worker-side phase profiler
+//! covering the time [`SIM_PHASES`] does
+//! not (world construction, log folding, oracle judging).
+//!
+//! All handles come from one shared [`Registry`]; `Stable` metrics are
+//! commutative sums of simulation-deterministic quantities, so their
+//! totals — and therefore the stable export — are byte-identical for
+//! any worker count. Wall-clock attribution (`*_phase_nanos_total`) is
+//! registered `Volatile` and never appears in deterministic exports.
+
+use crate::run::RunOutcome;
+use can_controller::{StepStats, SIM_PHASES};
+use canely::DetectorMetrics;
+use canely_federation::FedMetrics;
+use canely_metrics::{Counter, Hist, PhaseProfiler, PhaseReport, Registry, Stability};
+
+/// The campaign-worker phases surrounding the simulator's own
+/// [`SIM_PHASES`]: world (re)construction,
+/// observation-log folding (markers, finals, trace export, latency
+/// extraction) and invariant judging. Together the two phase sets
+/// account for a run's wall time end to end.
+pub const RUN_PHASES: &[&str] = &["world-setup", "obs-emit", "oracle"];
+
+/// [`RUN_PHASES`] index: building or recycling the world.
+pub(crate) const RP_SETUP: usize = 0;
+/// [`RUN_PHASES`] index: folding markers/finals/trace out of the log.
+pub(crate) const RP_OBS: usize = 1;
+/// [`RUN_PHASES`] index: running the invariant oracle.
+pub(crate) const RP_ORACLE: usize = 2;
+
+/// Fixed bucket bounds (bit-times) for the latency histograms. The
+/// paper's closed-form bounds land in the 10⁴–10⁵ range for default
+/// configurations, so the grid brackets them a decade on either side.
+pub const LATENCY_BUCKETS: &[u64] = &[
+    1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 500_000, 1_000_000,
+];
+
+/// Every registry handle a campaign worker touches, pre-registered
+/// once per arena so the run hot path never takes the registry lock.
+///
+/// The `Default` value is the fully disabled telemetry: every handle
+/// is inert and the profiler reads no clock, so un-instrumented
+/// campaigns pay one branch per would-be bump.
+pub struct RunTelemetry {
+    /// Runs executed.
+    runs: Counter,
+    /// Protocol events recorded across runs.
+    events: Counter,
+    /// Oracle violations across runs.
+    violations: Counter,
+    /// False suspicions (live node suspected) across runs.
+    false_suspicions: Counter,
+    /// Physical detector frames (ELS + ping) on the wire.
+    detector_frames: Counter,
+    /// Simulator step-loop totals (deterministic).
+    sim_steps: Counter,
+    sim_timer_expiries: Counter,
+    sim_bus_transactions: Counter,
+    sim_lifecycle_events: Counter,
+    /// Crash-to-notification latency samples (bit-times).
+    detection_latency: Hist,
+    /// Crash-to-view-install latency samples (bit-times).
+    view_change_latency: Hist,
+    /// Wall nanos per simulator phase, indexed like [`SIM_PHASES`].
+    sim_phase_nanos: Vec<Counter>,
+    /// Wall nanos per worker phase, indexed like [`RUN_PHASES`].
+    run_phase_nanos: Vec<Counter>,
+    /// Failure-detector counters, installed into every stack per run.
+    detector: DetectorMetrics,
+    /// Federation bridge-pump counters.
+    fed: FedMetrics,
+    /// The worker-side profiler over [`RUN_PHASES`].
+    pub(crate) profiler: PhaseProfiler,
+}
+
+impl Default for RunTelemetry {
+    fn default() -> Self {
+        RunTelemetry::disabled()
+    }
+}
+
+impl RunTelemetry {
+    /// Fully disabled telemetry (every handle inert).
+    pub fn disabled() -> Self {
+        RunTelemetry::new(&Registry::disabled())
+    }
+
+    /// Registers every campaign metric in `registry` and returns the
+    /// handle bundle. With a disabled registry all handles are inert.
+    pub fn new(registry: &Registry) -> Self {
+        let c = |name: &str, help: &'static str| registry.counter(name, help, Stability::Stable);
+        let phase_family = |base: &str, help: &'static str, phases: &[&str]| {
+            phases
+                .iter()
+                .map(|phase| {
+                    registry.counter(
+                        &format!("{base}{{phase=\"{phase}\"}}"),
+                        help,
+                        Stability::Volatile,
+                    )
+                })
+                .collect()
+        };
+        let mut profiler = PhaseProfiler::new(RUN_PHASES);
+        profiler.set_enabled(registry.enabled());
+        RunTelemetry {
+            runs: c("canely_campaign_runs_total", "Runs executed"),
+            events: c(
+                "canely_campaign_events_total",
+                "Protocol events recorded across runs",
+            ),
+            violations: c(
+                "canely_campaign_violations_total",
+                "Invariant violations across runs",
+            ),
+            false_suspicions: c(
+                "canely_campaign_false_suspicions_total",
+                "Suspicions raised against live nodes",
+            ),
+            detector_frames: c(
+                "canely_campaign_detector_frames_total",
+                "Physical detector frames (ELS + ping) on the wire",
+            ),
+            sim_steps: c("canely_sim_steps_total", "Simulator scheduler steps"),
+            sim_timer_expiries: c(
+                "canely_sim_timer_expiries_total",
+                "Timer-wheel expiries delivered",
+            ),
+            sim_bus_transactions: c(
+                "canely_sim_bus_transactions_total",
+                "Bus arbitration rounds resolved",
+            ),
+            sim_lifecycle_events: c(
+                "canely_sim_lifecycle_events_total",
+                "Node lifecycle events (power-on, crash, restart, guardian)",
+            ),
+            detection_latency: registry.histogram(
+                "canely_detection_latency_bittimes",
+                "Crash-to-notification latency (bit-times)",
+                Stability::Stable,
+                LATENCY_BUCKETS,
+            ),
+            view_change_latency: registry.histogram(
+                "canely_view_change_latency_bittimes",
+                "Crash-to-view-install latency (bit-times)",
+                Stability::Stable,
+                LATENCY_BUCKETS,
+            ),
+            sim_phase_nanos: phase_family(
+                "canely_sim_phase_nanos_total",
+                "Wall time in the simulator step loop, by phase",
+                SIM_PHASES,
+            ),
+            run_phase_nanos: phase_family(
+                "canely_run_phase_nanos_total",
+                "Wall time in the campaign worker outside the step loop, by phase",
+                RUN_PHASES,
+            ),
+            detector: DetectorMetrics {
+                suspicions: c("canely_fd_suspicions_total", "Suspicions raised"),
+                lifesigns: c("canely_fd_lifesigns_total", "Life-signs / heartbeats sent"),
+                probes: c("canely_fd_probes_total", "SWIM probes sent"),
+            },
+            fed: FedMetrics {
+                quanta: c("canely_fed_pump_quanta_total", "Federation lockstep quanta"),
+                relayed: c(
+                    "canely_fed_relayed_frames_total",
+                    "Bridge frames delivered across segments",
+                ),
+                blocked: c(
+                    "canely_fed_blocked_frames_total",
+                    "Bridge frames dropped (partition, block, dead relay)",
+                ),
+            },
+            profiler,
+        }
+    }
+
+    /// Whether any handle records (i.e. the registry was enabled).
+    pub fn enabled(&self) -> bool {
+        self.runs.enabled()
+    }
+
+    /// Handles for [`canely::CanelyStack::set_detector_metrics`];
+    /// cloned per stack, all sharing the registry cells.
+    pub fn detector_handles(&self) -> DetectorMetrics {
+        self.detector.clone()
+    }
+
+    /// Handles for [`canely_federation::FederationSim::set_metrics`].
+    pub fn fed_handles(&self) -> FedMetrics {
+        self.fed.clone()
+    }
+
+    /// Folds one simulator's drained step counters and wall-time
+    /// profile into the registry.
+    pub(crate) fn flush_sim(&self, stats: StepStats, profile: &PhaseReport) {
+        self.sim_steps.add(stats.steps);
+        self.sim_timer_expiries.add(stats.timer_expiries);
+        self.sim_bus_transactions.add(stats.bus_transactions);
+        self.sim_lifecycle_events.add(stats.lifecycle_events);
+        for (counter, &nanos) in self.sim_phase_nanos.iter().zip(profile.nanos()) {
+            counter.add(nanos);
+        }
+    }
+
+    /// Drains the worker-side profiler into the registry and returns
+    /// the report (callers may merge reports across workers).
+    pub(crate) fn flush_run_phases(&mut self) -> PhaseReport {
+        let report = self.profiler.take();
+        for (counter, &nanos) in self.run_phase_nanos.iter().zip(report.nanos()) {
+            counter.add(nanos);
+        }
+        report
+    }
+
+    /// Folds one judged run into the campaign totals.
+    pub(crate) fn flush_outcome(&self, outcome: &RunOutcome) {
+        self.runs.inc();
+        self.events.add(outcome.events as u64);
+        self.violations.add(outcome.violations.len() as u64);
+        self.false_suspicions.add(outcome.false_suspicions);
+        self.detector_frames.add(outcome.detector_frames);
+        for &sample in &outcome.detection {
+            self.detection_latency.record(sample);
+        }
+        for &sample in &outcome.view_change {
+            self.view_change_latency.record(sample);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_telemetry_is_inert() {
+        let tel = RunTelemetry::disabled();
+        assert!(!tel.enabled());
+        assert!(!tel.profiler.enabled());
+        tel.runs.inc();
+        assert_eq!(tel.runs.get(), 0);
+    }
+
+    #[test]
+    fn enabled_telemetry_registers_the_full_metric_set() {
+        let registry = Registry::new();
+        let tel = RunTelemetry::new(&registry);
+        assert!(tel.enabled());
+        assert!(tel.profiler.enabled());
+        let stable = registry.to_prometheus(false);
+        for name in [
+            "canely_campaign_runs_total",
+            "canely_sim_steps_total",
+            "canely_detection_latency_bittimes",
+            "canely_fd_suspicions_total",
+            "canely_fed_pump_quanta_total",
+        ] {
+            assert!(stable.contains(name), "{name} missing from\n{stable}");
+        }
+        // Phase families are volatile: absent from the stable export,
+        // present (one series per phase) in the full one.
+        assert!(!stable.contains("canely_sim_phase_nanos_total"));
+        let full = registry.to_prometheus(true);
+        for phase in SIM_PHASES {
+            assert!(full.contains(&format!("phase=\"{phase}\"")), "{full}");
+        }
+        for phase in RUN_PHASES {
+            assert!(full.contains(&format!("phase=\"{phase}\"")), "{full}");
+        }
+    }
+
+    #[test]
+    fn handles_share_registry_cells() {
+        let registry = Registry::new();
+        let tel = RunTelemetry::new(&registry);
+        tel.detector_handles().suspicions.inc();
+        tel.fed_handles().relayed.add(2);
+        assert_eq!(tel.detector.suspicions.get(), 1);
+        assert_eq!(tel.fed.relayed.get(), 2);
+    }
+}

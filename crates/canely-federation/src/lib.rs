@@ -30,4 +30,4 @@ pub mod gateway;
 pub mod sim;
 
 pub use gateway::{quorum, BridgeFrame, Claim, Gateway, RelayFilter};
-pub use sim::{BridgeKind, FederationConfig, FederationSim};
+pub use sim::{BridgeKind, FedMetrics, FederationConfig, FederationSim};

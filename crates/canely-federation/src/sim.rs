@@ -161,6 +161,22 @@ impl FederationConfig {
     }
 }
 
+/// Live-telemetry counters for the federation bridge pump. All three
+/// are derived purely from simulation state (quanta advanced, frames
+/// fanned out, frames dropped at blocked or dead relays), so they are
+/// deterministic for a given spec — `Stable` in registry terms. The
+/// default handles are disabled and cost one branch per bump.
+#[derive(Debug, Clone, Default)]
+pub struct FedMetrics {
+    /// Lockstep quanta advanced across all segments.
+    pub quanta: canely_metrics::Counter,
+    /// Bridge frames delivered to a far-end gateway inbox.
+    pub relayed: canely_metrics::Counter,
+    /// Bridge frames dropped: blocked direction, partition window, or
+    /// a dead relay draining its outbox.
+    pub blocked: canely_metrics::Counter,
+}
+
 /// One direction of one bridge being blocked for a window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct DirectedBlock {
@@ -183,6 +199,8 @@ pub struct FederationSim {
     partitions: Vec<(BitTime, BitTime)>,
     /// Asymmetric windows: one bridge, one direction.
     asymmetric: Vec<DirectedBlock>,
+    /// Live-telemetry counters (disabled by default).
+    metrics: FedMetrics,
 }
 
 impl FederationSim {
@@ -251,7 +269,14 @@ impl FederationSim {
             now: BitTime::ZERO,
             partitions: Vec::new(),
             asymmetric: Vec::new(),
+            metrics: FedMetrics::default(),
         }
+    }
+
+    /// Installs live-telemetry counters on the bridge pump (see
+    /// [`FedMetrics`]).
+    pub fn set_metrics(&mut self, metrics: FedMetrics) {
+        self.metrics = metrics;
     }
 
     /// Number of segments.
@@ -331,6 +356,7 @@ impl FederationSim {
                 sim.run_until(next);
             }
             self.now = next;
+            self.metrics.quanta.inc();
             if !self.bridges.is_empty() {
                 self.pump();
             }
@@ -349,6 +375,7 @@ impl FederationSim {
                 .app_mut::<Gateway>(gw)
                 .take_outbox();
             if !alive {
+                self.metrics.blocked.add(frames.len() as u64);
                 continue; // a dead relay ships nothing
             }
             for &(a, b) in &self.bridges {
@@ -360,8 +387,10 @@ impl FederationSim {
                     continue;
                 };
                 if self.blocked(seg, dest, self.now) {
+                    self.metrics.blocked.add(frames.len() as u64);
                     continue;
                 }
+                self.metrics.relayed.add(frames.len() as u64);
                 inbound[dest as usize].extend(frames.iter().cloned());
             }
         }

@@ -1,0 +1,42 @@
+//! Live telemetry plane for the CANELy reproduction.
+//!
+//! Everything built before this crate explains a run *after* it ends:
+//! the JSONL trace, `tq`, campaign reports. This crate is the
+//! while-it-runs counterpart — a lock-free [`Registry`] of counters,
+//! gauges and fixed-bucket integer histograms that the simulator step
+//! loop, the campaign worker pool, the federation bridge pump and the
+//! failure-detector backends all feed, plus a [`PhaseProfiler`] that
+//! attributes wall time to named phases of a hot loop.
+//!
+//! # Design contract
+//!
+//! * **Zero-cost when disabled.** Every handle ([`Counter`],
+//!   [`Gauge`], [`Hist`]) is an `Option<Arc<..>>` internally; the
+//!   disabled default is `None`, so the hot-path cost is one branch
+//!   and no allocation — the same discipline as `core::obs`'s
+//!   `EventSink`. `bench/tests/metrics_overhead.rs` pins this with an
+//!   allocation-counting gate.
+//! * **Lock-free hot path.** Updates are relaxed atomic ops on
+//!   cache-line-padded cells ([64-byte `#[repr(align(64))]`]); the
+//!   only mutex guards *registration*, which happens once per metric
+//!   at setup time.
+//! * **Deterministic exports.** Metrics are either
+//!   [`Stability::Stable`] (derived purely from simulation state —
+//!   identical for a given spec regardless of worker count or wall
+//!   clock) or [`Stability::Volatile`] (wall-clock-derived: phase
+//!   nanos, occupancy). Exports can exclude volatile metrics, which
+//!   makes the stable subset byte-identical across worker counts —
+//!   pinned by `tests/tests/telemetry.rs`.
+//!
+//! See `docs/METRICS.md` for the registry contract, the metric-name
+//! inventory and the exposition formats.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod profiler;
+mod registry;
+
+pub use profiler::{PhaseProfiler, PhaseReport};
+pub use registry::{Counter, Gauge, Hist, HistCell, PaddedAtomicU64, Registry, Stability};

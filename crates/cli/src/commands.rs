@@ -5,9 +5,10 @@ use crate::render;
 use can_bus::{BusConfig, FaultPlan};
 use can_controller::Simulator;
 use can_types::{BitTime, NodeId, NodeSet};
-use canely::obs::{ObsLog, Snapshot};
-use canely::{CanelyConfig, CanelyStack, ProtocolEvent, TrafficConfig};
+use canely::obs::{ObsLog, SnapshotFold};
+use canely::{CanelyConfig, CanelyStack, DetectorMetrics, ProtocolEvent, TrafficConfig};
 use canely_analysis::{BandwidthModel, InaccessibilityModel, ProtocolBounds, ReliabilityModel};
+use canely_metrics::{Registry, Stability};
 use canely_baselines::{CanopenMaster, CanopenSlave, HeartbeatNode, OsekNode, TtpNode};
 use canely_groups::{GroupId, GroupStack};
 use std::fmt::Write as _;
@@ -74,7 +75,12 @@ impl MembershipScenario {
         Ok(FaultPlan::seeded(self.seed).with_consistent_rate(self.error_rate))
     }
 
-    fn stack(&self, id: u8, obs: Option<&ObsLog>) -> CanelyStack {
+    fn stack(
+        &self,
+        id: u8,
+        obs: Option<&ObsLog>,
+        detector: Option<&DetectorMetrics>,
+    ) -> CanelyStack {
         let mut stack = CanelyStack::new(self.config.clone());
         if let Some(period) = self.traffic {
             stack = stack.with_traffic(
@@ -88,6 +94,9 @@ impl MembershipScenario {
         if let Some(log) = obs {
             stack = stack.with_obs(log.sink());
         }
+        if let Some(metrics) = detector {
+            stack.set_detector_metrics(metrics.clone());
+        }
         stack
     }
 
@@ -95,6 +104,17 @@ impl MembershipScenario {
     /// its sink and the scripted crash/restart markers are pre-seeded
     /// into the log (anchoring the latency metrics).
     fn build(&self, obs: Option<&ObsLog>) -> Result<Simulator, ArgError> {
+        self.build_with(obs, None)
+    }
+
+    /// [`MembershipScenario::build`] with live detector counters
+    /// installed into every stack (including late joiners and
+    /// restarted nodes).
+    fn build_with(
+        &self,
+        obs: Option<&ObsLog>,
+        detector: Option<&DetectorMetrics>,
+    ) -> Result<Simulator, ArgError> {
         let mut sim = Simulator::new(BusConfig::default(), self.faults()?);
         sim.set_journal(self.journal);
         let joiner_ids: Vec<u8> = self.joins.iter().map(|e| e.node.as_u8()).collect();
@@ -102,10 +122,14 @@ impl MembershipScenario {
             if joiner_ids.contains(&id) {
                 continue; // added later at its join time
             }
-            sim.add_node(NodeId::new(id), self.stack(id, obs));
+            sim.add_node(NodeId::new(id), self.stack(id, obs, detector));
         }
         for event in &self.joins {
-            sim.add_node_at(event.node, self.stack(event.node.as_u8(), obs), event.at);
+            sim.add_node_at(
+                event.node,
+                self.stack(event.node.as_u8(), obs, detector),
+                event.at,
+            );
         }
         for event in &self.crashes {
             sim.schedule_crash(event.node, event.at);
@@ -114,7 +138,11 @@ impl MembershipScenario {
             }
         }
         for event in &self.restarts {
-            sim.schedule_restart(event.node, event.at, self.stack(event.node.as_u8(), obs));
+            sim.schedule_restart(
+                event.node,
+                event.at,
+                self.stack(event.node.as_u8(), obs, detector),
+            );
             if let Some(log) = obs {
                 log.record(event.at, event.node, ProtocolEvent::NodeRestarted);
             }
@@ -441,12 +469,128 @@ pub fn trace(args: &mut Args) -> CmdResult {
 /// observability layer on and reports the derived metrics: per-node
 /// event counters plus the failure-detection-latency, view-change-
 /// latency and RHA-broadcast histograms.
+///
+/// The event log is folded into the snapshot *incrementally* (one
+/// [`SnapshotFold`] fed after each simulation chunk) rather than
+/// recomputed from scratch at the horizon — the same code path a
+/// long-running scrape surface keeps a snapshot current with.
+///
+/// `--live` switches the output to the registry exposition formats
+/// (Prometheus text, or one JSON object with `--json`): the scrape
+/// surface for an external collector. `--profile` attributes the
+/// simulator's wall time to its step-loop phases.
 pub fn metrics(args: &mut Args) -> CmdResult {
+    let live = args.flag("live");
+    let json = args.flag("json");
+    let profile = args.flag("profile");
     let scenario = MembershipScenario::from_args(args).map_err(fail)?;
     let log = ObsLog::new();
-    let mut sim = scenario.build(Some(&log)).map_err(fail)?;
-    sim.run_until(scenario.until);
-    let snapshot = Snapshot::compute(&log.events(), Some((sim.trace(), scenario.until)));
+
+    let registry = if live {
+        Registry::new()
+    } else {
+        Registry::disabled()
+    };
+    let detector = DetectorMetrics {
+        suspicions: registry.counter(
+            "canely_fd_suspicions_total",
+            "Suspicions raised by the failure detector",
+            Stability::Stable,
+        ),
+        lifesigns: registry.counter(
+            "canely_fd_lifesigns_total",
+            "Explicit life-signs / heartbeats sent",
+            Stability::Stable,
+        ),
+        probes: registry.counter(
+            "canely_fd_probes_total",
+            "SWIM probes sent",
+            Stability::Stable,
+        ),
+    };
+    let mut sim = scenario
+        .build_with(Some(&log), live.then_some(&detector))
+        .map_err(fail)?;
+    sim.set_profiling(live || profile);
+
+    // Advance in chunks, folding only the events each chunk appended:
+    // the scripted markers pre-seeded by `build` sit at the front of
+    // the log, so in-order folding meets `SnapshotFold`'s contract.
+    let mut fold = SnapshotFold::new();
+    let mut cursor = 0;
+    const CHUNKS: u64 = 8;
+    for k in 1..=CHUNKS {
+        sim.run_until(BitTime::new(scenario.until.as_u64() * k / CHUNKS));
+        cursor = log.fold_new(&mut fold, cursor);
+    }
+    debug_assert_eq!(cursor, log.len());
+    let snapshot = fold.finish(Some((sim.trace(), scenario.until)));
+
+    if live {
+        let stats = sim.take_step_stats();
+        let counter = |name: &str, help: &'static str, v: u64| {
+            registry.counter(name, help, Stability::Stable).add(v);
+        };
+        counter("canely_sim_steps_total", "Simulator scheduler steps", stats.steps);
+        counter(
+            "canely_sim_timer_expiries_total",
+            "Timer-wheel expiries delivered",
+            stats.timer_expiries,
+        );
+        counter(
+            "canely_sim_bus_transactions_total",
+            "Bus arbitration rounds resolved",
+            stats.bus_transactions,
+        );
+        counter(
+            "canely_sim_lifecycle_events_total",
+            "Node lifecycle events (power-on, crash, restart, guardian)",
+            stats.lifecycle_events,
+        );
+        let report = sim.take_profile();
+        for (phase, &nanos) in report.names().iter().zip(report.nanos()) {
+            registry
+                .counter(
+                    &format!("canely_sim_phase_nanos_total{{phase=\"{phase}\"}}"),
+                    "Wall time in the simulator step loop, by phase",
+                    Stability::Volatile,
+                )
+                .add(nanos);
+        }
+        let (detection, view_change) =
+            log.with_events(canely_campaign::latency_samples);
+        let hist = |name: &str, help: &'static str, samples: &[u64]| {
+            let h = registry.histogram(
+                name,
+                help,
+                Stability::Stable,
+                canely_campaign::LATENCY_BUCKETS,
+            );
+            for &s in samples {
+                h.record(s);
+            }
+        };
+        hist(
+            "canely_detection_latency_bittimes",
+            "Crash-to-notification latency (bit-times)",
+            &detection,
+        );
+        hist(
+            "canely_view_change_latency_bittimes",
+            "Crash-to-view-install latency (bit-times)",
+            &view_change,
+        );
+        // The scrape surface is the *stable* export: byte-identical
+        // for a given scenario and seed. `--profile` adds the
+        // wall-clock phase series.
+        return Ok(if json {
+            let mut out = registry.to_json(profile);
+            out.push('\n');
+            out
+        } else {
+            registry.to_prometheus(profile)
+        });
+    }
 
     let mut out = String::new();
     let _ = writeln!(
@@ -459,6 +603,10 @@ pub fn metrics(args: &mut Args) -> CmdResult {
         log.len(),
     );
     render::metrics_report(&mut out, &snapshot);
+    if profile {
+        let _ = writeln!(out, "simulator wall-time profile:");
+        out.push_str(&sim.take_profile().render());
+    }
     Ok(out)
 }
 
@@ -603,7 +751,25 @@ fn campaign_run(args: &mut Args) -> CmdResult {
     let workers = args.usize_opt("workers", 4).map_err(fail)?;
     let json = args.flag("json");
     let emit = args.str_opt("emit-counterexample");
-    let result = canely_campaign::run_campaign(&spec, workers);
+    let progress = args.flag("progress");
+    let metrics_json = args.flag("metrics-json");
+    let interval = args.usize_opt("progress-interval-ms", 500).map_err(fail)?;
+    // Progress and telemetry stream to stderr from a side thread; the
+    // summary on stdout is byte-identical with or without them.
+    let result = if progress || metrics_json {
+        let options = canely_campaign::CampaignOptions {
+            workers,
+            registry: Registry::new(),
+            progress: Some(canely_campaign::ProgressOptions {
+                interval: std::time::Duration::from_millis(interval as u64),
+                metrics_json,
+                sink: canely_campaign::ProgressSink::Stderr,
+            }),
+        };
+        canely_campaign::run_campaign_with(&spec, &options)
+    } else {
+        canely_campaign::run_campaign(&spec, workers)
+    };
 
     let mut out = if json {
         let mut s = result.report.to_json();

@@ -140,8 +140,19 @@ COMMANDS:
   metrics        run a scenario with structured tracing on and report
                  derived metrics: per-node event counters plus
                  failure-detection-latency, view-change-latency and
-                 RHA-broadcast histograms
-      (membership options)
+                 RHA-broadcast histograms (the event log is folded
+                 incrementally, chunk by chunk — see docs/METRICS.md)
+      (membership options, plus)
+      --live              emit the live-telemetry registry instead:
+                          Prometheus text exposition of detector
+                          counters, step-loop totals and latency
+                          histograms (deterministic for a given
+                          scenario and seed)
+      --json              with --live: one JSON object instead of
+                          Prometheus text
+      --profile           attribute simulator wall time to step-loop
+                          phases (appends a phase table; with --live,
+                          adds the volatile phase-nanos series)
 
   run FILE       execute a scenario file (line-based DSL: nodes, tm,
                  th, traffic, crash, join, leave, restart, until,
@@ -161,6 +172,12 @@ COMMANDS:
       --json              machine-readable deterministic summary
       --emit-counterexample DIR  write the minimized reproducer
                           (.canely + offending .trace.jsonl) to DIR
+      --progress          stream throughput / ETA / violation-count /
+                          worker-occupancy lines to stderr while the
+                          matrix runs (summary bytes are unchanged)
+      --metrics-json      also stream one-line JSON registry snapshots
+                          (implies live telemetry)
+      --progress-interval-ms N   reporting period        [default 500]
     campaign report --spec FILE  print the expanded run matrix and
                           per-run latency bounds without executing
       --analytics         execute with trace capture and report

@@ -28,7 +28,7 @@
 //! [`TimerOwner::DetectorPeriod`], and the probe wire protocol rides
 //! on [`can_types::MsgType::Ping`] remote frames.
 
-use crate::fd::{els_mid, DetectorTimer, FailureDetector, FdAction};
+use crate::fd::{els_mid, DetectorMetrics, DetectorTimer, FailureDetector, FdAction};
 use crate::obs::{EventSink, ObsTimer, ProtocolEvent};
 use crate::tags::{detector_skew as skew, ping_mid, TimerOwner, PING_DIRECT, PING_REQ, SWIM_HELPERS};
 use can_controller::{Ctx, TimerId};
@@ -92,6 +92,8 @@ pub struct SwimDetector {
     pings_sent: u64,
     /// Structured-event sink (disabled by default).
     obs: EventSink,
+    /// Live-telemetry counters (disabled by default).
+    metrics: DetectorMetrics,
 }
 
 impl SwimDetector {
@@ -108,6 +110,7 @@ impl SwimDetector {
             els_sent: 0,
             pings_sent: 0,
             obs: EventSink::disabled(),
+            metrics: DetectorMetrics::default(),
         }
     }
 
@@ -142,6 +145,7 @@ impl SwimDetector {
     fn send_ping(&mut self, ctx: &mut Ctx<'_>, subkind: u16, target: NodeId) {
         ctx.can_rtr_req(ping_mid(subkind, ctx.me(), target));
         self.pings_sent += 1;
+        self.metrics.probes.inc();
     }
 
     /// Whether this node is one of the up-to-[`SWIM_HELPERS`] helpers
@@ -156,6 +160,10 @@ impl SwimDetector {
 impl FailureDetector for SwimDetector {
     fn set_sink(&mut self, sink: EventSink) {
         self.obs = sink;
+    }
+
+    fn set_metrics(&mut self, metrics: DetectorMetrics) {
+        self.metrics = metrics;
     }
 
     fn start(&mut self, ctx: &mut Ctx<'_>, r: NodeId) {
@@ -240,6 +248,7 @@ impl FailureDetector for SwimDetector {
                     ProbePhase::Indirect => {
                         self.obs
                             .emit(ctx.now(), ctx.me(), ProtocolEvent::SuspectRaised { suspect: r });
+                        self.metrics.suspicions.inc();
                         ctx.journal(format_args!(
                             "FD/swim: node {r} silent through indirect probes — suspecting"
                         ));
@@ -275,6 +284,7 @@ impl FailureDetector for SwimDetector {
                 ctx.can_rtr_req(els_mid(me));
                 self.els_sent += 1;
                 self.obs.emit(ctx.now(), me, ProtocolEvent::LifeSignSent);
+                self.metrics.lifesigns.inc();
             }
             PING_REQ
                 if prober != me
@@ -339,6 +349,8 @@ pub struct AddPhiDetector {
     els_sent: u64,
     /// Structured-event sink (disabled by default).
     obs: EventSink,
+    /// Live-telemetry counters (disabled by default).
+    metrics: DetectorMetrics,
 }
 
 impl AddPhiDetector {
@@ -354,6 +366,7 @@ impl AddPhiDetector {
             monitored: NodeSet::EMPTY,
             els_sent: 0,
             obs: EventSink::disabled(),
+            metrics: DetectorMetrics::default(),
         }
     }
 
@@ -390,6 +403,10 @@ impl AddPhiDetector {
 impl FailureDetector for AddPhiDetector {
     fn set_sink(&mut self, sink: EventSink) {
         self.obs = sink;
+    }
+
+    fn set_metrics(&mut self, metrics: DetectorMetrics) {
+        self.metrics = metrics;
     }
 
     fn start(&mut self, ctx: &mut Ctx<'_>, r: NodeId) {
@@ -443,6 +460,7 @@ impl FailureDetector for AddPhiDetector {
             ctx.can_rtr_req(els_mid(r));
             self.els_sent += 1;
             self.obs.emit(ctx.now(), ctx.me(), ProtocolEvent::LifeSignSent);
+            self.metrics.lifesigns.inc();
             ctx.journal("FD/add: broadcasting heartbeat life-sign");
             // Unconditional cadence: re-arm immediately rather than
             // waiting for the life-sign to echo back.
@@ -451,6 +469,7 @@ impl FailureDetector for AddPhiDetector {
         } else {
             self.obs
                 .emit(ctx.now(), ctx.me(), ProtocolEvent::SuspectRaised { suspect: r });
+            self.metrics.suspicions.inc();
             ctx.journal(format_args!(
                 "FD/add: node {r} exceeded adaptive timeout — suspecting"
             ));

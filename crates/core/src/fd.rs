@@ -58,6 +58,24 @@ pub enum DetectorTimer {
 
 pub use crate::tags::els_mid;
 
+/// Live-telemetry counter handles shared by all failure-detector
+/// backends (see `docs/METRICS.md`). All handles default to disabled
+/// (one branch per bump, no allocation), so a stack without telemetry
+/// pays nothing; the campaign engine installs enabled handles via
+/// `CanelyStack::set_detector_metrics` when a registry is attached.
+/// Counters are bumped at the same sites that emit the corresponding
+/// structured events, keeping live numbers and trace in agreement.
+#[derive(Debug, Clone, Default)]
+pub struct DetectorMetrics {
+    /// Suspicions raised (`fd.suspect` events).
+    pub suspicions: canely_metrics::Counter,
+    /// Explicit life-signs issued (`fd.lifesign.tx` events).
+    pub lifesigns: canely_metrics::Counter,
+    /// Backend-specific probe frames issued (SWIM pings/ping-reqs;
+    /// zero for backends without a wire protocol).
+    pub probes: canely_metrics::Counter,
+}
+
 /// The failure-detection seam of the stack.
 ///
 /// `CanelyStack` owns one boxed backend per node and routes the
@@ -81,6 +99,13 @@ pub use crate::tags::els_mid;
 pub trait FailureDetector: std::fmt::Debug {
     /// Installs the structured-event sink (see [`crate::obs`]).
     fn set_sink(&mut self, sink: EventSink);
+
+    /// Installs live-telemetry counters (see [`DetectorMetrics`]).
+    /// Backends that skip the default no-op bump the counters at the
+    /// same sites that emit the corresponding structured events, so
+    /// the live numbers always agree with the trace. Disabled handles
+    /// cost one branch per bump.
+    fn set_metrics(&mut self, _metrics: DetectorMetrics) {}
 
     /// `fd-can.req(START, r)`: begin monitoring node `r` (Fig. 8,
     /// lines f00–f02).
@@ -228,6 +253,8 @@ pub struct SurveillanceDetector {
     els_sent: u64,
     /// Structured-event sink (disabled by default).
     obs: EventSink,
+    /// Live-telemetry counters (disabled by default).
+    metrics: DetectorMetrics,
 }
 
 impl SurveillanceDetector {
@@ -241,6 +268,7 @@ impl SurveillanceDetector {
             monitored: NodeSet::EMPTY,
             els_sent: 0,
             obs: EventSink::disabled(),
+            metrics: DetectorMetrics::default(),
         }
     }
 
@@ -288,6 +316,10 @@ impl FailureDetector for SurveillanceDetector {
         self.obs = sink;
     }
 
+    fn set_metrics(&mut self, metrics: DetectorMetrics) {
+        self.metrics = metrics;
+    }
+
     /// `fd-can.req(START, r)` (Fig. 8, lines f00–f02).
     fn start(&mut self, ctx: &mut Ctx<'_>, r: NodeId) {
         self.monitored.insert(r);
@@ -332,11 +364,13 @@ impl FailureDetector for SurveillanceDetector {
             ctx.can_rtr_req(els_mid(r)); // f08
             self.els_sent += 1;
             self.obs.emit(ctx.now(), ctx.me(), ProtocolEvent::LifeSignSent);
+            self.metrics.lifesigns.inc();
             ctx.journal("FD: broadcasting explicit life-sign");
             None
         } else {
             self.obs
                 .emit(ctx.now(), ctx.me(), ProtocolEvent::SuspectRaised { suspect: r });
+            self.metrics.suspicions.inc();
             ctx.journal(format_args!("FD: node {r} silent — suspecting"));
             Some(FdAction::Suspect(r)) // f10
         }

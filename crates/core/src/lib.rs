@@ -86,10 +86,12 @@ pub mod traffic;
 
 pub use config::CanelyConfig;
 pub use detectors::{AddPhiDetector, SwimDetector};
-pub use fd::{DetectorKind, DetectorTimer, FailureDetector, FdAction, SurveillanceDetector};
+pub use fd::{
+    DetectorKind, DetectorMetrics, DetectorTimer, FailureDetector, FdAction, SurveillanceDetector,
+};
 pub use fda::Fda;
 pub use membership::{Membership, MembershipEvent};
-pub use obs::{EventSink, ObsLog, ProtocolEvent, Snapshot, TimedEvent};
+pub use obs::{EventSink, ObsLog, ProtocolEvent, Snapshot, SnapshotFold, TimedEvent};
 pub use rha::{Rha, RhaNotification};
 pub use stack::{CanelyStack, UpperEvent};
 pub use traffic::TrafficConfig;

@@ -656,6 +656,19 @@ impl ObsLog {
     pub fn export_jsonl(&self, bus: Option<&BusTrace>) -> String {
         export_jsonl(&self.log.borrow().events, bus)
     }
+
+    /// Incrementally folds the events recorded since position `from`
+    /// into `fold` and returns the new log length — the cursor for the
+    /// next call. Lets a long-running harness keep a [`Snapshot`]
+    /// current in O(new events) per refresh instead of re-scanning the
+    /// whole log (see [`SnapshotFold`] for the ordering contract).
+    pub fn fold_new(&self, fold: &mut SnapshotFold, from: usize) -> usize {
+        let inner = self.log.borrow();
+        for e in &inner.events[from..] {
+            fold.fold(e);
+        }
+        inner.events.len()
+    }
 }
 
 /// Renders protocol events and (optionally) the bus transaction trace
@@ -952,68 +965,162 @@ impl Snapshot {
     /// The latency histograms need `node.crashed` markers in the log
     /// (recorded by the harness via [`ObsLog::record`]); without
     /// markers they stay empty.
+    ///
+    /// This is the one-shot convenience over [`SnapshotFold`]: it
+    /// pre-loads the crash markers (so marker position in the log
+    /// never matters), folds every event, and finishes.
     pub fn compute(events: &[TimedEvent], bus: Option<(&BusTrace, BitTime)>) -> Self {
-        let mut snapshot = Snapshot::default();
-        let mut per_node = vec![Counters::default(); MAX_NODES];
-        let mut seen = [false; MAX_NODES];
+        let mut fold = SnapshotFold::new();
+        fold.preload_markers(events);
+        for e in events {
+            fold.fold(e);
+        }
+        fold.finish(bus)
+    }
 
-        // Crash markers, per victim, in time order.
-        let mut crash_times: HashMap<u8, Vec<BitTime>> = HashMap::new();
+    /// Counters per node, in node order (only nodes that emitted or
+    /// were the subject of at least one event).
+    pub fn per_node(&self) -> &[(NodeId, Counters)] {
+        &self.per_node
+    }
+}
+
+/// One open view-change measurement window: a crash of `victim` at
+/// `at`, collecting each observer's first subsequent view commit that
+/// excludes the victim.
+#[derive(Debug, Clone)]
+struct ViewWindow {
+    victim: NodeId,
+    at: BitTime,
+    settled: Vec<Option<BitTime>>,
+}
+
+/// Incremental [`Snapshot`] builder: feed events as they are recorded
+/// (via [`SnapshotFold::fold`] or [`ObsLog::fold_new`]) and call
+/// [`SnapshotFold::finish`] at the end. Folding is O(1) per event
+/// (O(open crash windows) for view commits), so a long-running
+/// harness can keep metrics current without re-scanning the log —
+/// this is what `canelyctl metrics` and its `--live` exposition use.
+///
+/// # Ordering contract
+///
+/// Latency windows are anchored at `node.crashed` markers. A marker
+/// is registered when it is folded; events folded *before* it are
+/// never re-examined. The fold therefore matches
+/// [`Snapshot::compute`] exactly when either
+///
+/// * the markers were pre-registered with
+///   [`SnapshotFold::preload_markers`] (what `compute` itself does), or
+/// * markers appear in the stream no later than any event they anchor
+///   — true for the scenario harnesses, which record the scripted
+///   crash/restart markers into the log before the run starts.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotFold {
+    totals: Counters,
+    per_node: Vec<Counters>,
+    seen: Vec<bool>,
+    crash_times: HashMap<u8, Vec<BitTime>>,
+    windows: Vec<ViewWindow>,
+    detection_latency: Histogram,
+    rha_broadcasts: Histogram,
+    preloaded: bool,
+}
+
+impl SnapshotFold {
+    /// An empty fold.
+    pub fn new() -> Self {
+        SnapshotFold {
+            per_node: vec![Counters::default(); MAX_NODES],
+            seen: vec![false; MAX_NODES],
+            ..SnapshotFold::default()
+        }
+    }
+
+    /// Pre-registers every `node.crashed` marker in `events` so that
+    /// subsequent folding is position-independent. After this call the
+    /// fold ignores markers encountered inline (they still bump the
+    /// crash counters).
+    pub fn preload_markers(&mut self, events: &[TimedEvent]) {
         for e in events {
             if matches!(e.event, ProtocolEvent::NodeCrashed) {
-                crash_times.entry(e.node.as_u8()).or_default().push(e.time);
+                self.register_crash(e.node, e.time);
             }
         }
+        self.preloaded = true;
+    }
 
-        for e in events {
-            let idx = e.node.as_usize();
-            per_node[idx].bump(&e.event);
-            seen[idx] = true;
-            snapshot.totals.bump(&e.event);
+    fn register_crash(&mut self, victim: NodeId, at: BitTime) {
+        self.crash_times.entry(victim.as_u8()).or_default().push(at);
+        self.windows.push(ViewWindow {
+            victim,
+            at,
+            settled: vec![None; MAX_NODES],
+        });
+    }
 
-            match e.event {
-                ProtocolEvent::FailureNotified { failed } => {
-                    if let Some(ct) = last_crash_before(&crash_times, failed, e.time) {
-                        snapshot.detection_latency.record((e.time - ct).as_u64());
-                    }
-                }
-                ProtocolEvent::RhaSettled { broadcasts, .. } => {
-                    snapshot.rha_broadcasts.record(u64::from(broadcasts));
-                }
-                _ => {}
+    /// Folds one event.
+    pub fn fold(&mut self, e: &TimedEvent) {
+        let idx = e.node.as_usize();
+        self.per_node[idx].bump(&e.event);
+        self.seen[idx] = true;
+        self.totals.bump(&e.event);
+
+        match e.event {
+            ProtocolEvent::NodeCrashed if !self.preloaded => {
+                self.register_crash(e.node, e.time);
             }
-        }
-
-        // View-change latency: first commit excluding the victim after
-        // each crash, per observer.
-        for (&victim, times) in &crash_times {
-            let victim = NodeId::new(victim);
-            for &ct in times {
-                let mut settled: HashMap<u8, BitTime> = HashMap::new();
-                for e in events {
-                    if e.time < ct || e.node == victim {
+            ProtocolEvent::FailureNotified { failed } => {
+                if let Some(ct) = last_crash_before(&self.crash_times, failed, e.time) {
+                    self.detection_latency.record((e.time - ct).as_u64());
+                }
+            }
+            ProtocolEvent::RhaSettled { broadcasts, .. } => {
+                self.rha_broadcasts.record(u64::from(broadcasts));
+            }
+            ProtocolEvent::ViewInstalled { view } | ProtocolEvent::ViewBootstrapped { view } => {
+                for w in &mut self.windows {
+                    if e.time < w.at || e.node == w.victim || view.contains(w.victim) {
                         continue;
                     }
-                    let view = match e.event {
-                        ProtocolEvent::ViewInstalled { view }
-                        | ProtocolEvent::ViewBootstrapped { view } => view,
-                        _ => continue,
-                    };
-                    if !view.contains(victim) {
-                        settled.entry(e.node.as_u8()).or_insert(e.time);
+                    let slot = &mut w.settled[idx];
+                    if slot.is_none() {
+                        *slot = Some(e.time);
                     }
                 }
-                for (_, t) in settled {
-                    snapshot.view_change_latency.record((t - ct).as_u64());
-                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The running totals, usable for live gauges before the fold is
+    /// finished.
+    pub fn totals(&self) -> &Counters {
+        &self.totals
+    }
+
+    /// Detection-latency samples collected so far.
+    pub fn detection_samples(&self) -> usize {
+        self.detection_latency.count()
+    }
+
+    /// Completes the fold into a [`Snapshot`], attaching bus figures
+    /// when a trace and measurement horizon are supplied.
+    pub fn finish(self, bus: Option<(&BusTrace, BitTime)>) -> Snapshot {
+        let mut snapshot = Snapshot {
+            totals: self.totals,
+            detection_latency: self.detection_latency,
+            rha_broadcasts: self.rha_broadcasts,
+            ..Snapshot::default()
+        };
+        for w in &self.windows {
+            for t in w.settled.iter().flatten() {
+                snapshot.view_change_latency.record((*t - w.at).as_u64());
             }
         }
-
         snapshot.per_node = (0..MAX_NODES)
-            .filter(|&i| seen[i])
-            .map(|i| (NodeId::new(i as u8), per_node[i]))
+            .filter(|&i| self.seen[i])
+            .map(|i| (NodeId::new(i as u8), self.per_node[i]))
             .collect();
-
         if let Some((trace, until)) = bus {
             if !until.is_zero() {
                 let stats = trace.stats(BitTime::ZERO, until);
@@ -1026,12 +1133,6 @@ impl Snapshot {
             }
         }
         snapshot
-    }
-
-    /// Counters per node, in node order (only nodes that emitted or
-    /// were the subject of at least one event).
-    pub fn per_node(&self) -> &[(NodeId, Counters)] {
-        &self.per_node
     }
 }
 
@@ -1316,5 +1417,134 @@ mod tests {
     #[test]
     fn json_escape_controls_and_quotes() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+
+    /// A marker-rich stream exercising every fold path: two victims,
+    /// a restart in between, interleaved installs (some still
+    /// containing the victim, some from the victim itself), RHA
+    /// settlements and failure notifications.
+    fn fold_fixture() -> Vec<TimedEvent> {
+        vec![
+            TimedEvent::new(t(1_000), n(2), ProtocolEvent::NodeCrashed),
+            TimedEvent::new(t(2_000), n(3), ProtocolEvent::NodeCrashed),
+            TimedEvent::new(t(8_500), n(0), ProtocolEvent::FailureNotified { failed: n(2) }),
+            TimedEvent::new(t(9_000), n(1), ProtocolEvent::FailureNotified { failed: n(3) }),
+            TimedEvent::new(
+                t(10_000),
+                n(2),
+                ProtocolEvent::ViewInstalled {
+                    // From the victim itself: must not settle a window.
+                    view: NodeSet::from_bits(0b0011),
+                },
+            ),
+            TimedEvent::new(
+                t(12_000),
+                n(0),
+                ProtocolEvent::ViewInstalled {
+                    // Still contains victim 3: settles only window (2,..).
+                    view: NodeSet::from_bits(0b1011),
+                },
+            ),
+            TimedEvent::new(
+                t(15_000),
+                n(0),
+                ProtocolEvent::ViewInstalled {
+                    view: NodeSet::from_bits(0b0011),
+                },
+            ),
+            TimedEvent::new(
+                t(15_000),
+                n(1),
+                ProtocolEvent::ViewBootstrapped {
+                    view: NodeSet::from_bits(0b0011),
+                },
+            ),
+            TimedEvent::new(
+                t(16_000),
+                n(1),
+                ProtocolEvent::RhaSettled {
+                    vector: NodeSet::from_bits(0b0011),
+                    broadcasts: 3,
+                },
+            ),
+            TimedEvent::new(t(20_000), n(2), ProtocolEvent::NodeRestarted),
+            TimedEvent::new(t(21_000), n(2), ProtocolEvent::NodeCrashed),
+            TimedEvent::new(t(25_000), n(0), ProtocolEvent::FailureNotified { failed: n(2) }),
+            TimedEvent::new(
+                t(30_000),
+                n(1),
+                ProtocolEvent::ViewInstalled {
+                    view: NodeSet::from_bits(0b0011),
+                },
+            ),
+        ]
+    }
+
+    fn sorted_samples(h: &Histogram) -> Vec<u64> {
+        let mut s = h.samples().to_vec();
+        s.sort_unstable();
+        s
+    }
+
+    fn assert_snapshots_equal(a: &Snapshot, b: &Snapshot) {
+        assert_eq!(a.totals, b.totals);
+        assert_eq!(a.per_node(), b.per_node());
+        assert_eq!(
+            sorted_samples(&a.detection_latency),
+            sorted_samples(&b.detection_latency)
+        );
+        assert_eq!(
+            sorted_samples(&a.view_change_latency),
+            sorted_samples(&b.view_change_latency)
+        );
+        assert_eq!(
+            sorted_samples(&a.rha_broadcasts),
+            sorted_samples(&b.rha_broadcasts)
+        );
+    }
+
+    #[test]
+    fn incremental_fold_matches_one_shot_compute() {
+        let events = fold_fixture();
+        let reference = Snapshot::compute(&events, None);
+        // Markers lead the stream (the harness recording order), so
+        // inline registration must match the preloaded one-shot —
+        // folded one event at a time, as a live consumer would.
+        for chunk in [1, 3, events.len()] {
+            let mut fold = SnapshotFold::new();
+            for window in events.chunks(chunk) {
+                for e in window {
+                    fold.fold(e);
+                }
+            }
+            assert_snapshots_equal(&fold.finish(None), &reference);
+        }
+    }
+
+    #[test]
+    fn fold_new_drains_a_log_incrementally() {
+        let log = ObsLog::new();
+        let events = fold_fixture();
+        let mut fold = SnapshotFold::new();
+        let mut cursor = 0;
+        for e in &events {
+            log.record(e.time, e.node, e.event);
+            cursor = log.fold_new(&mut fold, cursor);
+        }
+        assert_eq!(cursor, events.len());
+        let reference = Snapshot::compute(&events, None);
+        assert_snapshots_equal(&fold.finish(None), &reference);
+    }
+
+    #[test]
+    fn fold_running_totals_track_the_stream() {
+        let events = fold_fixture();
+        let mut fold = SnapshotFold::new();
+        for e in &events {
+            fold.fold(e);
+        }
+        assert_eq!(fold.totals().crashes, 3);
+        assert_eq!(fold.totals().failures_notified, 3);
+        assert_eq!(fold.detection_samples(), 3);
     }
 }

@@ -138,6 +138,14 @@ impl CanelyStack {
         self.obs = sink;
     }
 
+    /// Installs live-telemetry counters on the failure-detector
+    /// backend (see [`crate::DetectorMetrics`]). Like the event sink,
+    /// this is cleared by [`CanelyStack::reset_for_run`] and must be
+    /// re-applied per run.
+    pub fn set_detector_metrics(&mut self, metrics: crate::DetectorMetrics) {
+        self.fd.set_metrics(metrics);
+    }
+
     /// Adds cyclic application traffic (implicit heartbeats).
     pub fn with_traffic(mut self, traffic: TrafficConfig) -> Self {
         self.set_traffic(traffic);

@@ -11,6 +11,8 @@
 #                          backend (surveillance / swim / add-phi)
 #   BENCH_federation.json — federated run cost at 1/2/4 bridged
 #                          segments plus the merged seg-tagged export
+#   BENCH_metrics.json   — telemetry-plane cost: handle bumps on/off,
+#                          an instrumented campaign run, exposition
 #
 # Everything runs --offline against the vendored criterion harness.
 #
@@ -60,3 +62,4 @@ run_bench campaign
 run_bench sim
 run_bench detectors
 run_bench federation
+run_bench metrics

@@ -41,6 +41,47 @@ if [ "$summary" != "$resummary" ]; then
     exit 1
 fi
 
+# Telemetry gates (docs/METRICS.md): streaming progress must change
+# no summary byte, must actually stream (progress lines with a [done]
+# tail plus --metrics-json registry snapshots, all on stderr), and
+# the one-shot live exposition must match the checked-in goldens byte
+# for byte in both formats.
+echo "==> campaign run --progress gate"
+progress_err="target/verify-progress.stderr"
+progress="$(target/release/canelyctl campaign run --spec scenarios/smoke.campaign \
+    --workers 4 --json --progress --metrics-json --progress-interval-ms 20 \
+    2>"$progress_err")"
+if [ "$progress" != "$summary" ]; then
+    echo "verify: --progress perturbed the campaign summary" >&2
+    exit 1
+fi
+case "$(cat "$progress_err")" in
+*'progress: '*'[done]'*) ;;
+*)
+    echo "verify: --progress emitted no progress lines" >&2
+    exit 1
+    ;;
+esac
+case "$(cat "$progress_err")" in
+*'{"metrics":['*) ;;
+*)
+    echo "verify: --metrics-json streamed no registry snapshots" >&2
+    exit 1
+    ;;
+esac
+
+echo "==> metrics --live golden gate"
+if ! target/release/canelyctl metrics --nodes 4 --crash 2@250ms --until 400ms --live \
+    | cmp -s - tests/golden/metrics_live.prom; then
+    echo "verify: metrics --live diverged from tests/golden/metrics_live.prom" >&2
+    exit 1
+fi
+if ! target/release/canelyctl metrics --nodes 4 --crash 2@250ms --until 400ms --live --json \
+    | cmp -s - tests/golden/metrics_live.json; then
+    echo "verify: metrics --live --json diverged from tests/golden/metrics_live.json" >&2
+    exit 1
+fi
+
 # Detector shootout smoke gate: a tiny multi-backend matrix (one
 # seed per backend over the shootout dimensions) must run the oracle
 # clean for every backend, emit the per-backend comparison, and stay
