@@ -13,6 +13,11 @@
 //!   capture: the per-segment logs are merged into one seg-tagged
 //!   JSONL document, the input format of `tq`'s segment-qualified
 //!   queries.
+//! * `federation_failover` — the 4-segment run with a gateway
+//!   restart 60 ms after its crash: the full self-healing story
+//!   (expulsion, successor election, epoch bump, re-announce,
+//!   standby demotion of the returning node) plus the rejoin-latency
+//!   oracle pass, priced against the plain gateway-crash run above.
 
 use can_types::BitTime;
 use canely_campaign::{execute, CampaignSpec};
@@ -76,5 +81,33 @@ fn bench_federation_export(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_federation_run, bench_federation_export);
+/// The 4-segment run healing itself: the gateway crash of
+/// `fed_spec(4)` plus a 60 ms restart delay, so every iteration pays
+/// for the election, the epoch-bumped re-announce, the returning
+/// standby's demotion and the rejoin-latency oracle check.
+fn bench_federation_failover(c: &mut Criterion) {
+    let mut spec = fed_spec(4);
+    spec.gateway_restart_delays = vec![BitTime::new(60_000)];
+    let run = spec.expand().remove(0);
+    assert!(!run
+        .federation
+        .as_ref()
+        .expect("federated")
+        .gateway_restarts
+        .is_empty());
+    c.bench_function("federation_failover", |b| {
+        b.iter(|| {
+            let outcome = execute(&run, false);
+            assert!(outcome.violations.is_empty());
+            outcome.events
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_federation_run,
+    bench_federation_export,
+    bench_federation_failover
+);
 criterion_main!(benches);

@@ -30,6 +30,7 @@
 
 use can_types::{BitTime, NodeId, NodeSet};
 use canely::obs::{ProtocolEvent, TimedEvent};
+use canely_federation::InstallRecord;
 use std::collections::HashMap;
 
 /// The invariant classes the oracle can report against.
@@ -52,6 +53,11 @@ pub enum InvariantKind {
     /// actual final membership (checked only for subjects whose
     /// representative survived to report it).
     GlobalValidity,
+    /// After a gateway loss, the global view did not re-converge to the
+    /// promoted successor's re-announced segment view within the
+    /// analytic rejoin bound (checked when a quorum of representatives
+    /// survived).
+    RejoinLatency,
 }
 
 impl InvariantKind {
@@ -65,6 +71,7 @@ impl InvariantKind {
             InvariantKind::ViewValidity => "view-validity",
             InvariantKind::GlobalAgreement => "global-view-agreement",
             InvariantKind::GlobalValidity => "global-view-validity",
+            InvariantKind::RejoinLatency => "rejoin-latency",
         }
     }
 }
@@ -148,13 +155,26 @@ pub fn check(input: &OracleInput<'_>) -> Vec<Violation> {
     let mut events: Vec<&TimedEvent> = input.events.iter().collect();
     events.sort_by_key(|e| e.time);
 
-    // Ground truth: first crash marker and first leave request per node.
-    let mut crashed_at: HashMap<NodeId, BitTime> = HashMap::new();
+    // Ground truth: down intervals (crash → next restart marker, open
+    // if the node never came back) and first leave request per node. A
+    // `node.restarted` marker closes the interval — the node is live
+    // and re-integrating again, so latency clocks for the preceding
+    // crash stop there.
+    let mut down: HashMap<NodeId, Vec<(BitTime, Option<BitTime>)>> = HashMap::new();
     let mut left_at: HashMap<NodeId, BitTime> = HashMap::new();
     for e in &events {
         match e.event {
             ProtocolEvent::NodeCrashed => {
-                crashed_at.entry(e.node).or_insert(e.time);
+                down.entry(e.node).or_default().push((e.time, None));
+            }
+            ProtocolEvent::NodeRestarted => {
+                if let Some(open) = down
+                    .get_mut(&e.node)
+                    .and_then(|intervals| intervals.last_mut())
+                    .filter(|(_, end)| end.is_none())
+                {
+                    open.1 = Some(e.time);
+                }
             }
             ProtocolEvent::LeaveRequested => {
                 left_at.entry(e.node).or_insert(e.time);
@@ -162,10 +182,16 @@ pub fn check(input: &OracleInput<'_>) -> Vec<Violation> {
             _ => {}
         }
     }
-    let dead_or_leaving = |node: NodeId, t: BitTime| {
-        crashed_at.get(&node).is_some_and(|&tc| tc <= t)
-            || left_at.get(&node).is_some_and(|&tl| tl <= t)
+    let down_at = |node: NodeId, t: BitTime| {
+        down.get(&node).is_some_and(|intervals| {
+            intervals
+                .iter()
+                .any(|&(tc, end)| tc <= t && end.is_none_or(|te| t < te))
+        })
     };
+    let dead_or_leaving =
+        |node: NodeId, t: BitTime| down_at(node, t) || left_at.get(&node).is_some_and(|&tl| tl <= t);
+    let first_crash = |node: NodeId| down.get(&node).and_then(|v| v.first()).map(|&(tc, _)| tc);
 
     let mut violations = Vec::new();
 
@@ -195,8 +221,7 @@ pub fn check(input: &OracleInput<'_>) -> Vec<Violation> {
                     "declared failed"
                 },
                 e.node,
-                crashed_at
-                    .get(&target)
+                first_crash(target)
                     .map_or_else(|| "never crashed".to_string(), |tc| format!(
                         "crashed only at t={tc}"
                     )),
@@ -211,23 +236,27 @@ pub fn check(input: &OracleInput<'_>) -> Vec<Violation> {
     let observers: Vec<NodeId> = input
         .members
         .iter()
-        .filter(|n| !crashed_at.contains_key(n) && !left_at.contains_key(n))
+        .filter(|n| !down.contains_key(n) && !left_at.contains_key(n))
         .collect();
-    let mut crashes: Vec<(BitTime, NodeId)> = crashed_at
+    let mut crashes: Vec<(BitTime, Option<BitTime>, NodeId)> = down
         .iter()
         .filter(|&(n, _)| input.members.contains(*n))
-        .map(|(&n, &t)| (t, n))
+        .flat_map(|(&n, intervals)| intervals.iter().map(move |&(tc, end)| (tc, end, n)))
         .collect();
     crashes.sort();
-    for &(tc, victim) in &crashes {
+    for &(tc, end, victim) in &crashes {
         // Latency clocks start when both the crash has happened and
-        // the detectors are armed.
+        // the detectors are armed; a restart of the victim closes the
+        // observation window (the node is heartbeating again, so
+        // detections that had not fired yet legitimately never will).
         let t0 = tc.max(input.operational_from);
+        let window_end = end.unwrap_or(input.horizon);
         for &o in &observers {
             // Detection: first fd.notified(victim) at o after the crash.
             let notified = events.iter().find(|e| {
                 e.node == o
                     && e.time >= tc
+                    && e.time < window_end
                     && matches!(e.event,
                         ProtocolEvent::FailureNotified { failed } if failed == victim)
             });
@@ -248,7 +277,7 @@ pub fn check(input: &OracleInput<'_>) -> Vec<Violation> {
                     }
                 }
                 None => {
-                    if input.horizon.saturating_sub(t0) > input.detection_bound {
+                    if window_end.saturating_sub(t0) > input.detection_bound {
                         violations.push(Violation {
                             invariant: InvariantKind::DetectionLatency,
                             node: Some(o),
@@ -267,6 +296,7 @@ pub fn check(input: &OracleInput<'_>) -> Vec<Violation> {
             let removed = events.iter().find(|e| {
                 e.node == o
                     && e.time >= tc
+                    && e.time < window_end
                     && match e.event {
                         ProtocolEvent::ViewInstalled { view }
                         | ProtocolEvent::ViewChanged { view, .. } => !view.contains(victim),
@@ -290,7 +320,7 @@ pub fn check(input: &OracleInput<'_>) -> Vec<Violation> {
                     }
                 }
                 None => {
-                    if input.horizon.saturating_sub(t0) > input.view_change_bound {
+                    if window_end.saturating_sub(t0) > input.view_change_bound {
                         violations.push(Violation {
                             invariant: InvariantKind::ViewChangeLatency,
                             node: Some(o),
@@ -327,9 +357,14 @@ pub fn check(input: &OracleInput<'_>) -> Vec<Violation> {
                     detail,
                 });
             }
+            // A node whose last lifecycle marker is a restart is back
+            // up (and, by quiescence, re-integrated): only nodes still
+            // down at the horizon leave the expected view.
             let mut expected = input.members;
-            for &n in crashed_at.keys() {
-                expected.remove(n);
+            for &n in down.keys() {
+                if down_at(n, input.horizon) {
+                    expected.remove(n);
+                }
             }
             for &n in left_at.keys() {
                 expected.remove(n);
@@ -356,15 +391,22 @@ pub fn check(input: &OracleInput<'_>) -> Vec<Violation> {
 }
 
 /// A gateway's end-of-run federation state, as read off the simulator.
+/// Since the self-healing rework the *gateway* is whichever node holds
+/// the active role at the horizon — the configured one or an elected
+/// successor.
 #[derive(Debug, Clone)]
 pub struct GatewayFinal {
     /// The segment this gateway represents.
     pub seg: u8,
-    /// Powered and not crashed at the horizon.
+    /// Whether the segment still has a live acting representative at
+    /// the horizon (the configured gateway or a promoted standby).
     pub alive: bool,
     /// Globally installed `(epoch, view)` per subject segment
     /// (indexed by subject; `None` = no quorum ever formed).
     pub installed: Vec<Option<(u32, NodeSet)>>,
+    /// Every global install this representative decided, in order —
+    /// the evidence for the rejoin-latency check.
+    pub install_log: Vec<InstallRecord>,
 }
 
 /// What the global (federation-level) oracle judges: each gateway's
@@ -385,6 +427,14 @@ pub struct GlobalOracleInput<'a> {
     /// Representatives required for a global install
     /// (`canely_federation::quorum`).
     pub quorum: usize,
+    /// Scheduled gateway losses `(segment, crash instant)` — each one
+    /// starts a rejoin-latency clock.
+    pub gateway_losses: &'a [(u8, BitTime)],
+    /// Admissible gateway-loss-to-reconverged-install latency.
+    pub rejoin_bound: BitTime,
+    /// The run horizon (rejoin clocks still running there are not
+    /// judged).
+    pub horizon: BitTime,
 }
 
 /// Checks the hierarchical-membership invariants of a federated run:
@@ -399,7 +449,14 @@ pub struct GlobalOracleInput<'a> {
 ///   representative survived (so fresh digests kept flowing), the
 ///   installed view equals the segment's actual final membership.
 ///   Subjects with a crashed representative are exempt: their last
-///   reported view is legitimately frozen.
+///   reported view is legitimately frozen;
+/// * **rejoin-latency** — after every scheduled gateway loss whose
+///   segment recovered a representative (the election promoted a
+///   successor), each live representative must install a *fresher*
+///   view of the bereaved segment — an epoch above everything it held
+///   at the loss — within the analytic rejoin bound. Skipped without a
+///   surviving quorum (the stable cut freezes by design) and for
+///   clocks still running at the horizon.
 pub fn check_global(input: &GlobalOracleInput<'_>) -> Vec<Violation> {
     let mut violations = Vec::new();
     if !input.quiescent {
@@ -458,6 +515,59 @@ pub fn check_global(input: &GlobalOracleInput<'_>) -> Vec<Violation> {
             }
         }
     }
+
+    // Rejoin latency: every gateway loss whose segment recovered a
+    // representative must re-converge the global view in time.
+    if live.len() >= input.quorum {
+        for &(subject, tc) in input.gateway_losses {
+            if !rep_alive(subject) {
+                continue; // the segment never recovered a representative
+            }
+            let deadline = tc + input.rejoin_bound;
+            if deadline > input.horizon {
+                continue; // the clock was still running at the horizon
+            }
+            for g in &live {
+                let pre = g
+                    .install_log
+                    .iter()
+                    .filter(|r| r.subject == subject && r.at <= tc)
+                    .map(|r| r.epoch)
+                    .max();
+                let rejoined = g.install_log.iter().find(|r| {
+                    r.subject == subject && r.at > tc && pre.is_none_or(|e| r.epoch > e)
+                });
+                match rejoined {
+                    Some(r) if r.at <= deadline => {}
+                    Some(r) => violations.push(Violation {
+                        invariant: InvariantKind::RejoinLatency,
+                        node: None,
+                        time: Some(r.at),
+                        detail: format!(
+                            "segment {subject} lost its gateway at t={tc}; the \
+                             gateway of segment {} re-installed its view only \
+                             after {} (bound {})",
+                            g.seg,
+                            r.at.saturating_sub(tc),
+                            input.rejoin_bound
+                        ),
+                    }),
+                    None => violations.push(Violation {
+                        invariant: InvariantKind::RejoinLatency,
+                        node: None,
+                        time: None,
+                        detail: format!(
+                            "segment {subject} lost its gateway at t={tc} and the \
+                             gateway of segment {} never installed the successor's \
+                             re-announced view (bound {})",
+                            g.seg,
+                            input.rejoin_bound
+                        ),
+                    }),
+                }
+            }
+        }
+    }
     violations
 }
 
@@ -483,6 +593,24 @@ mod tests {
             seg,
             alive,
             installed,
+            install_log: Vec::new(),
+        }
+    }
+
+    fn no_losses<'a>(
+        gateways: &'a [GatewayFinal],
+        expected: &'a [NodeSet],
+        quiescent: bool,
+        quorum: usize,
+    ) -> GlobalOracleInput<'a> {
+        GlobalOracleInput {
+            gateways,
+            expected,
+            quiescent,
+            quorum,
+            gateway_losses: &[],
+            rejoin_bound: BitTime::new(100_000),
+            horizon: BitTime::new(1_000_000),
         }
     }
 
@@ -498,12 +626,7 @@ mod tests {
             gw(1, true, vec![Some((1, full)), Some((2, reduced)), Some((1, full))]),
             gw(2, true, vec![Some((1, full)), Some((1, full)), Some((1, full))]),
         ];
-        let violations = check_global(&GlobalOracleInput {
-            gateways: &gateways,
-            expected: &expected,
-            quiescent: true,
-            quorum: 2,
-        });
+        let violations = check_global(&no_losses(&gateways, &expected, true, 2));
         assert!(violations
             .iter()
             .any(|v| v.invariant == InvariantKind::GlobalAgreement));
@@ -523,24 +646,69 @@ mod tests {
             gw(0, true, vec![Some((1, full)), Some((1, full))]),
             gw(1, false, vec![Some((1, full)), Some((1, full))]),
         ];
-        let violations = check_global(&GlobalOracleInput {
-            gateways: &gateways,
-            expected: &[full, reduced],
-            quiescent: true,
-            quorum: 2,
-        });
+        let violations = check_global(&no_losses(&gateways, &[full, reduced], true, 2));
         assert!(
             violations.is_empty(),
             "frozen views of dead representatives are exempt: {violations:?}"
         );
         // Nothing at all is checked before quiescence.
-        let violations = check_global(&GlobalOracleInput {
-            gateways: &gateways,
-            expected: &[reduced, reduced],
-            quiescent: false,
-            quorum: 2,
-        });
+        let violations = check_global(&no_losses(&gateways, &[reduced, reduced], false, 2));
         assert!(violations.is_empty());
+    }
+
+    #[test]
+    fn rejoin_check_demands_a_fresh_install_in_time() {
+        let full = NodeSet::first_n(4);
+        let reduced = full - NodeSet::singleton(NodeId::new(0));
+        let expected = vec![full, reduced, full];
+        let record = |subject, epoch, view, at| InstallRecord {
+            subject,
+            epoch,
+            view,
+            at: BitTime::new(at),
+        };
+        // Segment 1 lost its gateway at t=200k; reps installed the
+        // successor's epoch-3 view at 240k — inside a 100k bound.
+        let mut gateways = vec![
+            gw(0, true, vec![Some((1, full)), Some((3, reduced)), Some((1, full))]),
+            gw(1, true, vec![Some((1, full)), Some((3, reduced)), Some((1, full))]),
+            gw(2, true, vec![Some((1, full)), Some((3, reduced)), Some((1, full))]),
+        ];
+        for g in &mut gateways {
+            g.install_log = vec![
+                record(1, 1, full, 50_000),
+                record(1, 3, reduced, 240_000),
+            ];
+        }
+        let losses = [(1u8, BitTime::new(200_000))];
+        let input = GlobalOracleInput {
+            gateway_losses: &losses,
+            ..no_losses(&gateways, &expected, true, 2)
+        };
+        assert!(check_global(&input).is_empty(), "{:?}", check_global(&input));
+
+        // The same log judged against a 30k bound is late; a log with
+        // no post-loss install never rejoined.
+        let tight = GlobalOracleInput {
+            rejoin_bound: BitTime::new(30_000),
+            ..input.clone()
+        };
+        let violations = check_global(&tight);
+        assert_eq!(violations.len(), 3);
+        assert!(violations
+            .iter()
+            .all(|v| v.invariant == InvariantKind::RejoinLatency));
+        for g in &mut gateways {
+            g.install_log.truncate(1);
+        }
+        let input = GlobalOracleInput {
+            gateway_losses: &losses,
+            ..no_losses(&gateways, &expected, true, 2)
+        };
+        assert!(check_global(&input)
+            .iter()
+            .all(|v| v.invariant == InvariantKind::RejoinLatency && v.time.is_none()));
+        assert_eq!(check_global(&input).len(), 3);
     }
 
     #[test]

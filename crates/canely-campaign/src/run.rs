@@ -352,10 +352,12 @@ fn execute_federated(tel: &mut RunTelemetry, spec: &RunSpec, capture_trace: bool
         sim.set_profiling(tel.enabled());
         for id in 0..spec.nodes {
             let node = NodeId::new(id);
-            // The gateway wraps its stack in a `Gateway`; detector
-            // counters cover the plain members.
+            // Every federated node wraps its stack in a `Gateway`
+            // (active or standby); detector counters cover the plain
+            // members, mirroring the single-bus model where the acting
+            // representative's detector traffic is its own.
             if node != gateway {
-                sim.app_mut::<CanelyStack>(node)
+                sim.app_mut::<Gateway>(node)
                     .set_detector_metrics(tel.detector_handles());
             }
         }
@@ -368,6 +370,9 @@ fn execute_federated(tel: &mut RunTelemetry, spec: &RunSpec, capture_trace: bool
     }
     for &(seg, at) in &fed_spec.gateway_crashes {
         fed.schedule_gateway_crash(seg, at);
+    }
+    for &(seg, at) in &fed_spec.gateway_restarts {
+        fed.schedule_gateway_restart(seg, at);
     }
     for &(from, until) in &fed_spec.partitions {
         fed.schedule_partition(from, until);
@@ -384,6 +389,10 @@ fn execute_federated(tel: &mut RunTelemetry, spec: &RunSpec, capture_trace: bool
         for (t, node) in markers {
             fed.log(seg).record(t, node, ProtocolEvent::NodeCrashed);
         }
+    }
+    for &(seg, at) in &fed_spec.gateway_restarts {
+        fed.log(seg)
+            .record(at, gateway, ProtocolEvent::NodeRestarted);
     }
 
     let mut violations = Vec::new();
@@ -402,11 +411,7 @@ fn execute_federated(tel: &mut RunTelemetry, spec: &RunSpec, capture_trace: bool
             .map(|id| {
                 let node = NodeId::new(id);
                 let alive = sim.alive().contains(node);
-                let stack = if node == gateway {
-                    sim.app::<Gateway>(node).stack()
-                } else {
-                    sim.app::<CanelyStack>(node)
-                };
+                let stack = sim.app::<Gateway>(node).stack();
                 NodeFinal {
                     node,
                     alive,
@@ -419,12 +424,24 @@ fn execute_federated(tel: &mut RunTelemetry, spec: &RunSpec, capture_trace: bool
         for &(_, node) in sim.crash_times() {
             crashed_here.insert(node);
         }
+        // A restarted gateway is back up and, by quiescence,
+        // re-integrated: it belongs in the segment's expected view.
+        if fed_spec.gateway_restarts.iter().any(|&(s, _)| s == seg)
+            && sim.alive().contains(gateway)
+        {
+            crashed_here.remove(gateway);
+        }
         expected_views.push(spec.members() - crashed_here);
-        let gw = sim.app::<Gateway>(gateway);
+        // The segment's representative at the horizon: the acting
+        // gateway (configured or elected successor), or — headless —
+        // the configured one's frozen state for the agreement check.
+        let rep = fed.active_gateway(seg);
+        let gw = sim.app::<Gateway>(rep.unwrap_or(gateway));
         gateway_finals.push(GatewayFinal {
             seg,
-            alive: sim.alive().contains(gateway),
+            alive: rep.is_some(),
             installed: gw.installed_views(),
+            install_log: gw.install_log().to_vec(),
         });
 
         let bus = sim.trace().stats(BitTime::ZERO, spec.until);
@@ -464,6 +481,9 @@ fn execute_federated(tel: &mut RunTelemetry, spec: &RunSpec, capture_trace: bool
         expected: &expected_views,
         quiescent: spec.statically_quiescent(),
         quorum: quorum(usize::from(segments)),
+        gateway_losses: &fed_spec.gateway_crashes,
+        rejoin_bound: spec.rejoin_bound(),
+        horizon: spec.until,
     }));
     violations.sort_by_key(|v| (v.invariant, v.node.map(NodeId::as_u8), v.time));
 
@@ -644,6 +664,44 @@ mod tests {
             assert!(trace.contains("\"seg\":2"), "export must be segment-tagged");
             assert!(trace.contains("fed.install"), "global installs must be traced");
         }
+    }
+
+    #[test]
+    fn gateway_restart_elects_and_rejoins_within_bound() {
+        // Crash the gateway mid-run and power it back on: a standby
+        // must win the election, bump the segment epoch, and drive the
+        // re-announced view to a fresh global install inside the
+        // rejoin bound — with the restarted former gateway demoting
+        // instead of splitting the segment.
+        let spec = CampaignSpec::parse(
+            "name failover\nnodes 4\ntm 30ms\nseeds 0..1\nsegments 3\n\
+             gateway-crash 1\ngateway-restart 60ms\nuntil 600ms\nsettle 250ms\n",
+        )
+        .unwrap();
+        let runs = spec.expand();
+        assert!(!runs.is_empty());
+        let mut saw_restart = false;
+        for run in &runs {
+            let fed = run.federation.as_ref().expect("all combos are federated");
+            let a = execute(run, true);
+            assert!(
+                a.violations.is_empty(),
+                "run {} (gateway-crashes {:?}, restarts {:?}): {:?}",
+                run.id,
+                fed.gateway_crashes,
+                fed.gateway_restarts,
+                a.violations
+            );
+            let trace = a.trace_jsonl.as_deref().unwrap();
+            if !fed.gateway_crashes.is_empty() {
+                assert!(trace.contains("fed.elect"), "the election must be traced");
+                assert!(trace.contains("fed.rejoin"), "the rejoin must be traced");
+            }
+            saw_restart |= !fed.gateway_restarts.is_empty();
+            let b = execute(run, true);
+            assert_eq!(a.trace_jsonl, b.trace_jsonl, "failover runs replay exactly");
+        }
+        assert!(saw_restart, "the restart delay must materialize");
     }
 
     #[test]

@@ -75,6 +75,11 @@ pub fn minimize(spec: &RunSpec) -> RunSpec {
                 c.federation.as_mut().unwrap().gateway_crashes.remove(i);
                 candidates.push(c);
             }
+            for i in 0..fed.gateway_restarts.len() {
+                let mut c = current.clone();
+                c.federation.as_mut().unwrap().gateway_restarts.remove(i);
+                candidates.push(c);
+            }
             for i in 0..fed.partitions.len() {
                 let mut c = current.clone();
                 c.federation.as_mut().unwrap().partitions.remove(i);

@@ -32,10 +32,15 @@ use can_types::{BitTime, NodeId, NodeSet, MAX_NODES};
 use canely::tags::MAX_SEGMENTS;
 use canely::{CanelyConfig, DetectorKind};
 use canely_analysis::ProtocolBounds;
-use canely_federation::{BridgeKind, RelayFilter};
+use canely_federation::{BridgeKind, FederationConfig, RelayFilter};
 use rand::rngs::SmallRng;
 use rand::{Rng as _, SeedableRng as _};
 use std::fmt::Write as _;
+
+/// One federated fault combo of the expansion matrix: `(segments,
+/// gateway-crash budget, restart delay, partition len, asymmetric
+/// len)`.
+type FedCombo = (u8, u32, BitTime, BitTime, BitTime);
 
 const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
 
@@ -153,6 +158,18 @@ pub struct CampaignSpec {
     /// none); blocks one direction of one bridge — the federation
     /// analogue of an LCAN4 inconsistent channel.
     pub asymmetric_lens: Vec<BitTime>,
+    /// Matrix: gateway restart delays (`ZERO` = crashed gateways stay
+    /// down). A non-zero delay power-cycles every crashed gateway that
+    /// long after its crash — as a fresh *standby* under the elected
+    /// successor. Combos with a zero gateway-crash budget collapse to
+    /// the single zero-delay value (a restart without a crash is a
+    /// no-op, so expanding the product there would only duplicate
+    /// runs).
+    pub gateway_restart_delays: Vec<BitTime>,
+    /// Oracle slack on the analytic rejoin bound (absorbs bridge pump
+    /// quantisation, retry backoff rungs and digest arbitration
+    /// queuing).
+    pub rejoin_slack: BitTime,
 }
 
 impl Default for CampaignSpec {
@@ -182,6 +199,8 @@ impl Default for CampaignSpec {
             gateway_crash_budgets: vec![0],
             partition_lens: vec![BitTime::ZERO],
             asymmetric_lens: vec![BitTime::ZERO],
+            gateway_restart_delays: vec![BitTime::ZERO],
+            rejoin_slack: BitTime::new(30_000),
         }
     }
 }
@@ -241,6 +260,11 @@ impl CampaignSpec {
     /// Returns a diagnostic naming the offending line.
     pub fn parse(text: &str) -> Result<CampaignSpec, String> {
         let mut spec = CampaignSpec::default();
+        // Where the `gateway` keyword appeared, so the out-of-range
+        // diagnostic below can anchor to the offending line (the
+        // default gateway 0 always fits the ≥ 2-node populations, so
+        // the check can only trip when the keyword was written).
+        let mut gateway_line = 0usize;
         for (idx, raw) in text.lines().enumerate() {
             let line_no = idx + 1;
             let line = raw.split('#').next().unwrap_or("").trim();
@@ -377,6 +401,7 @@ impl CampaignSpec {
                         .first()
                         .and_then(|w| w.parse().ok())
                         .ok_or_else(|| format!("line {line_no}: bad gateway node id"))?;
+                    gateway_line = line_no;
                 }
                 "bridge" => {
                     spec.bridge = rest
@@ -412,6 +437,8 @@ impl CampaignSpec {
                 }
                 "segment-partition" => spec.partition_lens = durations(&rest)?,
                 "asymmetric-inaccessibility" => spec.asymmetric_lens = durations(&rest)?,
+                "gateway-restart" => spec.gateway_restart_delays = durations(&rest)?,
+                "rejoin-slack" => spec.rejoin_slack = duration(&rest)?,
                 "detector" => {
                     spec.detectors = rest
                         .iter()
@@ -426,6 +453,19 @@ impl CampaignSpec {
                     }
                 }
                 other => return err(line_no, format_args!("unknown keyword `{other}`")),
+            }
+        }
+        // Check the gateway id against every federated population
+        // *here*, where the offending line is still known: an
+        // out-of-range id must surface as a `file:line:` diagnostic,
+        // not as the downstream `FederationConfig::with_gateway`
+        // assertion (or a line-less validate message).
+        if spec.segments.iter().any(|&k| k > 1) {
+            if let Some(&n) = spec.nodes.iter().find(|&&n| spec.gateway >= n) {
+                return err(
+                    gateway_line,
+                    format_args!("gateway node {} outside a {n}-node segment", spec.gateway),
+                );
             }
         }
         spec.validate().map_err(|e| format!("invalid campaign: {e}"))?;
@@ -472,6 +512,7 @@ impl CampaignSpec {
             for (label, lens) in [
                 ("segment-partition", &self.partition_lens),
                 ("asymmetric-inaccessibility", &self.asymmetric_lens),
+                ("gateway-restart", &self.gateway_restart_delays),
             ] {
                 for &len in lens {
                     if !len.is_zero() && operational + len >= active {
@@ -505,11 +546,13 @@ impl CampaignSpec {
         } else {
             let fed_faults = self.gateway_crash_budgets.iter().any(|&g| g > 0)
                 || self.partition_lens.iter().any(|l| !l.is_zero())
-                || self.asymmetric_lens.iter().any(|l| !l.is_zero());
+                || self.asymmetric_lens.iter().any(|l| !l.is_zero())
+                || self.gateway_restart_delays.iter().any(|l| !l.is_zero());
             if fed_faults {
                 return Err(
-                    "gateway-crash / segment-partition / asymmetric-inaccessibility \
-                     need a multi-segment combo (add `segments` with a value > 1)"
+                    "gateway-crash / gateway-restart / segment-partition / \
+                     asymmetric-inaccessibility need a multi-segment combo \
+                     (add `segments` with a value > 1)"
                         .into(),
                 );
             }
@@ -545,7 +588,19 @@ impl CampaignSpec {
     /// the full product.
     fn federation_combos(&self, segments: u8) -> usize {
         if segments > 1 {
-            self.gateway_crash_budgets.len()
+            // The restart-delay dimension only multiplies combos that
+            // actually crash a gateway; budget-0 combos collapse to
+            // the single zero-delay value.
+            self.gateway_crash_budgets
+                .iter()
+                .map(|&g| {
+                    if g == 0 {
+                        1
+                    } else {
+                        self.gateway_restart_delays.len()
+                    }
+                })
+                .sum::<usize>()
                 * self.partition_lens.len()
                 * self.asymmetric_lens.len()
         } else {
@@ -615,18 +670,32 @@ impl CampaignSpec {
     }
 
     /// The federation-fault combos for one segment count: the single
-    /// `None` for plain runs, the full dimension product (as
-    /// `(segments, gateway-crash budget, partition len, asymmetric
-    /// len)`) for federated ones.
-    fn federation_matrix(&self, segments: u8) -> Vec<Option<(u8, u32, BitTime, BitTime)>> {
+    /// `None` for plain runs, the full dimension product for federated
+    /// ones. Budget-0 combos carry only the zero restart delay (see
+    /// [`CampaignSpec::gateway_restart_delays`]).
+    fn federation_matrix(&self, segments: u8) -> Vec<Option<FedCombo>> {
         if segments == 1 {
             return vec![None];
         }
+        const NO_RESTART: [BitTime; 1] = [BitTime::ZERO];
         let mut combos = Vec::with_capacity(self.federation_combos(segments));
         for &gateway_crash in &self.gateway_crash_budgets {
-            for &partition_len in &self.partition_lens {
-                for &asymmetric_len in &self.asymmetric_lens {
-                    combos.push(Some((segments, gateway_crash, partition_len, asymmetric_len)));
+            let restarts: &[BitTime] = if gateway_crash == 0 {
+                &NO_RESTART
+            } else {
+                &self.gateway_restart_delays
+            };
+            for &restart_delay in restarts {
+                for &partition_len in &self.partition_lens {
+                    for &asymmetric_len in &self.asymmetric_lens {
+                        combos.push(Some((
+                            segments,
+                            gateway_crash,
+                            restart_delay,
+                            partition_len,
+                            asymmetric_len,
+                        )));
+                    }
                 }
             }
         }
@@ -644,7 +713,7 @@ impl CampaignSpec {
         inconsistent_rate: f64,
         budget: u32,
         window_len: BitTime,
-        fed: Option<(u8, u32, BitTime, BitTime)>,
+        fed: Option<FedCombo>,
         seed: u64,
     ) -> RunSpec {
         // Schedule key: seed + every dimension value, never the run
@@ -665,7 +734,8 @@ impl CampaignSpec {
         ] {
             key = mix64(key.wrapping_add(GOLDEN) ^ word);
         }
-        if let Some((segments, gateway_crash, partition_len, asymmetric_len)) = fed {
+        if let Some((segments, gateway_crash, restart_delay, partition_len, asymmetric_len)) = fed
+        {
             let topology = match self.bridge {
                 BridgeKind::Line => 1,
                 BridgeKind::Ring => 2,
@@ -682,6 +752,13 @@ impl CampaignSpec {
             ] {
                 key = mix64(key.wrapping_add(GOLDEN) ^ word);
             }
+            // The restart-delay word is folded only when non-zero, so
+            // every schedule that existed before the failover dimension
+            // was added keeps its exact key (and byte-identical
+            // summaries).
+            if !restart_delay.is_zero() {
+                key = mix64(key.wrapping_add(GOLDEN) ^ restart_delay.as_u64());
+            }
         }
         let mut rng = SmallRng::seed_from_u64(key);
 
@@ -691,7 +768,8 @@ impl CampaignSpec {
         let mut crashes = Vec::new();
         let mut federation = None;
 
-        if let Some((segments, gateway_crash, partition_len, asymmetric_len)) = fed {
+        if let Some((segments, gateway_crash, restart_delay, partition_len, asymmetric_len)) = fed
+        {
             // Federated crashes: `f` distinct (segment, node) victims
             // anywhere in the federation, never a gateway — gateway
             // crashes are their own dimension with their own global
@@ -716,8 +794,11 @@ impl CampaignSpec {
             seg_crashes.sort_by_key(|&(seg, victim, at)| (at, seg, victim));
 
             // Gateway crashes: that many *distinct* segments lose
-            // their representative.
+            // their representative. With a restart delay, the crash is
+            // placed early enough that the restart still lands inside
+            // the active phase (delay 0 leaves the draw unchanged).
             let g = gateway_crash.min(u32::from(segments));
+            let hi_gw = hi.saturating_sub(restart_delay.as_u64()).max(lo + 1);
             let mut gone = Vec::new();
             let mut gateway_crashes = Vec::new();
             while (gateway_crashes.len() as u32) < g {
@@ -726,10 +807,18 @@ impl CampaignSpec {
                     continue;
                 }
                 gone.push(seg);
-                let at = BitTime::new(lo + rng.next_u64() % (hi - lo).max(1));
+                let at = BitTime::new(lo + rng.next_u64() % (hi_gw - lo).max(1));
                 gateway_crashes.push((seg, at));
             }
             gateway_crashes.sort_by_key(|&(seg, at)| (at, seg));
+            let gateway_restarts: Vec<(u8, BitTime)> = if restart_delay.is_zero() {
+                Vec::new()
+            } else {
+                gateway_crashes
+                    .iter()
+                    .map(|&(seg, at)| (seg, at + restart_delay))
+                    .collect()
+            };
 
             // One inter-segment partition window, placed after
             // bootstrap (all bridges, both directions).
@@ -764,6 +853,7 @@ impl CampaignSpec {
                 relay: self.relay.clone(),
                 seg_crashes,
                 gateway_crashes,
+                gateway_restarts,
                 partitions,
                 asymmetric,
             });
@@ -811,6 +901,7 @@ impl CampaignSpec {
             inaccessibility,
             weaken_fda: self.weaken_fda,
             latency_slack: self.latency_slack,
+            rejoin_slack: self.rejoin_slack,
             federation,
         }
     }
@@ -836,6 +927,10 @@ pub struct FederationSpec {
     pub seg_crashes: Vec<(u8, u8, BitTime)>,
     /// Scheduled gateway crashes: `(segment, instant)`.
     pub gateway_crashes: Vec<(u8, BitTime)>,
+    /// Scheduled gateway restarts: `(segment, instant)` — the crashed
+    /// former gateway powers back up as a fresh standby under the
+    /// elected successor.
+    pub gateway_restarts: Vec<(u8, BitTime)>,
     /// Inter-segment partitions `[from, until)` — every bridge, both
     /// directions.
     pub partitions: Vec<(BitTime, BitTime)>,
@@ -882,6 +977,8 @@ pub struct RunSpec {
     pub weaken_fda: bool,
     /// Oracle slack on latency bounds.
     pub latency_slack: BitTime,
+    /// Oracle slack on the federation rejoin bound.
+    pub rejoin_slack: BitTime,
     /// Multi-segment topology and bridge-level fault schedule;
     /// `None` = the plain single-bus stack.
     pub federation: Option<FederationSpec>,
@@ -957,6 +1054,32 @@ impl RunSpec {
         self.detection_bound() + self.bounds().membership_change_latency() + self.latency_slack
     }
 
+    /// The admissible gateway-loss-to-reconverged-global-view latency
+    /// of a federated run (`ZERO` for plain runs): the local view
+    /// change that expels the gateway — which is what triggers the
+    /// successor's promotion — plus the promoted digest flooding the
+    /// topology and the quorum of endorsements flowing back, counted
+    /// conservatively as `segments + 1` gossip rounds of one digest
+    /// period and one bridge quantum each, widened by every scheduled
+    /// bridge-level blackout window and the configured rejoin slack.
+    pub fn rejoin_bound(&self) -> BitTime {
+        let Some(fed) = &self.federation else {
+            return BitTime::ZERO;
+        };
+        let probe = FederationConfig::new(self.config(), fed.segments, self.nodes);
+        let round = probe.digest_period + probe.quantum;
+        let mut bound = self.view_change_bound()
+            + round * (u64::from(fed.segments) + 1)
+            + self.rejoin_slack;
+        for &(from, until) in &fed.partitions {
+            bound += until.saturating_sub(from);
+        }
+        for &(_, _, from, until) in &fed.asymmetric {
+            bound += until.saturating_sub(from);
+        }
+        bound
+    }
+
     /// The initial membership: nodes `0..nodes`.
     pub fn members(&self) -> NodeSet {
         NodeSet::first_n(self.nodes as usize)
@@ -984,6 +1107,9 @@ impl RunSpec {
                 last = last.max(at);
             }
             for &(_, at) in &fed.gateway_crashes {
+                last = last.max(at);
+            }
+            for &(_, at) in &fed.gateway_restarts {
                 last = last.max(at);
             }
             for &(_, until) in &fed.partitions {
@@ -1046,6 +1172,9 @@ impl RunSpec {
             for &(seg, at) in &fed.gateway_crashes {
                 let _ = writeln!(out, "gateway-crash {seg} {}", fmt_duration(at));
             }
+            for &(seg, at) in &fed.gateway_restarts {
+                let _ = writeln!(out, "gateway-restart {seg} {}", fmt_duration(at));
+            }
             for &(from, until) in &fed.partitions {
                 let _ = writeln!(
                     out,
@@ -1072,6 +1201,7 @@ impl RunSpec {
         let _ = writeln!(out, "until {}", fmt_duration(self.until));
         let _ = writeln!(out, "settle {}", fmt_duration(self.settle));
         let _ = writeln!(out, "latency-slack {}", fmt_duration(self.latency_slack));
+        let _ = writeln!(out, "rejoin-slack {}", fmt_duration(self.rejoin_slack));
         out
     }
 
@@ -1115,6 +1245,7 @@ impl RunSpec {
             inaccessibility: Vec::new(),
             weaken_fda: false,
             latency_slack: BitTime::new(4_000),
+            rejoin_slack: BitTime::new(30_000),
             federation: None,
         };
         let mut traffic_periods: Vec<BitTime> = Vec::new();
@@ -1124,8 +1255,10 @@ impl RunSpec {
         let mut relay = RelayFilter::none();
         let mut seg_crashes: Vec<(u8, u8, BitTime)> = Vec::new();
         let mut gateway_crashes: Vec<(u8, BitTime)> = Vec::new();
+        let mut gateway_restarts: Vec<(u8, BitTime)> = Vec::new();
         let mut partitions: Vec<(BitTime, BitTime)> = Vec::new();
         let mut asymmetric: Vec<(u8, u8, BitTime, BitTime)> = Vec::new();
+        let mut gateway_line = 0usize;
         for (idx, raw) in text.lines().enumerate() {
             let line_no = idx + 1;
             let line = raw.split('#').next().unwrap_or("").trim();
@@ -1164,6 +1297,7 @@ impl RunSpec {
                 "until" => spec.until = duration(&rest)?,
                 "settle" => spec.settle = duration(&rest)?,
                 "latency-slack" => spec.latency_slack = duration(&rest)?,
+                "rejoin-slack" => spec.rejoin_slack = duration(&rest)?,
                 "seed" => {
                     spec.seed = rest
                         .first()
@@ -1233,6 +1367,7 @@ impl RunSpec {
                         .first()
                         .and_then(|w| w.parse().ok())
                         .ok_or_else(|| format!("line {line_no}: bad gateway node id"))?;
+                    gateway_line = line_no;
                 }
                 "bridge" => {
                     topology = rest
@@ -1270,6 +1405,10 @@ impl RunSpec {
                 "gateway-crash" => {
                     let (seg, at) = node_time(&rest)?;
                     gateway_crashes.push((seg, at));
+                }
+                "gateway-restart" => {
+                    let (seg, at) = node_time(&rest)?;
+                    gateway_restarts.push((seg, at));
                 }
                 "segment-partition" => {
                     if rest.len() != 2 {
@@ -1330,7 +1469,13 @@ impl RunSpec {
                 ));
             }
             if gateway >= spec.nodes {
-                return Err(format!("gateway node {gateway} outside population"));
+                return err(
+                    gateway_line,
+                    format_args!(
+                        "gateway node {gateway} outside a {}-node segment",
+                        spec.nodes
+                    ),
+                );
             }
             for &(seg, node, _) in &seg_crashes {
                 if seg == 0 || seg >= segments {
@@ -1346,6 +1491,17 @@ impl RunSpec {
             for &(seg, _) in &gateway_crashes {
                 if seg >= segments {
                     return Err(format!("gateway-crash segment {seg} outside population"));
+                }
+            }
+            for &(seg, at) in &gateway_restarts {
+                if seg >= segments {
+                    return Err(format!("gateway-restart segment {seg} outside population"));
+                }
+                if !gateway_crashes.iter().any(|&(s, tc)| s == seg && tc < at) {
+                    return Err(format!(
+                        "gateway-restart of segment {seg} has no earlier \
+                         gateway-crash to restart from"
+                    ));
                 }
             }
             let bridged = topology.bridges(segments);
@@ -1372,11 +1528,13 @@ impl RunSpec {
                 relay,
                 seg_crashes,
                 gateway_crashes,
+                gateway_restarts,
                 partitions,
                 asymmetric,
             });
         } else if !seg_crashes.is_empty()
             || !gateway_crashes.is_empty()
+            || !gateway_restarts.is_empty()
             || !partitions.is_empty()
             || !asymmetric.is_empty()
         {
@@ -1646,6 +1804,112 @@ settle 150ms
         )
         .unwrap_err()
         .contains("unbridged"));
+    }
+
+    #[test]
+    fn gateway_range_errors_are_line_anchored() {
+        // An out-of-range gateway id must surface as a `file:line:`
+        // parse diagnostic, never as the downstream
+        // `FederationConfig::with_gateway` assertion.
+        let e = CampaignSpec::parse_named(
+            "fed.campaign",
+            "nodes 4\ntm 30ms\nsegments 2\ngateway 7\nuntil 400ms\nsettle 150ms\n",
+        )
+        .unwrap_err();
+        assert_eq!(e, "fed.campaign:4: gateway node 7 outside a 4-node segment");
+        let e = RunSpec::from_scenario_named(
+            "repro.canely",
+            "nodes 4\nsegments 2\ngateway 7\n",
+        )
+        .unwrap_err();
+        assert_eq!(e, "repro.canely:3: gateway node 7 outside a 4-node segment");
+        // In range for one population, out of range for another: the
+        // diagnostic names the offending segment size.
+        let e = CampaignSpec::parse_named(
+            "fed.campaign",
+            "nodes 8 4\ntm 30ms\nsegments 2\ngateway 5\nuntil 400ms\nsettle 150ms\n",
+        )
+        .unwrap_err();
+        assert_eq!(e, "fed.campaign:4: gateway node 5 outside a 4-node segment");
+    }
+
+    #[test]
+    fn gateway_restart_dimension_expands_and_keeps_keys_stable() {
+        let base = CampaignSpec::parse(FED).unwrap();
+        let with =
+            CampaignSpec::parse(&format!("{FED}gateway-restart 0 40ms\n")).unwrap();
+        // Budget-0 gateway-crash combos collapse to the single zero
+        // restart delay, so only the budget-1 combos multiply: the
+        // segment dimension goes 1 + (1 + 2)×2 = 7 combos × 2 seeds.
+        assert_eq!(base.run_count(), 10);
+        assert_eq!(with.run_count(), 14);
+        let runs = with.expand();
+        assert_eq!(runs.len(), 14);
+        // Every restart follows its crash by exactly the delay.
+        let restarted: Vec<_> = runs
+            .iter()
+            .filter_map(|r| r.federation.as_ref())
+            .filter(|f| !f.gateway_restarts.is_empty())
+            .collect();
+        assert!(!restarted.is_empty(), "the restart delay must materialize");
+        for fed in &restarted {
+            assert_eq!(fed.gateway_restarts.len(), fed.gateway_crashes.len());
+            for (&(seg, tc), &(rseg, tr)) in
+                fed.gateway_crashes.iter().zip(&fed.gateway_restarts)
+            {
+                assert_eq!(seg, rseg);
+                assert_eq!(tr, tc + BitTime::new(40_000));
+            }
+        }
+        // Adding the dimension must not disturb any pre-existing
+        // schedule: every run of the restart-free campaign reappears
+        // byte-identically among the delay-0 runs.
+        let zero: Vec<_> = runs
+            .iter()
+            .filter(|r| {
+                r.federation
+                    .as_ref()
+                    .is_none_or(|f| f.gateway_restarts.is_empty())
+            })
+            .collect();
+        for old in base.expand() {
+            assert!(
+                zero.iter().any(|r| {
+                    r.seed == old.seed
+                        && r.crashes == old.crashes
+                        && r.inaccessibility == old.inaccessibility
+                        && r.federation == old.federation
+                }),
+                "run {} lost its schedule under the new dimension",
+                old.id
+            );
+        }
+    }
+
+    #[test]
+    fn restart_scenarios_round_trip() {
+        let spec =
+            CampaignSpec::parse(&format!("{FED}gateway-restart 0 40ms\n")).unwrap();
+        for run in spec.expand() {
+            let mut back = RunSpec::from_scenario(&run.to_scenario()).unwrap();
+            back.id = run.id;
+            assert_eq!(back, run, "round-trip of run {}", run.id);
+        }
+    }
+
+    #[test]
+    fn rejects_orphan_gateway_restarts() {
+        // A restart needs an earlier crash of the same segment.
+        assert!(RunSpec::from_scenario(
+            "nodes 4\nsegments 2\ngateway-restart 0 100ms"
+        )
+        .unwrap_err()
+        .contains("no earlier"));
+        assert!(RunSpec::from_scenario(
+            "nodes 4\nsegments 2\ngateway-crash 1 50ms\ngateway-restart 0 100ms"
+        )
+        .unwrap_err()
+        .contains("no earlier"));
     }
 
     #[test]

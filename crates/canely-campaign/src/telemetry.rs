@@ -170,7 +170,32 @@ impl RunTelemetry {
                 ),
                 blocked: c(
                     "canely_fed_blocked_frames_total",
-                    "Bridge frames dropped (partition, block, dead relay)",
+                    "Bridge delivery attempts that failed (partition, block, dead relay)",
+                ),
+                elections: c(
+                    "canely_fed_elections_total",
+                    "Gateway promotions (standby to active)",
+                ),
+                rejoins: c(
+                    "canely_fed_rejoins_total",
+                    "Segment rejoins reaching the global stable cut",
+                ),
+                retry_queued: c(
+                    "canely_fed_retry_queued_total",
+                    "Bridge frames deferred into the retry queue",
+                ),
+                retry_delivered: c(
+                    "canely_fed_retry_delivered_total",
+                    "Retried bridge frames that eventually crossed",
+                ),
+                retry_dropped: c(
+                    "canely_fed_retry_dropped_total",
+                    "Bridge frames dropped from the retry path (budget or queue bound)",
+                ),
+                bridge_health: registry.gauge(
+                    "canely_fed_bridge_health",
+                    "Currently healthy bridge directions (last delivery succeeded)",
+                    Stability::Volatile,
                 ),
             },
             profiler,
@@ -257,12 +282,18 @@ mod tests {
             "canely_detection_latency_bittimes",
             "canely_fd_suspicions_total",
             "canely_fed_pump_quanta_total",
+            "canely_fed_elections_total",
+            "canely_fed_rejoins_total",
+            "canely_fed_retry_queued_total",
+            "canely_fed_retry_delivered_total",
+            "canely_fed_retry_dropped_total",
         ] {
             assert!(stable.contains(name), "{name} missing from\n{stable}");
         }
         // Phase families are volatile: absent from the stable export,
         // present (one series per phase) in the full one.
         assert!(!stable.contains("canely_sim_phase_nanos_total"));
+        assert!(!stable.contains("canely_fed_bridge_health"));
         let full = registry.to_prometheus(true);
         for phase in SIM_PHASES {
             assert!(full.contains(&format!("phase=\"{phase}\"")), "{full}");

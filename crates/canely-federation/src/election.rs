@@ -1,0 +1,79 @@
+//! Gateway failover election: who represents a segment after its
+//! acting gateway is expelled.
+//!
+//! The election is *implicit* and free of extra wire traffic: every
+//! node of a federated segment runs the [`Gateway`](crate::Gateway)
+//! wrapper in one of two roles, and the segment's own CANELy
+//! membership doubles as the failure detector and the agreement layer
+//! for the representative role.
+//!
+//! * **Active** — the acting representative: announces digests, relays
+//!   bridge traffic, owns the gossip timer.
+//! * **Standby** — a warm spare: passively adopts every digest claim
+//!   it hears on the local bus (so its tables match the active
+//!   gateway's) but emits nothing and arms nothing.
+//!
+//! When a membership view change expels the node a standby believes to
+//! be the acting gateway, every surviving standby deterministically
+//! ranks the *installed* view by node id; the top-ranked survivor (the
+//! lowest live id — CAN arbitration order, where lower always wins)
+//! promotes itself. Because all members install the same view —
+//! that is the paper's membership agreement property — at most one
+//! node promotes per expulsion, with no ballots on the wire.
+//!
+//! The promoted gateway bumps the segment epoch past the highest it
+//! ever heard and re-announces, so the far ends' stable-cut rule
+//! replaces the dead representative's last claim. An active gateway
+//! that hears an own-segment digest under a *fresher* epoch (or the
+//! same epoch from a lower id) yields: it demotes to standby and
+//! clears its bridge outbox — a restarted former gateway can therefore
+//! never fork the representative role.
+
+use can_types::{NodeId, NodeSet};
+
+/// The role a [`Gateway`](crate::Gateway) currently plays for its
+/// segment. See the module docs for the state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatewayRole {
+    /// The acting representative: gossips, installs, relays.
+    Active,
+    /// A warm spare: tracks digest state silently, ready to promote.
+    Standby,
+}
+
+/// The deterministic successor for a segment view: the lowest node id
+/// in `view` (ranking by id mirrors CAN arbitration, where the lowest
+/// identifier always wins the bus). Returns `None` for an empty view.
+pub fn successor(view: NodeSet) -> Option<NodeId> {
+    view.iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successor_is_the_lowest_live_id() {
+        let view = NodeSet::from_bits(0b1011_0100);
+        assert_eq!(successor(view), Some(NodeId::new(2)));
+        assert_eq!(successor(NodeSet::EMPTY), None);
+        assert_eq!(
+            successor(NodeSet::singleton(NodeId::new(31))),
+            Some(NodeId::new(31))
+        );
+    }
+
+    #[test]
+    fn successor_is_total_over_any_view() {
+        // Every non-empty view has exactly one successor, and removing
+        // it yields the next rank — the property the failover cascade
+        // relies on under repeated gateway loss.
+        let mut view = NodeSet::from_bits(0b0110_1010);
+        let mut order = Vec::new();
+        while let Some(next) = successor(view) {
+            order.push(next.as_u8());
+            view.remove(next);
+        }
+        assert_eq!(order, vec![1, 3, 5, 6]);
+    }
+}

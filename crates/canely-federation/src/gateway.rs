@@ -25,15 +25,25 @@
 //!   *never* relayed, which is what keeps every segment an unmodified
 //!   single-bus CANELy world.
 //!
+//! Since the self-healing rework the gateway is a *role*, not a node:
+//! every member of a federated segment runs this wrapper, in one of
+//! the two [`GatewayRole`]s. The configured gateway starts `Active`;
+//! everyone else is a `Standby` that silently mirrors the digest
+//! tables and promotes itself (see [`crate::election`]) when the
+//! segment's membership expels the acting gateway.
+//!
 //! A gateway with no bridges (the 1-segment degenerate federation)
-//! arms no timer, emits no event and relays nothing: its observable
-//! behaviour is byte-identical to a plain [`CanelyStack`].
+//! arms no timer, emits no event and relays nothing — whatever its
+//! role: its observable behaviour is byte-identical to a plain
+//! [`CanelyStack`].
 
+use crate::election::{successor, GatewayRole};
 use can_controller::{Application, Ctx, DriverEvent, TimerId};
-use can_types::{BitTime, Mid, MsgType, NodeSet, Payload};
+use can_types::{BitTime, Mid, MsgType, NodeId, NodeSet, Payload};
 use canely::obs::{EventSink, ProtocolEvent};
 use canely::tags::{digest_mid, digest_mid_segments, TimerOwner, MAX_SEGMENTS};
-use canely::{CanelyConfig, CanelyStack, TrafficConfig};
+use canely::{CanelyConfig, CanelyStack, DetectorMetrics, TrafficConfig};
+use canely_metrics::Counter;
 use std::any::Any;
 
 /// Which non-control data frames a gateway relays across its bridges.
@@ -109,6 +119,22 @@ pub fn quorum(segments: usize) -> usize {
     segments / 2 + 1
 }
 
+/// One global-view install decision, kept as a small in-memory log so
+/// the campaign oracle can check *when* a segment's view (re)converged
+/// — installs are rare (one per view change per subject), so the log
+/// stays a handful of entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstallRecord {
+    /// Segment the installed view describes.
+    pub subject: u8,
+    /// Installed epoch.
+    pub epoch: u32,
+    /// Installed segment view.
+    pub view: NodeSet,
+    /// Instant of the install decision.
+    pub at: BitTime,
+}
+
 /// A segment representative: the unmodified per-segment CANELy stack
 /// composed with digest gossip, stable-cut view installation and the
 /// bridge relay (see the module docs).
@@ -134,6 +160,23 @@ pub struct Gateway {
     relayed: [[u32; MAX_SEGMENTS]; MAX_SEGMENTS],
     outbox: Vec<BridgeFrame>,
     obs: EventSink,
+    /// Whether this node currently acts as the segment representative.
+    role: GatewayRole,
+    /// Whether a digest gossip alarm is pending — promotion after a
+    /// demotion must not stack a second one.
+    digest_timer_armed: bool,
+    /// The node this gateway believes holds the active role; `None`
+    /// until the next own-segment digest names one (or when active).
+    leader: Option<NodeId>,
+    /// Set at promotion to the announced epoch; cleared — with a
+    /// `fed.rejoin` event — once the own-segment install catches up.
+    rejoin_pending: Option<u32>,
+    /// Install history for the oracle's rejoin-latency check.
+    install_log: Vec<InstallRecord>,
+    /// Promotions performed by this node (live telemetry).
+    elections: Counter,
+    /// Rejoin convergences observed by this node (live telemetry).
+    rejoins: Counter,
 }
 
 impl Gateway {
@@ -159,7 +202,44 @@ impl Gateway {
             relayed: [[0; MAX_SEGMENTS]; MAX_SEGMENTS],
             outbox: Vec::new(),
             obs: EventSink::disabled(),
+            role: GatewayRole::Active,
+            digest_timer_armed: false,
+            leader: None,
+            rejoin_pending: None,
+            install_log: Vec::new(),
+            elections: Counter::default(),
+            rejoins: Counter::default(),
         }
+    }
+
+    /// Sets the starting role (the constructor default is `Active`,
+    /// matching the configured gateway; every other member of a
+    /// federated segment starts `Standby`).
+    pub fn with_role(mut self, role: GatewayRole) -> Self {
+        self.role = role;
+        self
+    }
+
+    /// Seeds the standby's belief about who currently holds the active
+    /// role — the configured gateway at construction time. A restarted
+    /// former gateway is built with no leader: it only learns the
+    /// promoted successor from its digests, so it can never trigger an
+    /// election against it.
+    pub fn with_leader(mut self, leader: Option<NodeId>) -> Self {
+        self.leader = leader;
+        self
+    }
+
+    /// Installs the federation-level election/rejoin counters (shared
+    /// registry cells; the defaults are disabled).
+    pub fn set_fed_counters(&mut self, elections: Counter, rejoins: Counter) {
+        self.elections = elections;
+        self.rejoins = rejoins;
+    }
+
+    /// Installs the failure-detector counters on the wrapped stack.
+    pub fn set_detector_metrics(&mut self, metrics: DetectorMetrics) {
+        self.stack.set_detector_metrics(metrics);
     }
 
     /// Attaches the observability sink (gateway events and the
@@ -198,6 +278,38 @@ impl Gateway {
     /// This gateway's segment index.
     pub fn segment(&self) -> u8 {
         self.seg
+    }
+
+    /// The current role.
+    pub fn role(&self) -> GatewayRole {
+        self.role
+    }
+
+    /// Whether this node currently acts as the segment representative.
+    pub fn is_active(&self) -> bool {
+        self.role == GatewayRole::Active
+    }
+
+    /// Who this gateway believes holds the active role (standbys only;
+    /// `None` while unknown or while active itself).
+    pub fn leader(&self) -> Option<NodeId> {
+        self.leader
+    }
+
+    /// The promotion epoch still awaiting global convergence, if any.
+    pub fn rejoin_pending(&self) -> Option<u32> {
+        self.rejoin_pending
+    }
+
+    /// Every global-view install this node decided, in order.
+    pub fn install_log(&self) -> &[InstallRecord] {
+        &self.install_log
+    }
+
+    /// Test/diagnostic access: how many frames sit in the bridge
+    /// outbox right now.
+    pub fn outbox_len(&self) -> usize {
+        self.outbox.len()
     }
 
     /// The globally installed view of one subject segment, if a quorum
@@ -248,7 +360,9 @@ impl Gateway {
 
     /// Re-evaluates the stable-cut install rule for one subject: the
     /// highest-epoch claim wins once a quorum of distinct reporters
-    /// carry it byte-identically.
+    /// carry it byte-identically. Standbys install silently (warm
+    /// state, no event); the active gateway announces the install and,
+    /// if it was awaiting its own promotion epoch, the rejoin.
     fn try_install(&mut self, ctx: &mut Ctx<'_>, subject: u8) {
         let s = subject as usize;
         let candidate = (0..self.segments as usize)
@@ -265,6 +379,15 @@ impl Gateway {
             return;
         }
         self.installed[s] = Some(candidate);
+        self.install_log.push(InstallRecord {
+            subject,
+            epoch: candidate.0,
+            view: candidate.1,
+            at: ctx.now(),
+        });
+        if self.role != GatewayRole::Active {
+            return;
+        }
         self.obs.emit(
             ctx.now(),
             ctx.me(),
@@ -274,11 +397,32 @@ impl Gateway {
                 view: candidate.1,
             },
         );
+        if subject == self.seg {
+            if let Some(pending) = self.rejoin_pending {
+                if candidate.0 >= pending {
+                    self.rejoin_pending = None;
+                    self.rejoins.inc();
+                    self.obs.emit(
+                        ctx.now(),
+                        ctx.me(),
+                        ProtocolEvent::FedRejoin {
+                            subject,
+                            epoch: candidate.0,
+                        },
+                    );
+                }
+            }
+        }
     }
 
     /// Reacts to a digest frame observed on the local bus: adopt,
     /// endorse, re-check the install rule, and queue the frame for
-    /// onward flooding if it was news.
+    /// onward flooding if it was news. Standbys run the same table
+    /// updates *silently* — no event, no outbox — which is what makes
+    /// a later promotion warm; they additionally track the digest's
+    /// transmitter as the acting leader. An active gateway that hears
+    /// a rival own-segment announcement under a fresher epoch yields
+    /// (see [`crate::election`]).
     fn on_digest(&mut self, ctx: &mut Ctx<'_>, mid: Mid, payload: &Payload) {
         let Some((reporter, subject)) = digest_mid_segments(mid) else {
             return;
@@ -289,18 +433,39 @@ impl Gateway {
         if reporter >= self.segments || subject >= self.segments {
             return;
         }
+        // Election bookkeeping: an own-segment digest from another
+        // local transmitter names that transmitter as the acting
+        // representative of this segment.
+        if reporter == self.seg && subject == self.seg && mid.node() != ctx.me() {
+            let transmitter = mid.node();
+            let known = self.claims[self.seg as usize][self.seg as usize].map_or(0, |(e, _)| e);
+            match self.role {
+                GatewayRole::Standby if claim.0 >= known => {
+                    self.leader = Some(transmitter);
+                }
+                GatewayRole::Active
+                    if claim.0 > known
+                        || (claim.0 == known && transmitter.as_u8() < ctx.me().as_u8()) =>
+                {
+                    self.demote(transmitter);
+                }
+                _ => {}
+            }
+        }
         let fresh = self.adopt(reporter, subject, claim);
         if fresh {
-            self.obs.emit(
-                ctx.now(),
-                ctx.me(),
-                ProtocolEvent::FedDigest {
-                    reporter,
-                    subject,
-                    epoch: claim.0,
-                    view: claim.1,
-                },
-            );
+            if self.role == GatewayRole::Active {
+                self.obs.emit(
+                    ctx.now(),
+                    ctx.me(),
+                    ProtocolEvent::FedDigest {
+                        reporter,
+                        subject,
+                        epoch: claim.0,
+                        view: claim.1,
+                    },
+                );
+            }
             // Endorse: our own row now carries the freshest claim we
             // know for this subject, so the next gossip tick spreads
             // it under our reporter stamp — that is what makes the
@@ -311,15 +476,30 @@ impl Gateway {
             self.try_install(ctx, subject);
         }
         // Flood-relay digest frames that carry news for some bridge
-        // peer: anything fresher than what we relayed before.
+        // peer: anything fresher than what we relayed before. Standbys
+        // only advance the dedup watermark, so a promotion does not
+        // re-flood claims the old gateway already spread.
         let seen = &mut self.relayed[reporter as usize][subject as usize];
         if claim.0 > *seen {
             *seen = claim.0;
-            self.outbox.push(BridgeFrame {
-                mid,
-                payload: *payload,
-                from_seg: self.seg,
-            });
+            if self.role == GatewayRole::Active {
+                self.outbox.push(BridgeFrame {
+                    mid,
+                    payload: *payload,
+                    from_seg: self.seg,
+                });
+            }
+        }
+    }
+
+    /// Reacts to the wrapped stack's view after a delegated callback,
+    /// according to role: the active gateway announces view changes
+    /// ([`Gateway::track_view`]); a standby watches for the expulsion
+    /// of the acting gateway ([`Gateway::observe_view`]).
+    fn after_stack(&mut self, ctx: &mut Ctx<'_>) {
+        match self.role {
+            GatewayRole::Active => self.track_view(ctx),
+            GatewayRole::Standby => self.observe_view(ctx),
         }
     }
 
@@ -349,6 +529,74 @@ impl Gateway {
         self.try_install(ctx, self.seg);
     }
 
+    /// Standby view tracking: when the installed view expels the node
+    /// believed to hold the active role, the deterministic successor
+    /// (lowest live id) promotes itself; every other survivor forgets
+    /// the leader and waits for the successor's first digest.
+    fn observe_view(&mut self, ctx: &mut Ctx<'_>) {
+        let view = self.stack.view();
+        if view == self.last_view {
+            return;
+        }
+        let prev = self.last_view;
+        self.last_view = view;
+        let Some(leader) = self.leader else { return };
+        if !prev.contains(leader) || view.contains(leader) {
+            return;
+        }
+        // The membership expelled the acting gateway.
+        self.leader = None;
+        if view.contains(ctx.me()) && successor(view) == Some(ctx.me()) {
+            self.promote(ctx, leader);
+        }
+    }
+
+    /// Promotion: assume the active role, announce the segment under a
+    /// bumped epoch on the local bus and across every bridge, and mark
+    /// the rejoin as pending until the stable cut catches up.
+    fn promote(&mut self, ctx: &mut Ctx<'_>, expelled: NodeId) {
+        self.role = GatewayRole::Active;
+        let epoch = self.claims[self.seg as usize][self.seg as usize]
+            .map_or(0, |(e, _)| e)
+            + 1;
+        self.claims[self.seg as usize][self.seg as usize] = Some((epoch, self.last_view));
+        self.rejoin_pending = Some(epoch);
+        self.elections.inc();
+        self.obs.emit(
+            ctx.now(),
+            ctx.me(),
+            ProtocolEvent::FedElect {
+                leader: expelled,
+                epoch,
+            },
+        );
+        self.obs.emit(
+            ctx.now(),
+            ctx.me(),
+            ProtocolEvent::FedDigest {
+                reporter: self.seg,
+                subject: self.seg,
+                epoch,
+                view: self.last_view,
+            },
+        );
+        self.try_install(ctx, self.seg);
+        // Re-announce immediately (gossip also arms the digest timer
+        // the standby never carried).
+        self.on_gossip_tick(ctx);
+    }
+
+    /// Demotion: yield the active role to `new_leader`. The bridge
+    /// outbox is voided — a demoted relay must never ship frames
+    /// queued under its deposed tenure.
+    fn demote(&mut self, new_leader: NodeId) {
+        self.role = GatewayRole::Standby;
+        self.leader = Some(new_leader);
+        self.rejoin_pending = None;
+        self.outbox.clear();
+        debug_assert!(self.outbox.is_empty(), "demotion leaves a stale outbox");
+    }
+
     /// Gossip tick: broadcast every claim of the own row as a digest
     /// data frame on the local bus *and* queue it for the bridges,
     /// then re-arm. The unconditional bridge copy is the anti-entropy
@@ -370,7 +618,15 @@ impl Gateway {
                 *seen = (*seen).max(claim.0);
             }
         }
-        ctx.start_alarm(self.digest_period, TimerOwner::FederationDigest.encode());
+        self.arm_digest_timer(ctx);
+    }
+
+    /// Arms the gossip alarm unless one is already pending.
+    fn arm_digest_timer(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.digest_timer_armed {
+            self.digest_timer_armed = true;
+            ctx.start_alarm(self.digest_period, TimerOwner::FederationDigest.encode());
+        }
     }
 }
 
@@ -394,9 +650,9 @@ fn decode_digest(payload: &Payload) -> Option<Claim> {
 impl Application for Gateway {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         self.stack.on_start(ctx);
-        if self.bridged {
+        if self.bridged && self.role == GatewayRole::Active {
             self.track_view(ctx);
-            ctx.start_alarm(self.digest_period, TimerOwner::FederationDigest.encode());
+            self.arm_digest_timer(ctx);
         }
     }
 
@@ -405,11 +661,14 @@ impl Application for Gateway {
         if !self.bridged {
             return;
         }
-        self.track_view(ctx);
+        self.after_stack(ctx);
         if let DriverEvent::DataInd { mid, payload } = event {
             if mid.msg_type() == MsgType::Digest {
                 self.on_digest(ctx, *mid, payload);
-            } else if self.filter.passes(*mid) && mid.node() != ctx.me() {
+            } else if self.role == GatewayRole::Active
+                && self.filter.passes(*mid)
+                && mid.node() != ctx.me()
+            {
                 // Own transmissions never cross: the gateway's
                 // injections would otherwise ping-pong between
                 // segments forever. App relay is thus single-hop,
@@ -425,12 +684,17 @@ impl Application for Gateway {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, id: TimerId, tag: u64) {
         if self.bridged && TimerOwner::decode(tag) == Some(TimerOwner::FederationDigest) {
-            self.on_gossip_tick(ctx);
+            self.digest_timer_armed = false;
+            // A timer armed before a demotion is swallowed un-rearmed:
+            // only the active gateway gossips.
+            if self.role == GatewayRole::Active {
+                self.on_gossip_tick(ctx);
+            }
             return;
         }
         self.stack.on_timer(ctx, id, tag);
         if self.bridged {
-            self.track_view(ctx);
+            self.after_stack(ctx);
         }
     }
 
@@ -478,5 +742,37 @@ mod tests {
         assert!(!RelayFilter::none().passes(app));
         assert!(RelayFilter::app_below(4).passes(app));
         assert!(!RelayFilter::app_below(3).passes(app));
+    }
+
+    #[test]
+    fn demotion_clears_the_bridge_outbox() {
+        // Regression for the drains-but-drops hole: a gateway that
+        // yields the active role must not leave frames queued under
+        // its deposed tenure for the pump to ship (or leak) later.
+        let mut gw = Gateway::new(CanelyConfig::default(), 0, 4, RelayFilter::none());
+        gw.attach_bridge();
+        assert!(gw.is_active());
+        gw.outbox.push(BridgeFrame {
+            mid: Mid::new(MsgType::AppData, 1, NodeId::new(3)),
+            payload: Payload::from_slice(&[1, 2, 3]).unwrap(),
+            from_seg: 0,
+        });
+        assert_eq!(gw.outbox_len(), 1);
+        gw.demote(NodeId::new(2));
+        assert_eq!(gw.outbox_len(), 0, "demotion must void the outbox");
+        assert!(!gw.is_active());
+        assert_eq!(gw.leader(), Some(NodeId::new(2)));
+        assert_eq!(gw.rejoin_pending(), None);
+    }
+
+    #[test]
+    fn promotion_requires_an_expelled_leader() {
+        // A standby whose leader is unknown (a restarted former
+        // gateway) never ranks itself, whatever the view does.
+        let gw = Gateway::new(CanelyConfig::default(), 0, 4, RelayFilter::none())
+            .with_role(crate::GatewayRole::Standby)
+            .with_leader(None);
+        assert!(!gw.is_active());
+        assert_eq!(gw.leader(), None);
     }
 }

@@ -22,12 +22,25 @@
 //!   asymmetric one-way windows) and a merged segment-qualified trace
 //!   export.
 //!
+//! The federation is **self-healing**: the gateway is a role, not a
+//! node. Every member of a federated segment runs the [`Gateway`]
+//! wrapper in a [`GatewayRole`] — the acting representative `Active`,
+//! the rest warm `Standby`s. When the segment's own membership expels
+//! the active gateway, the deterministic [`election`] promotes the
+//! lowest-ranked survivor, which bumps the segment epoch and
+//! re-announces until the global view re-converges (the *rejoin*).
+//! Bridge delivery failures (partition windows, a mid-failover
+//! headless segment) back off exponentially through a bounded retry
+//! queue instead of dropping frames on the floor.
+//!
 //! The single-segment degenerate case is exact: one segment, no
 //! bridges, a pass-through gateway — byte-identical traces to the
 //! non-federated stack (enforced by a differential property test).
 
+pub mod election;
 pub mod gateway;
 pub mod sim;
 
-pub use gateway::{quorum, BridgeFrame, Claim, Gateway, RelayFilter};
-pub use sim::{BridgeKind, FedMetrics, FederationConfig, FederationSim};
+pub use election::{successor, GatewayRole};
+pub use gateway::{quorum, BridgeFrame, Claim, Gateway, InstallRecord, RelayFilter};
+pub use sim::{BridgeHealth, BridgeKind, FedMetrics, FederationConfig, FederationSim};

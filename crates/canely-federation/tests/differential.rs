@@ -6,6 +6,12 @@
 //! channel-fault schedules and crash schedules. This pins down the
 //! degenerate case: the gateway wrapper adds no timer, no frame and no
 //! event until a bridge is actually attached.
+//!
+//! With failover election in the stack, every federated node hosts the
+//! gateway wrapper as a potential standby — so this property now also
+//! pins the election machinery: an unbridged segment must never
+//! promote a successor, even when the crash schedule kills the
+//! configured gateway itself (node 0 is a legal victim below).
 
 use can_bus::{BusConfig, FaultPlan};
 use can_controller::Simulator;
@@ -106,6 +112,10 @@ proptest! {
         let plain = plain_trace(&s);
         let fed = federated_trace(&s);
         prop_assert!(!plain.is_empty());
+        prop_assert!(
+            !fed.contains("fed.elect") && !fed.contains("fed.rejoin"),
+            "an unbridged segment must never elect or rejoin"
+        );
         if plain != fed {
             // Report the first diverging line, not two megabyte blobs.
             let diverge = plain

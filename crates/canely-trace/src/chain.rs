@@ -261,6 +261,26 @@ pub fn chain_for_in(
     if let Some(e) = install {
         chain.steps.push(event_step(model, e));
         chain.complete = true;
+        // Failover epilogue: when the expelled suspect was the
+        // segment's gateway, the story continues past the install — a
+        // standby promotes itself (`fed.elect` names the expelled
+        // leader) and its re-announced view reaches the global stable
+        // cut (`fed.rejoin`).
+        let elect = model.events.iter().find(|e| {
+            e.kind == "fed.elect"
+                && e.seg == home
+                && e.t >= suspicion.t
+                && model.line_of(e).u64("leader") == Some(u64::from(suspect))
+        });
+        if let Some(elect) = elect {
+            chain.steps.push(event_step(model, elect));
+            let rejoin = model.events.iter().find(|e| {
+                e.kind == "fed.rejoin" && e.seg == home && e.t >= elect.t
+            });
+            if let Some(rejoin) = rejoin {
+                chain.steps.push(event_step(model, rejoin));
+            }
+        }
     }
     // Stable sort: steps were appended in causal order, so same-instant
     // steps keep it.
@@ -368,6 +388,30 @@ mod tests {
         let other = chain_for_in(&model, Some(0), 2, None).unwrap();
         assert_eq!((other.seg, other.observer), (Some(0), 3));
         assert_eq!(suspicions(&model).len(), 2);
+    }
+
+    /// A gateway-failover trace on segment 1: n0 (the gateway) is
+    /// suspected and expelled; the successor n1 promotes itself under
+    /// epoch 2 and the segment rejoins the federation.
+    const FAILOVER_DOC: &str = "\
+{\"t\":6000,\"seg\":1,\"seq\":0,\"node\":1,\"kind\":\"fd.suspect\",\"suspect\":0}\n\
+{\"t\":7600,\"seg\":1,\"seq\":1,\"node\":1,\"kind\":\"view.installed\",\"view\":\"{1,2}\"}\n\
+{\"t\":7600,\"seg\":1,\"seq\":2,\"node\":1,\"kind\":\"fed.elect\",\"leader\":0,\"epoch\":2}\n\
+{\"t\":19000,\"seg\":1,\"seq\":3,\"node\":1,\"kind\":\"fed.rejoin\",\"subject\":1,\"epoch\":2}\n";
+
+    #[test]
+    fn gateway_expulsion_chain_walks_election_and_rejoin() {
+        let model = TraceModel::parse(FAILOVER_DOC).unwrap();
+        let chain = chain_for_in(&model, Some(1), 0, None).unwrap();
+        assert!(chain.complete, "{chain:?}");
+        let labels: Vec<&str> = chain.steps.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec!["fd.suspect", "view.installed", "fed.elect", "fed.rejoin"],
+            "{chain:#?}"
+        );
+        assert!(chain.steps[2].detail.contains("leader=0"), "{chain:#?}");
+        assert!(chain.steps[3].detail.contains("epoch=2"), "{chain:#?}");
     }
 
     #[test]

@@ -83,6 +83,7 @@ pub fn is_federated(text: &str) -> bool {
                     | "relay"
                     | "seg-crash"
                     | "gateway-crash"
+                    | "gateway-restart"
                     | "segment-partition"
                     | "asymmetric"
             )
@@ -206,7 +207,7 @@ impl Scenario {
                 // Campaign-oracle knobs (`canelyctl campaign replay`
                 // re-judges them); `run` validates and ignores them so
                 // counterexample scenarios replay unmodified.
-                "settle" | "latency-slack" => {
+                "settle" | "latency-slack" | "rejoin-slack" => {
                     rest.first()
                         .and_then(|w| parse_duration(w))
                         .ok_or_else(|| ArgError(format!("line {line_no}: bad duration")))?;

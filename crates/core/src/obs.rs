@@ -244,6 +244,22 @@ pub enum ProtocolEvent {
         /// Segment the frame came from.
         from_seg: u8,
     },
+    /// A standby gateway promoted itself to the active role after the
+    /// segment's membership expelled the previous gateway.
+    FedElect {
+        /// The expelled gateway the successor replaces.
+        leader: NodeId,
+        /// The epoch the promoted gateway announces under.
+        epoch: u32,
+    },
+    /// A promoted gateway's re-announced segment view reached the
+    /// global stable cut: the segment rejoined the federation.
+    FedRejoin {
+        /// The rejoining segment.
+        subject: u8,
+        /// The epoch at which the rejoin converged.
+        epoch: u32,
+    },
 }
 
 impl ProtocolEvent {
@@ -281,6 +297,8 @@ impl ProtocolEvent {
             ProtocolEvent::FedDigest { .. } => "fed.digest",
             ProtocolEvent::FedInstall { .. } => "fed.install",
             ProtocolEvent::FedRelay { .. } => "fed.relay",
+            ProtocolEvent::FedElect { .. } => "fed.elect",
+            ProtocolEvent::FedRejoin { .. } => "fed.rejoin",
         }
     }
 
@@ -381,6 +399,12 @@ impl ProtocolEvent {
             }
             ProtocolEvent::FedRelay { mid, from_seg } => {
                 let _ = write!(out, ",\"mid\":\"{mid}\",\"from_seg\":{from_seg}");
+            }
+            ProtocolEvent::FedElect { leader, epoch } => {
+                let _ = write!(out, ",\"leader\":{},\"epoch\":{epoch}", leader.as_u8());
+            }
+            ProtocolEvent::FedRejoin { subject, epoch } => {
+                let _ = write!(out, ",\"subject\":{subject},\"epoch\":{epoch}");
             }
             ProtocolEvent::LifeSignSent
             | ProtocolEvent::JoinRequested
@@ -920,7 +944,9 @@ impl Counters {
             // federation layer; the per-segment counters ignore them.
             ProtocolEvent::FedDigest { .. }
             | ProtocolEvent::FedInstall { .. }
-            | ProtocolEvent::FedRelay { .. } => {}
+            | ProtocolEvent::FedRelay { .. }
+            | ProtocolEvent::FedElect { .. }
+            | ProtocolEvent::FedRejoin { .. } => {}
         }
     }
 }

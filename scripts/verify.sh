@@ -131,6 +131,28 @@ if [ "$federation" != "$refederation" ]; then
     exit 1
 fi
 
+# Self-healing failover gate: four bridged 16-node segments whose
+# gateway crashes mid-run and powers back on 60 ms later. The oracle
+# must come back clean — including the rejoin-latency invariant (a
+# successor elects itself, bumps the epoch and re-converges the
+# global view within the analytic rejoin bound) — and the summary
+# must be byte-identical at 1 and 8 workers.
+echo "==> target/release/canelyctl campaign run --spec scenarios/failover.campaign"
+failover="$(target/release/canelyctl campaign run --spec scenarios/failover.campaign --workers 1 --json)"
+echo "$failover"
+case "$failover" in
+*'"violating_runs":[]'*) ;;
+*)
+    echo "verify: failover campaign reported invariant violations" >&2
+    exit 1
+    ;;
+esac
+refailover="$(target/release/canelyctl campaign run --spec scenarios/failover.campaign --workers 8 --json)"
+if [ "$failover" != "$refailover" ]; then
+    echo "verify: failover summary differs between 1 and 8 workers" >&2
+    exit 1
+fi
+
 # Campaign scaling smoke gate: fanning the same matrix out to 8
 # workers must never be *slower* than running it on 1. On a multi-core
 # host this also catches lost parallelism; on a single hardware thread
